@@ -1,0 +1,85 @@
+// Command dmtsim runs a single (environment × design × page-size ×
+// workload) simulation and prints its measurements — the low-level
+// entry point behind cmd/figures.
+//
+// Usage:
+//
+//	dmtsim -env native|virt|nested -design vanilla|shadow|dmt|pvdmt|ecpt|fpt|agile|asap
+//	       -workload GUPS [-thp] [-ops N] [-ws MiB] [-scale N] [-seed N] [-breakdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dmt/internal/sim"
+	"dmt/internal/workload"
+)
+
+func main() {
+	var (
+		envName   = flag.String("env", "native", "environment: native, virt, nested")
+		design    = flag.String("design", "vanilla", "translation design")
+		wlName    = flag.String("workload", "GUPS", "benchmark name (Table 4)")
+		thp       = flag.Bool("thp", false, "enable transparent huge pages")
+		ops       = flag.Int("ops", 400_000, "trace length")
+		wsMiB     = flag.Int("ws", 0, "working set in MiB (0 = scaled default)")
+		scale     = flag.Int("scale", 16, "cache/TLB scaling divisor")
+		seed      = flag.Int64("seed", 42, "trace seed")
+		breakdown = flag.Bool("breakdown", false, "print the per-step walk breakdown")
+	)
+	flag.Parse()
+
+	var env sim.Environment
+	switch *envName {
+	case "native":
+		env = sim.EnvNative
+	case "virt", "virtualized":
+		env = sim.EnvVirt
+	case "nested":
+		env = sim.EnvNested
+	default:
+		log.Fatalf("unknown environment %q", *envName)
+	}
+	wl, err := workload.ByName(*wlName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		Env: env, Design: sim.Design(*design), THP: *thp, Workload: wl,
+		WSBytes: uint64(*wsMiB) << 20, Ops: *ops, Seed: *seed, CacheScale: *scale,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("config:            %s / %s / %s (THP=%v)\n", *envName, *design, wl.Name, *thp)
+	fmt.Printf("trace ops:         %d\n", res.Ops)
+	fmt.Printf("TLB miss ratio:    %.4f (%d misses)\n", res.MissRatio(), res.TLBMisses)
+	fmt.Printf("avg walk latency:  %.1f cycles\n", res.AvgWalkCycles())
+	fmt.Printf("avg seq refs/walk: %.2f (total refs/walk %.2f)\n",
+		res.AvgSeqRefs(), float64(res.TotalRefs)/float64(max64(res.Walks, 1)))
+	fmt.Printf("register coverage: %.2f%%\n", res.Coverage*100)
+	fmt.Printf("data cycles:       %d\n", res.DataCycles)
+	fmt.Printf("PT structures:     %.2f MiB\n", float64(res.PTEBytes)/(1<<20))
+	if res.Hypercalls+res.VMExits+res.ShadowSyncs > 0 {
+		fmt.Printf("hypercalls:        %d, VM exits: %d, shadow syncs: %d\n",
+			res.Hypercalls, res.VMExits, res.ShadowSyncs)
+	}
+	if *breakdown {
+		fmt.Println("\nper-step breakdown (amortized cycles/walk, share of walk latency):")
+		for _, s := range res.Breakdown() {
+			fmt.Printf("  %-10s %8.2f cyc  %5.1f%%  (%d hits)\n", s.Label,
+				float64(s.Cycles)/float64(res.Walks),
+				100*float64(s.Cycles)/float64(max64(res.WalkCycles, 1)), s.Count)
+		}
+	}
+}
+
+func max64(a uint64, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

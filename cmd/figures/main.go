@@ -1,0 +1,100 @@
+// Command figures regenerates the tables and figures of the paper's
+// evaluation (DESIGN.md §4 maps each to its experiment).
+//
+// Usage:
+//
+//	figures [-fig 4|5|14|15|16|17] [-table 1|5|6] [-overheads] [-all]
+//	        [-ops N] [-ws MiB] [-scale N] [-workloads Redis,GUPS,...]
+//
+// With no selection flags, -all is assumed. Larger -ops / -ws sharpen the
+// numbers at the cost of runtime; the defaults regenerate every experiment
+// in a few minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"dmt/internal/experiments"
+	"dmt/internal/workload"
+)
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 0, "figure to regenerate (4, 5, 14, 15, 16, 17)")
+		table     = flag.Int("table", 0, "table to regenerate (1, 5, 6)")
+		overheads = flag.Bool("overheads", false, "run the §6.3 overhead analyses")
+		all       = flag.Bool("all", false, "regenerate everything")
+		ops       = flag.Int("ops", 400_000, "trace length per configuration")
+		wsMiB     = flag.Int("ws", 0, "working-set override in MiB (0 = per-workload scaled defaults)")
+		scale     = flag.Int("scale", 16, "cache/TLB capacity scaling divisor")
+		wlNames   = flag.String("workloads", "", "comma-separated benchmark subset (default: all seven)")
+		parallel  = flag.Int("parallel", 1, "concurrent simulations (each holds its machine in RAM)")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{
+		Ops:        *ops,
+		WSBytes:    uint64(*wsMiB) << 20,
+		CacheScale: *scale,
+		Parallel:   *parallel,
+	}
+	if !*quiet {
+		opt.Logf = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+		}
+	}
+	if *wlNames != "" {
+		for _, name := range strings.Split(*wlNames, ",") {
+			s, err := workload.ByName(strings.TrimSpace(name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			opt.Workloads = append(opt.Workloads, s)
+		}
+	}
+	r := experiments.NewRunner(opt)
+
+	nothing := *fig == 0 && *table == 0 && !*overheads
+	want := func(selected bool) bool { return *all || nothing || selected }
+
+	type job struct {
+		name string
+		run  func() (string, error)
+		sel  bool
+	}
+	jobs := []job{
+		{"Table 1", func() (string, error) { return experiments.Table1() }, *table == 1},
+		{"Figure 4", func() (string, error) { return experiments.Figure4(r) }, *fig == 4},
+		{"Figure 5", func() (string, error) { return experiments.Figure5() }, *fig == 5},
+		{"Figure 14", func() (string, error) { return experiments.Figure14(r) }, *fig == 14},
+		{"Figure 15", func() (string, error) { return experiments.Figure15(r) }, *fig == 15},
+		{"Figure 16", func() (string, error) { return experiments.Figure16(r) }, *fig == 16},
+		{"Figure 17", func() (string, error) { return experiments.Figure17(r) }, *fig == 17},
+		{"Table 5", func() (string, error) { return experiments.Table5(r) }, *table == 5},
+		{"Table 6", func() (string, error) { return experiments.Table6(r) }, *table == 6},
+		{"§6.3 overheads", func() (string, error) { return experiments.Overheads(r) }, *overheads},
+	}
+	ran := false
+	for _, j := range jobs {
+		if !want(j.sel) && !(nothing || *all) {
+			continue
+		}
+		if !*all && !nothing && !j.sel {
+			continue
+		}
+		out, err := j.run()
+		if err != nil {
+			log.Fatalf("%s: %v", j.name, err)
+		}
+		fmt.Printf("==== %s ====\n%s\n", j.name, out)
+		ran = true
+	}
+	if !ran {
+		log.Fatal("nothing selected; use -fig/-table/-overheads or -all")
+	}
+}

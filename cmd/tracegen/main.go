@@ -1,0 +1,110 @@
+// Command tracegen records and inspects workload memory traces in the
+// repository's trace format, decoupling trace generation from simulation
+// the way the paper's DynamoRIO traces do (§5).
+//
+// Usage:
+//
+//	tracegen -workload Redis -n 1000000 -o redis.trace [-ws MiB] [-seed N]
+//	tracegen -inspect redis.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dmt/internal/kernel"
+	"dmt/internal/mem"
+	"dmt/internal/phys"
+	"dmt/internal/workload"
+)
+
+func main() {
+	var (
+		wlName  = flag.String("workload", "GUPS", "benchmark name (Table 4)")
+		n       = flag.Int("n", 1_000_000, "references to record")
+		out     = flag.String("o", "", "output trace file")
+		wsMiB   = flag.Int("ws", 256, "working set in MiB")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		inspect = flag.String("inspect", "", "trace file to summarize instead of recording")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		summarize(*inspect)
+		return
+	}
+	if *out == "" {
+		log.Fatal("need -o FILE (or -inspect FILE)")
+	}
+	wl, err := workload.ByName(*wlName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ws := uint64(*wsMiB) << 20
+	as, err := kernel.NewAddressSpace(phys.New(0, int(ws>>mem.PageShift4K)*3/2+(128<<20>>mem.PageShift4K)), kernel.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	built, err := wl.Build(as, ws)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := workload.Record(f, built.NewGen(*seed), *n); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := f.Stat()
+	fmt.Printf("recorded %d refs of %s (ws %d MiB, seed %d) to %s (%d bytes, %.2f B/ref)\n",
+		*n, wl.Name, *wsMiB, *seed, *out, st.Size(), float64(st.Size())/float64(*n))
+}
+
+func summarize(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := workload.NewTraceReader(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pages := map[uint64]struct{}{}
+	writes, count := 0, 0
+	lo, hi := ^mem.VAddr(0), mem.VAddr(0)
+	for {
+		va, w, ok, err := tr.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		count++
+		if w {
+			writes++
+		}
+		pages[mem.PageNumber(va, mem.Size4K)] = struct{}{}
+		if va < lo {
+			lo = va
+		}
+		if va > hi {
+			hi = va
+		}
+	}
+	fmt.Printf("%s: %d refs (%.1f%% writes), %d distinct 4K pages (%.1f MiB touched), VA span [%#x, %#x]\n",
+		path, count, 100*float64(writes)/float64(max(count, 1)),
+		len(pages), float64(len(pages))*4/1024, uint64(lo), uint64(hi))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

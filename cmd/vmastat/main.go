@@ -1,0 +1,85 @@
+// Command vmastat reproduces the VMA-characteristics analysis of §2.3: for
+// each benchmark layout (and the synthetic SPEC corpora) it reports the
+// total VMA count, the number of VMAs covering 99 % of the mapped bytes,
+// and the number of VMA clusters under the 2 % bubble allowance — Table 1
+// and the inputs of Figure 5.
+//
+// Usage:
+//
+//	vmastat [-spec] [-per-workload]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dmt/internal/kernel"
+	"dmt/internal/phys"
+	"dmt/internal/stats"
+	"dmt/internal/workload"
+)
+
+func main() {
+	spec := flag.Bool("spec", false, "also list every synthetic SPEC workload")
+	flag.Parse()
+
+	t := &stats.Table{
+		Title:  "VMA characteristics (Table 1)",
+		Header: []string{"Workload", "Total", "99% Cov.", "Clusters"},
+	}
+	for _, s := range workload.All() {
+		as, err := kernel.NewAddressSpace(phys.New(0, 1<<17), kernel.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := s.Build(as, 256<<20); err != nil {
+			log.Fatal(err)
+		}
+		st := workload.ComputeVMAStats(workload.RegionsOf(as))
+		t.Add(s.Name, st.Total, st.Cov99, st.Clusters)
+	}
+	fmt.Print(t.String())
+
+	for _, year := range []int{2006, 2017} {
+		corpus := workload.SpecCorpus(year)
+		if *spec {
+			st := &stats.Table{
+				Title:  fmt.Sprintf("SPEC CPU %d synthetic layouts", year),
+				Header: []string{"Workload", "Total", "99% Cov.", "Clusters"},
+			}
+			for _, wl := range corpus {
+				v := workload.ComputeVMAStats(wl.Regions)
+				st.Add(wl.Name, v.Total, v.Cov99, v.Clusters)
+			}
+			fmt.Println()
+			fmt.Print(st.String())
+		} else {
+			lo, hi := 1<<30, 0
+			cl, ch := 1<<30, 0
+			gl, gh := 1<<30, 0
+			for _, wl := range corpus {
+				v := workload.ComputeVMAStats(wl.Regions)
+				lo, hi = min(lo, v.Total), max(hi, v.Total)
+				cl, ch = min(cl, v.Cov99), max(ch, v.Cov99)
+				gl, gh = min(gl, v.Clusters), max(gh, v.Clusters)
+			}
+			fmt.Printf("SPEC CPU %d (%d WLs): Total %d-%d, 99%% Cov. %d-%d, Clusters %d-%d\n",
+				year, len(corpus), lo, hi, cl, ch, gl, gh)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+// Fragmentation: exercise DMT's graceful degradation when contiguous
+// physical memory is scarce (§4.2.2, §6.3, §7) — TEA allocation failures
+// trigger VMA-to-TEA mapping splits, memory compaction restores
+// contiguity, and the legacy walker covers whatever falls through.
+//
+//	go run ./examples/fragmentation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dmt/internal/cache"
+	"dmt/internal/core"
+	"dmt/internal/kernel"
+	"dmt/internal/mem"
+	"dmt/internal/phys"
+	"dmt/internal/tea"
+	"dmt/internal/tlb"
+)
+
+func main() {
+	pa := phys.New(0, 1<<17) // 512 MiB
+	// Shatter free memory to the §6.3 methodology's index 0.99.
+	pa.Fragment(rand.New(rand.NewSource(7)), 4, 0.99)
+	fmt.Printf("fragmentation index (order 4): %.2f, free: %d MiB\n",
+		pa.FragmentationIndex(4), pa.FreeFrames()*4/1024)
+
+	as, err := kernel.NewAddressSpace(pa, kernel.Config{ASID: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr := tea.NewManager(as, tea.NewPhysBackend(pa), tea.DefaultConfig(false))
+	as.SetHooks(mgr)
+
+	// A 128 MiB heap needs a 64-frame TEA; with only isolated single
+	// frames free, allocation must repeatedly split (§4.2.2).
+	heap, err := as.MMap(0x4000_0000, 128<<20, kernel.VMAHeap, "heap")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := as.Populate(heap); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after mmap under fragmentation: %d mappings, %d splits, %d contig failures\n",
+		len(mgr.Mappings()), mgr.Stats.Splits, mgr.Stats.AllocFailures)
+
+	hier := cache.NewHierarchy(cache.DefaultConfig())
+	radix := core.NewRadixWalker(as.PT, hier, tlb.NewPWC(), as.ASID())
+	dmt := core.NewDMTWalker(mgr, as.Pool, hier, radix)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		va := heap.Start + mem.VAddr(rng.Int63n(int64(heap.Size()))&^7)
+		if out := dmt.Walk(va); !out.OK {
+			log.Fatalf("walk failed at %#x", uint64(va))
+		}
+	}
+	fmt.Printf("register coverage under fragmentation: %.1f%% (rest served by the x86 walker)\n",
+		dmt.Coverage()*100)
+
+	// Free the background pins (processes exiting), compact, and rebuild:
+	// contiguity returns and so does full coverage.
+	if err := as.MUnmap(heap); err != nil {
+		log.Fatal(err)
+	}
+	freeAllUnmovable(pa)
+	moved := pa.Compact()
+	fmt.Printf("\nafter freeing background load + compaction (%d frames migrated): index %.2f\n",
+		moved, pa.FragmentationIndex(4))
+
+	heap, err = as.MMap(0x4000_0000, 128<<20, kernel.VMAHeap, "heap")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := as.Populate(heap); err != nil {
+		log.Fatal(err)
+	}
+	dmt2 := core.NewDMTWalker(mgr, as.Pool, hier, radix)
+	for i := 0; i < 20000; i++ {
+		va := heap.Start + mem.VAddr(rng.Int63n(int64(heap.Size()))&^7)
+		dmt2.Walk(va)
+	}
+	fmt.Printf("mappings now: %d; register coverage: %.1f%%\n",
+		len(mgr.Mappings()), dmt2.Coverage()*100)
+}
+
+// freeAllUnmovable releases the Fragment() pins, emulating the background
+// load exiting.
+func freeAllUnmovable(pa *phys.Allocator) {
+	for f := 0; f < pa.TotalFrames(); f++ {
+		addr := pa.Base() + mem.PAddr(f<<mem.PageShift4K)
+		if pa.FrameKind(addr) == phys.KindUnmovable {
+			pa.FreeFrame(addr)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Hugepages: demonstrate DMT's multi-size TEA support (§4.4, Figure 12) —
+// a THP-enabled process keeps separate TEAs for 4 KiB and 2 MiB PTEs, the
+// fetcher probes them in parallel, and a huge-page promotion moves a
+// region's translation from the 4K TEA to the 2M TEA without changing the
+// VMA-to-TEA mapping.
+//
+//	go run ./examples/hugepages
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmt/internal/cache"
+	"dmt/internal/core"
+	"dmt/internal/kernel"
+	"dmt/internal/mem"
+	"dmt/internal/phys"
+	"dmt/internal/tea"
+	"dmt/internal/tlb"
+)
+
+func main() {
+	pa := phys.New(0, 1<<18)
+	as, err := kernel.NewAddressSpace(pa, kernel.Config{THP: true, ASID: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr := tea.NewManager(as, tea.NewPhysBackend(pa), tea.DefaultConfig(true))
+	as.SetHooks(mgr)
+
+	heap, err := as.MMap(0x4000_0000, 64<<20, kernel.VMAHeap, "heap")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Populate with base pages first (THP off for a moment), then let
+	// khugepaged-style promotion collapse the regions.
+	if err := as.Populate(heap); err != nil { // THP on: faults install 2M pages
+		log.Fatal(err)
+	}
+	fmt.Printf("THP-mapped regions: %d\n", as.THPMapped)
+
+	hier := cache.NewHierarchy(cache.DefaultConfig())
+	radix := core.NewRadixWalker(as.PT, hier, tlb.NewPWC(), as.ASID())
+	dmt := core.NewDMTWalker(mgr, as.Pool, hier, radix)
+
+	va := heap.Start + 0x2abcde
+	out := dmt.Walk(va)
+	fmt.Printf("\ntranslate va=%#x\n", uint64(va))
+	fmt.Printf("  resolved as a %v page in %d sequential step (%d parallel TEA probes)\n",
+		out.Size, out.SeqSteps, len(out.Refs))
+	for _, r := range out.Refs {
+		fmt.Printf("    probe of the %v-PTE TEA at %#x: %d cycles (%v)\n",
+			mem.PageSize(r.Level-1), uint64(r.Addr), r.Cycles, r.Served)
+	}
+	if out.Size != mem.Size2M {
+		log.Fatal("expected a 2M translation under THP")
+	}
+
+	// The register carries both TEAs; only the 2M one holds valid leaves
+	// for THP-mapped regions.
+	reg := mgr.Lookup(va)
+	fmt.Printf("\nregister: base=%#x limit=%#x 4K-TEA=%v 2M-TEA=%v\n",
+		uint64(reg.Base), uint64(reg.Limit), reg.Covered[mem.Size4K], reg.Covered[mem.Size2M])
+
+	// Demote one region back to base pages: the mapping is untouched;
+	// only the PTEs move between TEAs (§4.4).
+	demoteBase := mem.AlignDown(va, mem.PageBytes2M)
+	pte, _ := as.PT.LeafPTE(demoteBase)
+	if err := as.PT.Unmap(demoteBase, mem.Size2M); err != nil {
+		log.Fatal(err)
+	}
+	for off := mem.VAddr(0); off < mem.PageBytes2M; off += mem.PageBytes4K {
+		frame, err := pa.AllocFrame(phys.KindMovable)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := as.PT.Map(demoteBase+off, frame, mem.Size4K, mem.PTEWritable); err != nil {
+			log.Fatal(err)
+		}
+	}
+	_ = pte
+	out = dmt.Walk(va)
+	fmt.Printf("\nafter demotion: resolved as a %v page, still %d sequential step, fallback=%v\n",
+		out.Size, out.SeqSteps, out.Fallback)
+	if out.Size != mem.Size4K || out.Fallback {
+		log.Fatal("demoted region should resolve from the 4K TEA without fallback")
+	}
+}

@@ -1,0 +1,106 @@
+package asap
+
+import (
+	"testing"
+
+	"dmt/internal/cache"
+	"dmt/internal/core"
+	"dmt/internal/kernel"
+	"dmt/internal/mem"
+	"dmt/internal/phys"
+	"dmt/internal/tlb"
+)
+
+func setup(t *testing.T) (*kernel.AddressSpace, *kernel.VMA, *cache.Hierarchy) {
+	t.Helper()
+	a := phys.New(0, 1<<15)
+	as, err := kernel.NewAddressSpace(a, kernel.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := as.MMap(0x40000000, 16<<20, kernel.VMAHeap, "heap")
+	if err := as.Populate(v); err != nil {
+		t.Fatal(err)
+	}
+	return as, v, cache.NewHierarchy(cache.DefaultConfig())
+}
+
+func oracle(as *kernel.AddressSpace) AddrSource {
+	return LastTwoLevelSource(func(va mem.VAddr) []core.MemRef {
+		var refs []core.MemRef
+		for _, s := range as.PT.Walk(va).Steps {
+			refs = append(refs, core.MemRef{Addr: s.Addr, Level: s.Level})
+		}
+		return refs
+	})
+}
+
+func TestASAPStillFourReferences(t *testing.T) {
+	as, v, hier := setup(t)
+	inner := core.NewRadixWalker(as.PT, hier, nil, 0) // no PWC: isolate prefetch effect
+	w := &Walker{Inner: inner, Hier: hier, Source: oracle(as)}
+	out := w.Walk(v.Start + 0x5123)
+	if !out.OK {
+		t.Fatal("walk failed")
+	}
+	if out.SeqSteps != 4 {
+		t.Fatalf("ASAP seq steps = %d, want 4 (prefetching does not shorten the walk)", out.SeqSteps)
+	}
+	if w.Prefetches == 0 {
+		t.Fatal("no prefetches issued")
+	}
+}
+
+func TestASAPLowersLatencyVsColdRadix(t *testing.T) {
+	as, v, hier := setup(t)
+	inner := core.NewRadixWalker(as.PT, hier, nil, 0)
+	w := &Walker{Inner: inner, Hier: hier, Source: oracle(as)}
+	// Pick a VA whose prefetch hash hits for both levels.
+	var va mem.VAddr
+	for off := uint64(0); off < v.Size(); off += 1 << 12 {
+		cand := v.Start + mem.VAddr(off)
+		if hit(cand, 0) && hit(cand, 1) {
+			va = cand
+			break
+		}
+	}
+	if va == 0 {
+		t.Fatal("no fully-hitting VA found")
+	}
+	pref := w.Walk(va)
+
+	as2, v2, hier2 := setup(t)
+	cold := core.NewRadixWalker(as2.PT, hier2, nil, 0)
+	out2 := cold.Walk(v2.Start + (va - v.Start))
+	if pref.Cycles >= out2.Cycles {
+		t.Fatalf("prefetched walk (%d cyc) not faster than cold walk (%d cyc)", pref.Cycles, out2.Cycles)
+	}
+}
+
+func TestASAPConsumesBandwidth(t *testing.T) {
+	as, v, hier := setup(t)
+	inner := core.NewRadixWalker(as.PT, hier, tlb.NewPWC(), 0)
+	w := &Walker{Inner: inner, Hier: hier, Source: oracle(as)}
+	before := hier.MemFetches
+	w.Walk(v.Start)
+	if hier.MemFetches <= before {
+		t.Fatal("prefetches consumed no memory bandwidth")
+	}
+}
+
+func TestASAPAccuracyIsDeterministic(t *testing.T) {
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if hit(mem.VAddr(i)<<12, 0) {
+			hits++
+		}
+	}
+	frac := float64(hits) / 10000
+	if frac < Accuracy-0.05 || frac > Accuracy+0.05 {
+		t.Fatalf("hit fraction %.3f far from accuracy %.2f", frac, Accuracy)
+	}
+	// Determinism: same VA, same result.
+	if hit(0x1234000, 1) != hit(0x1234000, 1) {
+		t.Fatal("hit() nondeterministic")
+	}
+}

@@ -1,0 +1,82 @@
+package ecpt
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmt/internal/mem"
+	"dmt/internal/phys"
+)
+
+// TestTableAgainstMapModel drives the cuckoo table and a plain map with the
+// same random insert/remove/lookup stream — across elastic resizes — and
+// checks they always agree.
+func TestTableAgainstMapModel(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a := phys.New(0, 1<<15)
+		tbl, err := NewTable(mem.Size4K, 128, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := map[uint64]mem.PTE{}
+		vpnSpace := uint64(1 << 16) // dense enough to exercise grouping
+
+		for step := 0; step < 4000; step++ {
+			vpn := rng.Uint64() % vpnSpace
+			switch rng.Intn(3) {
+			case 0: // insert/update
+				pte := mem.MakePTE(mem.PAddr(rng.Uint64()&((1<<40)-1))&^(mem.PageBytes4K-1), mem.PTEWritable)
+				if err := tbl.Insert(vpn, pte); err != nil {
+					t.Fatalf("seed %d step %d: insert: %v", seed, step, err)
+				}
+				model[vpn] = pte
+			case 1: // remove
+				tbl.Remove(vpn)
+				delete(model, vpn)
+			default: // lookup
+				got, ok := tbl.Lookup(vpn)
+				want, wok := model[vpn]
+				if ok != wok || (ok && got != want) {
+					t.Fatalf("seed %d step %d: lookup(%#x) = (%#x,%v), want (%#x,%v)",
+						seed, step, vpn, uint64(got), ok, uint64(want), wok)
+				}
+			}
+			if tbl.Count() != len(model) {
+				t.Fatalf("seed %d step %d: count %d, want %d", seed, step, tbl.Count(), len(model))
+			}
+		}
+		// Exhaustive final agreement.
+		for vpn, want := range model {
+			got, ok := tbl.Lookup(vpn)
+			if !ok || got != want {
+				t.Fatalf("seed %d: final lookup(%#x) diverged", seed, vpn)
+			}
+		}
+	}
+}
+
+// TestSlotAddrStability checks that SlotAddr changes only across resizes
+// (the fetch addresses the walker probes must be stable between them) and
+// that grouped VPNs share a line.
+func TestSlotAddrStability(t *testing.T) {
+	a := phys.New(0, 1<<14)
+	tbl, err := NewTable(mem.Size4K, 512, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tbl.SlotAddr(0x1234, 0)
+	if err := tbl.Insert(0x1234, mem.MakePTE(0x5000, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.SlotAddr(0x1234, 0) != before {
+		t.Fatal("SlotAddr changed without a resize")
+	}
+	// VPNs in the same 8-page group probe the same element.
+	if tbl.SlotAddr(0x1230, 1) != tbl.SlotAddr(0x1237, 1) {
+		t.Fatal("grouped VPNs must share an element line")
+	}
+	if tbl.SlotAddr(0x1230, 1) == tbl.SlotAddr(0x1238, 1) {
+		t.Fatal("different groups must not collide deterministically")
+	}
+}

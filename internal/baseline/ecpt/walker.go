@@ -1,0 +1,261 @@
+package ecpt
+
+import (
+	"fmt"
+
+	"dmt/internal/cache"
+	"dmt/internal/core"
+	"dmt/internal/kernel"
+	"dmt/internal/mem"
+	"dmt/internal/phys"
+)
+
+// System is the set of per-page-size cuckoo tables replacing one radix page
+// table.
+type System struct {
+	tables map[mem.PageSize]*Table
+	sizes  []mem.PageSize
+}
+
+// NewSystem creates tables for the given page sizes, each starting with
+// initialSlots slots per way, allocated from alloc.
+func NewSystem(alloc *phys.Allocator, sizes []mem.PageSize, initialSlots int) (*System, error) {
+	s := &System{tables: map[mem.PageSize]*Table{}, sizes: sizes}
+	for _, sz := range sizes {
+		t, err := NewTable(sz, initialSlots, alloc)
+		if err != nil {
+			return nil, err
+		}
+		s.tables[sz] = t
+	}
+	return s, nil
+}
+
+// Sync mirrors every present leaf mapping of as into the cuckoo tables.
+func (s *System) Sync(as *kernel.AddressSpace) error {
+	for _, v := range as.VMAs() {
+		for _, p := range v.PresentPages() {
+			pa, size, ok := as.PT.Lookup(p.VA)
+			if !ok {
+				continue
+			}
+			t, ok := s.tables[size]
+			if !ok {
+				return fmt.Errorf("ecpt: no table for %v pages", size)
+			}
+			pte := mem.MakePTE(mem.AlignDownP(pa, size.Bytes()), mem.PTEWritable)
+			if size != mem.Size4K {
+				pte |= mem.PTEHuge
+			}
+			if err := t.Insert(mem.PageNumber(p.VA, size), pte); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Table returns the table for one page size.
+func (s *System) Table(sz mem.PageSize) *Table { return s.tables[sz] }
+
+// Lookup resolves va across all size tables (content only, no latency).
+func (s *System) Lookup(va mem.VAddr) (mem.PAddr, mem.PageSize, bool) {
+	for _, sz := range s.sizes {
+		if pte, ok := s.tables[sz].Lookup(mem.PageNumber(va, sz)); ok {
+			return pte.Frame() + mem.PAddr(mem.PageOffset(va, sz)), sz, true
+		}
+	}
+	return 0, 0, false
+}
+
+// probe charges the parallel accesses of one full lookup (all ways of all
+// size tables) to the hierarchy, adding refs to g. translate maps a slot's
+// table-space address to the machine address to access (identity natively).
+//
+// The group's critical-path latency is the *matching* way's line latency:
+// the probes are issued in parallel, the walk continues as soon as the
+// probe whose tag matches returns, and the wrong-way probes only cost
+// bandwidth and cache pollution (which the hierarchy records naturally).
+// This is what lets ECPT track DMT closely despite the fan-out — DMT's
+// remaining edge is the hash computation and the pollution (§6.2.1).
+func (s *System) probe(va mem.VAddr, g *groupRecorder, hier *cache.Hierarchy, dim string,
+	translate func(mem.PAddr) (mem.PAddr, bool)) {
+	for _, sz := range s.sizes {
+		t := s.tables[sz]
+		vpn := mem.PageNumber(va, sz)
+		matchWay := t.matchingWay(vpn)
+		for w := 0; w < Ways; w++ {
+			slot := t.SlotAddr(vpn, w)
+			m, ok := translate(slot)
+			if !ok {
+				continue
+			}
+			r := hier.Access(m)
+			g.addMatch(core.MemRef{Addr: m, Cycles: r.Cycles, Served: r.Served, Level: sz.LeafLevel(), Dim: dim},
+				w == matchWay)
+		}
+	}
+}
+
+// matchingWay returns the way whose element holds a present PTE for vpn,
+// or -1.
+func (t *Table) matchingWay(vpn uint64) int {
+	group := vpn / GroupPages
+	for w := 0; w < Ways; w++ {
+		e := &t.ways[w][t.hash(group, w)]
+		if e.valid && e.group == group && e.ptes[vpn%GroupPages].Present() {
+			return w
+		}
+	}
+	return -1
+}
+
+type groupRecorder struct {
+	cycles   int // critical-path latency: the matching probes
+	maxAll   int // slowest probe overall (fallback when nothing matches)
+	refs     []core.MemRef
+	anyMatch bool
+}
+
+func (g *groupRecorder) addMatch(r core.MemRef, matches bool) {
+	g.refs = append(g.refs, r)
+	if r.Cycles > g.maxAll {
+		g.maxAll = r.Cycles
+	}
+	if matches {
+		g.anyMatch = true
+		if r.Cycles > g.cycles {
+			g.cycles = r.Cycles
+		}
+	}
+}
+
+func (g *groupRecorder) commit(out *core.WalkOutcome) {
+	out.Refs = append(out.Refs, g.refs...)
+	if g.anyMatch {
+		out.Cycles += g.cycles
+	} else {
+		// No match: the walker must wait for every probe to report
+		// absence before faulting.
+		out.Cycles += g.maxAll
+	}
+	out.SeqSteps++
+}
+
+func identity(pa mem.PAddr) (mem.PAddr, bool) { return pa, true }
+
+// Walker is native ECPT: one sequential step of parallel probes plus the
+// hash-computation cost.
+type Walker struct {
+	Sys  *System
+	Hier *cache.Hierarchy
+
+	Walks uint64
+}
+
+// Name implements core.Walker.
+func (w *Walker) Name() string { return "ECPT" }
+
+// Walk implements core.Walker.
+func (w *Walker) Walk(va mem.VAddr) core.WalkOutcome {
+	w.Walks++
+	out := core.WalkOutcome{Cycles: HashCycles}
+	g := groupRecorder{}
+	w.Sys.probe(va, &g, w.Hier, "n", identity)
+	g.commit(&out)
+	pa, sz, ok := w.Sys.Lookup(va)
+	if !ok {
+		return out
+	}
+	out.PA, out.Size, out.OK = pa, sz, true
+	return out
+}
+
+var _ core.Walker = (*Walker)(nil)
+
+// VirtWalker is Nested ECPT (§6.2.1): guest cuckoo tables in guest-physical
+// memory and host cuckoo tables in machine memory, three sequential steps
+// with up to 81 parallel references.
+type VirtWalker struct {
+	Guest *System // gVA → gPA, slots at guest-physical addresses
+	Host  *System // gPA → machine, slots at machine addresses
+	Hier  *cache.Hierarchy
+
+	Walks uint64
+}
+
+// Name implements core.Walker.
+func (w *VirtWalker) Name() string { return "NestedECPT" }
+
+// Walk implements core.Walker.
+func (w *VirtWalker) Walk(gva mem.VAddr) core.WalkOutcome {
+	w.Walks++
+	out := core.WalkOutcome{Cycles: 2 * HashCycles}
+
+	// Step 1: host-resolve the machine addresses of every guest candidate
+	// slot (fan-out: guest ways × host ways, the "up to 81 parallel" of
+	// §3.1). Only the chain of the eventually-matching guest way is on
+	// the critical path.
+	type cand struct {
+		slot    mem.PAddr // guest-physical slot address
+		isMatch bool
+		machine mem.PAddr
+		ok      bool
+	}
+	var cands []cand
+	for _, sz := range w.Guest.sizes {
+		t := w.Guest.tables[sz]
+		vpn := mem.PageNumber(gva, sz)
+		mw := t.matchingWay(vpn)
+		for way := 0; way < Ways; way++ {
+			cands = append(cands, cand{slot: t.SlotAddr(vpn, way), isMatch: way == mw})
+		}
+	}
+	g1 := groupRecorder{}
+	for i := range cands {
+		sub := groupRecorder{}
+		m, _, ok := w.Host.Lookup(mem.VAddr(cands[i].slot))
+		w.Host.probe(mem.VAddr(cands[i].slot), &sub, w.Hier, "h", identity)
+		cands[i].machine, cands[i].ok = m, ok
+		g1.refs = append(g1.refs, sub.refs...)
+		if sub.maxAll > g1.maxAll {
+			g1.maxAll = sub.maxAll
+		}
+		if cands[i].isMatch && sub.anyMatch {
+			g1.anyMatch = true
+			if sub.cycles > g1.cycles {
+				g1.cycles = sub.cycles
+			}
+		}
+	}
+	g1.commit(&out)
+
+	// Step 2: fetch the guest candidate entries; the matching way's line
+	// latency is the critical path.
+	g2 := groupRecorder{}
+	for _, c := range cands {
+		if !c.ok {
+			continue
+		}
+		r := w.Hier.Access(c.machine)
+		g2.addMatch(core.MemRef{Addr: c.machine, Cycles: r.Cycles, Served: r.Served, Dim: "g"}, c.isMatch)
+	}
+	g2.commit(&out)
+	dataGPA, gsz, ok := w.Guest.Lookup(gva)
+	if !ok {
+		return out
+	}
+
+	// Step 3: host-resolve the data gPA.
+	g3 := groupRecorder{}
+	m, _, ok := w.Host.Lookup(mem.VAddr(dataGPA))
+	w.Host.probe(mem.VAddr(dataGPA), &g3, w.Hier, "h", identity)
+	g3.commit(&out)
+	if !ok {
+		return out
+	}
+	out.PA, out.Size, out.OK = m, gsz, true
+	return out
+}
+
+var _ core.Walker = (*VirtWalker)(nil)

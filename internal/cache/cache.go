@@ -1,0 +1,266 @@
+// Package cache simulates the memory hierarchy of the measurement platform
+// (Table 3 of the paper): per-core L1D and L2 caches, a shared last-level
+// cache, and main memory, each with set-associative LRU arrays and the
+// paper's round-trip latencies. Both data accesses and PTE fetches issued by
+// the translation designs go through this hierarchy, which is what makes
+// walk-latency comparisons meaningful — the whole point of DMT is *which*
+// PTE lines are fetched, and from *where*.
+package cache
+
+import (
+	"fmt"
+
+	"dmt/internal/mem"
+)
+
+// Level identifies where an access was served.
+type Level uint8
+
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelLLC
+	LevelMem
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelLLC:
+		return "LLC"
+	case LevelMem:
+		return "Mem"
+	}
+	return fmt.Sprintf("Level(%d)", uint8(l))
+}
+
+// Config describes one cache array.
+type Config struct {
+	SizeBytes int
+	Ways      int
+	LatencyRT int // round-trip access latency in cycles
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / (c.Ways * mem.CacheLineBytes) }
+
+// Cache is one set-associative LRU cache array.
+type Cache struct {
+	cfg  Config
+	sets []set
+
+	Hits   uint64
+	Misses uint64
+}
+
+type set struct {
+	tags  []uint64 // line tag, 0 = invalid (tag stored +1)
+	stamp []uint64 // LRU timestamps
+}
+
+// NewCache builds a cache array from cfg. Size, way count, and line size
+// must divide evenly.
+func NewCache(cfg Config) *Cache {
+	n := cfg.Sets()
+	if n <= 0 || cfg.SizeBytes%(cfg.Ways*mem.CacheLineBytes) != 0 {
+		panic(fmt.Sprintf("cache: bad geometry %+v", cfg))
+	}
+	c := &Cache{cfg: cfg, sets: make([]set, n)}
+	for i := range c.sets {
+		c.sets[i] = set{
+			tags:  make([]uint64, cfg.Ways),
+			stamp: make([]uint64, cfg.Ways),
+		}
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) locate(pa mem.PAddr) (*set, uint64) {
+	line := uint64(pa) / mem.CacheLineBytes
+	s := &c.sets[line%uint64(len(c.sets))]
+	return s, line + 1 // +1 so tag 0 means invalid
+}
+
+// Lookup probes for the line holding pa and refreshes LRU state on a hit.
+func (c *Cache) Lookup(pa mem.PAddr, now uint64) bool {
+	s, tag := c.locate(pa)
+	for w, t := range s.tags {
+		if t == tag {
+			s.stamp[w] = now
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Insert fills the line holding pa, evicting the LRU victim.
+func (c *Cache) Insert(pa mem.PAddr, now uint64) {
+	s, tag := c.locate(pa)
+	victim, oldest := 0, ^uint64(0)
+	for w, t := range s.tags {
+		if t == tag {
+			s.stamp[w] = now
+			return
+		}
+		if t == 0 {
+			victim, oldest = w, 0
+			break
+		}
+		if s.stamp[w] < oldest {
+			victim, oldest = w, s.stamp[w]
+		}
+	}
+	s.tags[victim] = tag
+	s.stamp[victim] = now
+}
+
+// Flush invalidates the entire array (used across simulated context
+// switches in tests).
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		for w := range c.sets[i].tags {
+			c.sets[i].tags[w] = 0
+		}
+	}
+}
+
+// HierarchyConfig describes the full memory system; DefaultConfig matches
+// Table 3 (Intel Xeon Gold 6138).
+type HierarchyConfig struct {
+	L1D        Config
+	L2         Config
+	LLC        Config
+	MemLatency int
+}
+
+// DefaultConfig is the simulated-architecture configuration from Table 3:
+// 32 KiB 8-way L1D (4-cycle RT), 1 MiB 16-way L2 (14-cycle RT), 22 MiB
+// 11-way LLC (54-cycle RT), 200-cycle main memory.
+func DefaultConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1D:        Config{SizeBytes: 32 << 10, Ways: 8, LatencyRT: 4},
+		L2:         Config{SizeBytes: 1 << 20, Ways: 16, LatencyRT: 14},
+		LLC:        Config{SizeBytes: 22 << 20, Ways: 11, LatencyRT: 54},
+		MemLatency: 200,
+	}
+}
+
+// ScaledConfig returns DefaultConfig with every capacity divided by factor,
+// keeping latencies; used to shrink simulations proportionally with the
+// scaled-down working sets (DESIGN.md §6). LLC way count is preserved, so
+// factor must leave at least one set per array.
+func ScaledConfig(factor int) HierarchyConfig {
+	c := DefaultConfig()
+	c.L1D.SizeBytes /= factor
+	c.L2.SizeBytes /= factor
+	c.LLC.SizeBytes /= factor
+	return c
+}
+
+// Hierarchy is the composed memory system.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	L1D *Cache
+	L2  *Cache
+	LLC *Cache
+
+	now uint64
+
+	Accesses   uint64
+	MemFetches uint64
+}
+
+// NewHierarchy builds the memory system.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		cfg: cfg,
+		L1D: NewCache(cfg.L1D),
+		L2:  NewCache(cfg.L2),
+		LLC: NewCache(cfg.LLC),
+	}
+}
+
+// AccessResult describes one access.
+type AccessResult struct {
+	Cycles int
+	Served Level
+}
+
+// Access performs a demand access to the line holding pa, returning the
+// round-trip latency and the serving level, and filling all levels above
+// the hit (inclusive allocation).
+func (h *Hierarchy) Access(pa mem.PAddr) AccessResult {
+	h.now++
+	h.Accesses++
+	switch {
+	case h.L1D.Lookup(pa, h.now):
+		return AccessResult{h.cfg.L1D.LatencyRT, LevelL1}
+	case h.L2.Lookup(pa, h.now):
+		h.L1D.Insert(pa, h.now)
+		return AccessResult{h.cfg.L2.LatencyRT, LevelL2}
+	case h.LLC.Lookup(pa, h.now):
+		h.L2.Insert(pa, h.now)
+		h.L1D.Insert(pa, h.now)
+		return AccessResult{h.cfg.LLC.LatencyRT, LevelLLC}
+	default:
+		h.MemFetches++
+		h.LLC.Insert(pa, h.now)
+		h.L2.Insert(pa, h.now)
+		h.L1D.Insert(pa, h.now)
+		return AccessResult{h.cfg.MemLatency, LevelMem}
+	}
+}
+
+// Prefetch inserts the line holding pa into the L2 and LLC without charging
+// demand latency; this is how the ASAP baseline lands upper-level PTE lines
+// ahead of the walk (§6.2.2). It consumes memory bandwidth (recorded in
+// MemFetches when the line came from memory) and returns the level the
+// line was sourced from, so the consumer can account for the fill latency
+// it cannot hide (LevelL2 means the line was already close — nothing to
+// wait for).
+func (h *Hierarchy) Prefetch(pa mem.PAddr) Level {
+	h.now++
+	if h.L2.Lookup(pa, h.now) {
+		return LevelL2
+	}
+	if h.LLC.Lookup(pa, h.now) {
+		h.L2.Insert(pa, h.now)
+		return LevelLLC
+	}
+	h.MemFetches++
+	h.LLC.Insert(pa, h.now)
+	h.L2.Insert(pa, h.now)
+	return LevelMem
+}
+
+// Contains reports whether pa is present at any level (test helper).
+func (h *Hierarchy) Contains(pa mem.PAddr) bool {
+	// Probe without disturbing LRU or stats: inspect tags directly.
+	for _, c := range []*Cache{h.L1D, h.L2, h.LLC} {
+		s, tag := c.locate(pa)
+		for _, t := range s.tags {
+			if t == tag {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Flush empties all levels.
+func (h *Hierarchy) Flush() {
+	h.L1D.Flush()
+	h.L2.Flush()
+	h.LLC.Flush()
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }

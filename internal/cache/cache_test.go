@@ -1,0 +1,140 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dmt/internal/mem"
+)
+
+func TestHitAfterMiss(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	r := h.Access(0x1000)
+	if r.Served != LevelMem || r.Cycles != 200 {
+		t.Fatalf("cold access served from %v (%d cycles), want Mem/200", r.Served, r.Cycles)
+	}
+	r = h.Access(0x1000)
+	if r.Served != LevelL1 || r.Cycles != 4 {
+		t.Fatalf("warm access served from %v (%d cycles), want L1/4", r.Served, r.Cycles)
+	}
+}
+
+func TestSameLineSharing(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	h.Access(0x2000)
+	// A different address on the same 64-byte line must hit.
+	if r := h.Access(0x2038); r.Served != LevelL1 {
+		t.Fatalf("same-line access served from %v, want L1", r.Served)
+	}
+	// The next line must miss.
+	if r := h.Access(0x2040); r.Served != LevelMem {
+		t.Fatalf("next-line access served from %v, want Mem", r.Served)
+	}
+}
+
+func TestL1EvictionFallsToL2(t *testing.T) {
+	cfg := DefaultConfig()
+	h := NewHierarchy(cfg)
+	sets := cfg.L1D.Sets()
+	ways := cfg.L1D.Ways
+	// Fill one L1 set beyond capacity; conflicting lines map to the same
+	// set when they share (lineIndex % sets).
+	base := mem.PAddr(0)
+	for i := 0; i <= ways; i++ {
+		h.Access(base + mem.PAddr(i*sets*mem.CacheLineBytes))
+	}
+	// The first line was evicted from L1 but must still hit in L2.
+	r := h.Access(base)
+	if r.Served != LevelL2 {
+		t.Fatalf("evicted line served from %v, want L2", r.Served)
+	}
+}
+
+func TestLRUVictimSelection(t *testing.T) {
+	c := NewCache(Config{SizeBytes: 4 * mem.CacheLineBytes, Ways: 4, LatencyRT: 1})
+	// Single set, 4 ways. Touch lines A,B,C,D then re-touch A; inserting E
+	// must evict B (the LRU), not A.
+	addrs := []mem.PAddr{0, 0x40 * 1, 0x40 * 2, 0x40 * 3}
+	now := uint64(0)
+	for _, a := range addrs {
+		now++
+		c.Insert(a, now)
+	}
+	now++
+	if !c.Lookup(addrs[0], now) {
+		t.Fatal("A should be present")
+	}
+	now++
+	c.Insert(0x40*4, now) // E evicts LRU = B
+	now++
+	if !c.Lookup(addrs[0], now) {
+		t.Error("A was evicted despite being MRU")
+	}
+	now++
+	if c.Lookup(addrs[1], now) {
+		t.Error("B should have been the LRU victim")
+	}
+}
+
+func TestPrefetchLandsInL2NotL1(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	h.Prefetch(0x9000)
+	if !h.Contains(0x9000) {
+		t.Fatal("prefetched line absent from hierarchy")
+	}
+	r := h.Access(0x9000)
+	if r.Served != LevelL2 {
+		t.Fatalf("prefetched line served from %v, want L2", r.Served)
+	}
+	if h.MemFetches != 1 {
+		t.Fatalf("MemFetches = %d, want 1 (prefetch consumes bandwidth)", h.MemFetches)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	h.Access(0x3000)
+	h.Flush()
+	if r := h.Access(0x3000); r.Served != LevelMem {
+		t.Fatalf("post-flush access served from %v, want Mem", r.Served)
+	}
+}
+
+func TestScaledConfigPreservesLatencies(t *testing.T) {
+	c := ScaledConfig(32)
+	d := DefaultConfig()
+	if c.L1D.LatencyRT != d.L1D.LatencyRT || c.MemLatency != d.MemLatency {
+		t.Error("scaling must not change latencies")
+	}
+	if c.LLC.SizeBytes*32 != d.LLC.SizeBytes {
+		t.Error("LLC not scaled")
+	}
+	// Must still construct.
+	NewHierarchy(c)
+}
+
+// Property: immediately re-accessing any address always hits in L1 with the
+// L1 latency, regardless of address.
+func TestRepeatAccessAlwaysL1(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	f := func(raw uint64) bool {
+		pa := mem.PAddr(raw % (1 << 40))
+		h.Access(pa)
+		r := h.Access(pa)
+		return r.Served == LevelL1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hit+miss counters equal total accesses at the L1.
+func TestCounterConservation(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	for i := 0; i < 1000; i++ {
+		h.Access(mem.PAddr(i * 13 * mem.CacheLineBytes))
+	}
+	if h.L1D.Hits+h.L1D.Misses != h.Accesses {
+		t.Fatalf("L1 hits(%d)+misses(%d) != accesses(%d)", h.L1D.Hits, h.L1D.Misses, h.Accesses)
+	}
+}

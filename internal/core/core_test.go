@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+
+	"dmt/internal/cache"
+	"dmt/internal/kernel"
+	"dmt/internal/mem"
+	"dmt/internal/phys"
+	"dmt/internal/tea"
+	"dmt/internal/tlb"
+)
+
+// rig assembles a native machine: kernel + TEA manager + hierarchy + both
+// walkers.
+type rig struct {
+	as    *kernel.AddressSpace
+	mg    *tea.Manager
+	hier  *cache.Hierarchy
+	radix *RadixWalker
+	dmt   *DMTWalker
+}
+
+func newRig(t *testing.T, thp bool) *rig {
+	t.Helper()
+	pa := phys.New(0, 1<<16) // 256 MiB
+	as, err := kernel.NewAddressSpace(pa, kernel.Config{THP: thp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg := tea.NewManager(as, tea.NewPhysBackend(pa), tea.DefaultConfig(thp))
+	as.SetHooks(mg)
+	hier := cache.NewHierarchy(cache.DefaultConfig())
+	radix := NewRadixWalker(as.PT, hier, tlb.NewPWC(), as.ASID())
+	dmt := NewDMTWalker(mg, as.Pool, hier, radix)
+	return &rig{as: as, mg: mg, hier: hier, radix: radix, dmt: dmt}
+}
+
+func (r *rig) heap(t *testing.T, bytes uint64) *kernel.VMA {
+	t.Helper()
+	v, err := r.as.MMap(0x40000000, bytes, kernel.VMAHeap, "heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.as.Populate(v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestRadixWalkFourSteps(t *testing.T) {
+	r := newRig(t, false)
+	v := r.heap(t, 16<<20)
+	out := r.radix.Walk(v.Start + 0x5123)
+	if !out.OK {
+		t.Fatal("walk faulted")
+	}
+	if out.SeqSteps != 4 || len(out.Refs) != 4 {
+		t.Fatalf("cold radix walk took %d steps, want 4", out.SeqSteps)
+	}
+	pa, _, ok := r.as.PT.Lookup(v.Start + 0x5123)
+	if !ok || out.PA != pa {
+		t.Fatal("radix walk PA mismatch")
+	}
+}
+
+func TestRadixPWCSkips(t *testing.T) {
+	r := newRig(t, false)
+	v := r.heap(t, 16<<20)
+	r.radix.Walk(v.Start) // warms PWC
+	out := r.radix.Walk(v.Start + mem.PageBytes4K)
+	if out.SeqSteps != 1 {
+		t.Fatalf("PWC-warm walk took %d steps, want 1 (skip to L1)", out.SeqSteps)
+	}
+	if out.Refs[0].Level != 1 {
+		t.Fatalf("remaining step at level %d, want 1", out.Refs[0].Level)
+	}
+}
+
+func TestDMTSingleReference(t *testing.T) {
+	r := newRig(t, false)
+	v := r.heap(t, 64<<20)
+	out := r.dmt.Walk(v.Start + 0x7123)
+	if !out.OK || out.Fallback {
+		t.Fatalf("DMT walk: ok=%v fallback=%v", out.OK, out.Fallback)
+	}
+	if out.SeqSteps != 1 || len(out.Refs) != 1 {
+		t.Fatalf("DMT took %d seq steps / %d refs, want 1/1", out.SeqSteps, len(out.Refs))
+	}
+	pa, _, _ := r.as.PT.Lookup(v.Start + 0x7123)
+	if out.PA != pa {
+		t.Fatal("DMT PA disagrees with page table")
+	}
+}
+
+func TestDMTMatchesRadixEverywhere(t *testing.T) {
+	r := newRig(t, false)
+	v := r.heap(t, 32<<20)
+	for off := uint64(0); off < v.Size(); off += 123 << 12 {
+		va := v.Start + mem.VAddr(off)
+		d := r.dmt.Walk(va)
+		x := r.radix.Walk(va)
+		if !d.OK || !x.OK || d.PA != x.PA {
+			t.Fatalf("divergence at %#x: dmt=%#x radix=%#x", uint64(va), uint64(d.PA), uint64(x.PA))
+		}
+	}
+}
+
+func TestDMTFallbackOutsideRegisters(t *testing.T) {
+	r := newRig(t, false)
+	r.heap(t, 16<<20)
+	// A second tiny VMA, too small for a TEA under MinVMABytes=0 but we
+	// force no-register coverage by filling registers with a custom cfg;
+	// simpler: address in a VMA without TEA — create VMA while bypassing
+	// hooks by unsetting them.
+	r.as.SetHooks(nil)
+	v2, err := r.as.MMap(0x9_0000_0000, 1<<20, kernel.VMAAnon, "naked")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.as.Populate(v2); err != nil {
+		t.Fatal(err)
+	}
+	r.as.SetHooks(r.mg)
+	out := r.dmt.Walk(v2.Start)
+	if !out.OK || !out.Fallback {
+		t.Fatalf("expected fallback walk, got ok=%v fallback=%v", out.OK, out.Fallback)
+	}
+	if r.dmt.FallbackWalks == 0 {
+		t.Fatal("fallback not counted")
+	}
+}
+
+func TestDMTTHPParallelFanout(t *testing.T) {
+	r := newRig(t, true)
+	v := r.heap(t, 64<<20)
+	out := r.dmt.Walk(v.Start + 0x123456)
+	if !out.OK || out.Fallback {
+		t.Fatalf("THP DMT walk: ok=%v fallback=%v", out.OK, out.Fallback)
+	}
+	if out.Size != mem.Size2M {
+		t.Fatalf("size = %v, want 2M", out.Size)
+	}
+	if out.SeqSteps != 1 {
+		t.Fatalf("seq steps = %d, want 1 (parallel fan-out)", out.SeqSteps)
+	}
+	if len(out.Refs) != 2 {
+		t.Fatalf("refs = %d, want 2 (4K + 2M TEAs probed in parallel)", len(out.Refs))
+	}
+	if r.dmt.ParallelFetch2 == 0 {
+		t.Fatal("parallel fan-out not counted")
+	}
+}
+
+func TestDMTCoverage(t *testing.T) {
+	r := newRig(t, false)
+	v := r.heap(t, 32<<20)
+	for off := uint64(0); off < v.Size(); off += 7 << 12 {
+		r.dmt.Walk(v.Start + mem.VAddr(off))
+	}
+	if c := r.dmt.Coverage(); c != 1.0 {
+		t.Fatalf("coverage = %.3f, want 1.0 for a single-VMA workload", c)
+	}
+}
+
+func TestDMTFasterThanRadixCold(t *testing.T) {
+	// With a cold cache hierarchy, a DMT walk (1 memory reference) must
+	// be cheaper than a cold radix walk (4 references).
+	rd := newRig(t, false)
+	v := rd.heap(t, 16<<20)
+	dmtOut := rd.dmt.Walk(v.Start)
+
+	rr := newRig(t, false)
+	v2 := rr.heap(t, 16<<20)
+	radixOut := rr.radix.Walk(v2.Start)
+
+	if dmtOut.Cycles >= radixOut.Cycles {
+		t.Fatalf("cold DMT (%d cyc) not faster than cold radix (%d cyc)", dmtOut.Cycles, radixOut.Cycles)
+	}
+}
+
+func TestMMUCachesTranslations(t *testing.T) {
+	r := newRig(t, false)
+	v := r.heap(t, 16<<20)
+	mmu := NewMMU(tlb.New(tlb.DefaultConfig()), r.dmt, r.as.ASID())
+	pa1, cyc1, ok := mmu.Translate(v.Start + 0x1234)
+	if !ok || cyc1 == 0 {
+		t.Fatalf("first translate: ok=%v cycles=%d (want a walk)", ok, cyc1)
+	}
+	pa2, cyc2, ok := mmu.Translate(v.Start + 0x1234)
+	if !ok || cyc2 != 0 {
+		t.Fatalf("second translate: ok=%v cycles=%d (want TLB hit)", ok, cyc2)
+	}
+	if pa1 != pa2 {
+		t.Fatal("TLB returned a different PA")
+	}
+	if mmu.Misses != 1 || mmu.Lookups != 2 {
+		t.Fatalf("stats: misses=%d lookups=%d", mmu.Misses, mmu.Lookups)
+	}
+}
+
+func TestDMTAndWalkerShareAD(t *testing.T) {
+	// DMT does not copy PTEs: A/D bits set via the kernel path must be
+	// visible through the DMT fetch address and vice versa (§3).
+	r := newRig(t, false)
+	v := r.heap(t, 8<<20)
+	va := v.Start + 0x3000
+	if _, err := r.as.Touch(va, true); err != nil {
+		t.Fatal(err)
+	}
+	reg := r.mg.Lookup(va)
+	pte, ok := r.as.Pool.ReadPTE(reg.PTEAddr(mem.Size4K)(va))
+	if !ok || !pte.Dirty() {
+		t.Fatal("D bit set via kernel not visible at the DMT fetch address")
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"dmt/internal/cache"
+	"dmt/internal/mem"
+	"dmt/internal/pagetable"
+	"dmt/internal/tea"
+)
+
+// FetchLogicCycles is the fixed cost of the DMT fetcher's register filter
+// and address arithmetic (Figure 10): a register CAM match plus two adds,
+// modelled at one cycle like a PWC probe.
+const FetchLogicCycles = 1
+
+// DMTWalker is the native DMT fetcher (§3, §4.1): on a TLB miss it matches
+// the VA against the VMA-to-TEA registers; on a match it computes the
+// last-level PTE address arithmetically (Figure 7) and fetches it with a
+// single memory reference. VAs not covered by any register — and fetches
+// that find no valid leaf (e.g. during TEA migration, P-bit clear) — fall
+// back to the legacy x86 walker.
+type DMTWalker struct {
+	Mgr      *tea.Manager
+	Pool     *pagetable.Pool
+	Hier     *cache.Hierarchy
+	Fallback Walker
+	// Dim labels refs in breakdowns.
+	Dim string
+
+	// Stats
+	RegisterHits   uint64
+	FallbackWalks  uint64
+	ParallelFetch2 uint64 // walks that fanned out to two TEAs (§4.4)
+}
+
+// NewDMTWalker builds the native DMT design over the TEA manager's
+// register file, with the given fallback walker (normally a RadixWalker on
+// the same page table).
+func NewDMTWalker(mgr *tea.Manager, pool *pagetable.Pool, h *cache.Hierarchy, fallback Walker) *DMTWalker {
+	return &DMTWalker{Mgr: mgr, Pool: pool, Hier: h, Fallback: fallback, Dim: "n"}
+}
+
+// Name implements Walker.
+func (w *DMTWalker) Name() string { return "DMT" }
+
+// Walk implements Walker.
+func (w *DMTWalker) Walk(va mem.VAddr) WalkOutcome {
+	reg := w.Mgr.Lookup(va)
+	if reg == nil {
+		w.FallbackWalks++
+		out := w.Fallback.Walk(va)
+		out.Fallback = true
+		return out
+	}
+	out := WalkOutcome{Cycles: FetchLogicCycles}
+	// Huge-page support (§4.4): issue one fetch per covered page size in
+	// parallel; exactly one TEA holds a valid leaf. The group counts as a
+	// single sequential step whose critical path is the *valid* leaf's
+	// line latency — the fetcher proceeds as soon as a fetch returns a
+	// valid leaf of its size; non-leaf/invalid returns never gate it.
+	groupCycles := 0 // latency of the valid leaf (fallback: slowest probe)
+	slowest := 0
+	fanout := 0
+	for _, s := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+		if !reg.Covered[s] {
+			continue
+		}
+		fanout++
+		pteAddr := reg.PTEAddr(s)(va)
+		r := w.Hier.Access(pteAddr)
+		out.Refs = append(out.Refs, MemRef{Addr: pteAddr, Cycles: r.Cycles, Served: r.Served, Level: s.LeafLevel(), Dim: w.Dim})
+		if r.Cycles > slowest {
+			slowest = r.Cycles
+		}
+		pte, ok := w.Pool.ReadPTE(pteAddr)
+		if !ok || !leafValid(pte, s) {
+			continue
+		}
+		out.PA = pte.Frame() + mem.PAddr(mem.PageOffset(va, s))
+		out.Size = s
+		out.OK = true
+		groupCycles = r.Cycles
+	}
+	if !out.OK {
+		groupCycles = slowest // absence is known only when all return
+	}
+	out.Cycles += groupCycles
+	out.SeqSteps = 1
+	if fanout > 1 {
+		w.ParallelFetch2++
+	}
+	if !out.OK {
+		// No valid leaf in any TEA (unfaulted page, migration window):
+		// the request falls back to the x86 page table walker (§4.1).
+		w.FallbackWalks++
+		fb := w.Fallback.Walk(va)
+		fb.Cycles += out.Cycles
+		fb.Refs = append(out.Refs, fb.Refs...)
+		fb.SeqSteps += out.SeqSteps
+		fb.Fallback = true
+		return fb
+	}
+	w.RegisterHits++
+	return out
+}
+
+// leafValid reports whether pte is a valid leaf for page size s: base pages
+// must not carry the PS bit; huge pages must (so a non-leaf L2 entry read
+// from the 2M TEA is rejected, §4.4).
+func leafValid(pte mem.PTE, s mem.PageSize) bool {
+	if !pte.Present() {
+		return false
+	}
+	if s == mem.Size4K {
+		return !pte.Huge()
+	}
+	return pte.Huge()
+}
+
+// Coverage returns the fraction of walks served by the DMT fetcher without
+// fallback (the 99+% claim of §6.1).
+func (w *DMTWalker) Coverage() float64 {
+	total := w.RegisterHits + w.FallbackWalks
+	if total == 0 {
+		return 0
+	}
+	return float64(w.RegisterHits) / float64(total)
+}
+
+var _ Walker = (*DMTWalker)(nil)

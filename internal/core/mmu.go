@@ -1,0 +1,58 @@
+package core
+
+import (
+	"dmt/internal/mem"
+	"dmt/internal/tlb"
+)
+
+// MMU is the translation front-end: the TLB backed by one translation
+// design. TLB hits cost nothing beyond the pipelined lookup; misses invoke
+// the walker and install the result (Figure 10's flow).
+type MMU struct {
+	TLB    *tlb.TLB
+	Walker Walker
+	ASID   uint16
+
+	// Stats
+	Lookups    uint64
+	Misses     uint64
+	WalkCycles uint64
+}
+
+// NewMMU builds an MMU.
+func NewMMU(t *tlb.TLB, w Walker, asid uint16) *MMU {
+	return &MMU{TLB: t, Walker: w, ASID: asid}
+}
+
+// Translate resolves va, returning the physical address and the translation
+// overhead in cycles (zero on a TLB hit).
+func (m *MMU) Translate(va mem.VAddr) (mem.PAddr, int, bool) {
+	m.Lookups++
+	if pa, _, ok := m.TLB.Lookup(va, m.ASID); ok {
+		return pa, 0, true
+	}
+	m.Misses++
+	out := m.Walker.Walk(va)
+	if !out.OK {
+		return 0, out.Cycles, false
+	}
+	m.WalkCycles += uint64(out.Cycles)
+	m.TLB.Insert(va, mem.AlignDownP(out.PA, out.Size.Bytes()), out.Size, m.ASID)
+	return out.PA, out.Cycles, true
+}
+
+// MissRatio returns the TLB miss ratio observed so far.
+func (m *MMU) MissRatio() float64 {
+	if m.Lookups == 0 {
+		return 0
+	}
+	return float64(m.Misses) / float64(m.Lookups)
+}
+
+// AvgWalkCycles returns the mean page-walk latency.
+func (m *MMU) AvgWalkCycles() float64 {
+	if m.Misses == 0 {
+		return 0
+	}
+	return float64(m.WalkCycles) / float64(m.Misses)
+}

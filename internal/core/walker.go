@@ -1,0 +1,55 @@
+// Package core defines the translation-design abstraction shared by every
+// walker in the reproduction and implements the two native designs: the
+// baseline x86 radix walker (Figure 1) and the DMT fetcher (Figures 7/10).
+//
+// A Walker is invoked on a TLB miss and issues PTE fetches through the
+// simulated cache hierarchy; the walk latency is the sum of the sequential
+// fetch latencies (parallel fetches — DMT's multi-size fan-out, ECPT's
+// cuckoo ways — contribute the maximum of their group) plus any fixed logic
+// cost (PWC probes, hash computation).
+package core
+
+import (
+	"dmt/internal/cache"
+	"dmt/internal/mem"
+)
+
+// MemRef records one PTE fetch of a walk.
+type MemRef struct {
+	Addr   mem.PAddr
+	Cycles int
+	Served cache.Level
+	// Level is the page-table level fetched (1–5), when meaningful.
+	Level int
+	// Dim distinguishes dimensions of nested walks: "n" native, "g"
+	// guest, "h" host, "s" shadow, "L2"/"L1"/"L0" for nested virt.
+	Dim string
+	// Step is the 1-based position in the paper's step numbering (e.g.
+	// Figure 2's 1..24 for a nested walk).
+	Step int
+}
+
+// WalkOutcome is the result of one translation walk.
+type WalkOutcome struct {
+	PA   mem.PAddr
+	Size mem.PageSize
+	OK   bool
+
+	// Cycles is the total walk latency.
+	Cycles int
+	// Refs lists every memory reference issued (including parallel ones).
+	Refs []MemRef
+	// SeqSteps counts *sequential* dependency steps: a group of parallel
+	// fetches counts once (Table 6's metric).
+	SeqSteps int
+	// Fallback reports that an accelerated design fell back to the
+	// legacy x86 walker for this translation.
+	Fallback bool
+}
+
+// Walker is one address-translation design.
+type Walker interface {
+	Name() string
+	// Walk translates va, charging PTE fetches to the memory hierarchy.
+	Walk(va mem.VAddr) WalkOutcome
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dmt/internal/sim"
+	"dmt/internal/stats"
+	"dmt/internal/workload"
+)
+
+// Figure16 renders the per-PTE breakdown of nested page-table walks: for
+// the baseline's 24 architectural steps (Figure 2 numbering) and for
+// pvDMT's two direct fetches, the amortized cycles per walk and the share
+// of the average walk latency — the two numbers of each box in Figure 16.
+func Figure16(r *Runner) (string, error) {
+	wl, err := pickWorkload(r, "Redis")
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, thp := range []bool{false, true} {
+		label := "(a) 4KB base pages"
+		if thp {
+			label = "(b) 2M huge pages (THP)"
+		}
+		for _, d := range []sim.Design{sim.DesignVanilla, sim.DesignPvDMT} {
+			res, err := r.Run(sim.EnvVirt, d, thp, wl)
+			if err != nil {
+				return "", err
+			}
+			t := &stats.Table{
+				Title:  fmt.Sprintf("Figure 16 %s — %s (%s), avg walk %.1f cycles", label, d, wl.Name, res.AvgWalkCycles()),
+				Header: []string{"Step", "Amortized cycles/walk", "Share of walk latency", "Hits"},
+			}
+			for _, s := range res.Breakdown() {
+				amort := float64(s.Cycles) / float64(res.Walks)
+				share := float64(s.Cycles) / float64(res.WalkCycles)
+				t.Add(s.Label, amort, fmt.Sprintf("%.1f%%", share*100), int(s.Count))
+			}
+			b.WriteString(t.String())
+			if d == sim.DesignPvDMT {
+				b.WriteString("(note: per-step cycles include parallel TEA probes off the critical path —\n" +
+					" the walk latency is the *matching* probe's; shares can exceed 100%.)\n")
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String(), nil
+}
+
+func pickWorkload(r *Runner, name string) (workload.Spec, error) {
+	for _, wl := range r.Options().Workloads {
+		if wl.Name == name {
+			return wl, nil
+		}
+	}
+	if len(r.Options().Workloads) > 0 {
+		return r.Options().Workloads[0], nil
+	}
+	return workload.Spec{}, fmt.Errorf("experiments: no workloads configured")
+}

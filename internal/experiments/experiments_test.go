@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dmt/internal/sim"
+	"dmt/internal/workload"
+)
+
+func testRunner(t *testing.T, wls ...workload.Spec) *Runner {
+	t.Helper()
+	if len(wls) == 0 {
+		wls = []workload.Spec{workload.GUPS(), workload.Redis()}
+	}
+	return NewRunner(Options{
+		Ops: 20_000, WSBytes: 96 << 20, CacheScale: 16, Seed: 3,
+		Workloads: wls,
+	})
+}
+
+func TestTable1AndFigure5(t *testing.T) {
+	s, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Memcached", "SPEC CPU 2006", "SPEC CPU 2017", "99% Cov."} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Table 1 output missing %q", frag)
+		}
+	}
+	f5, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f5, "p50") || !strings.Contains(f5, "Clusters") {
+		t.Error("Figure 5 output incomplete")
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := testRunner(t, workload.GUPS())
+	s, err := Figure4(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "Geo. Mean") || !strings.Contains(s, "GUPS") {
+		t.Errorf("Figure 4 output incomplete:\n%s", s)
+	}
+}
+
+func TestFigure14And15Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := testRunner(t)
+	// Native: DMT must win the page-walk geomean against vanilla.
+	cells, err := speedups(r, sim.EnvNative, nativeDesigns, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wl := range r.Options().Workloads {
+		dmtPW := lookupCell(cells, wl.Name, sim.DesignDMT, true)
+		if dmtPW <= 1 {
+			t.Errorf("native %s: DMT page-walk speedup %.2f <= 1", wl.Name, dmtPW)
+		}
+		app := lookupCell(cells, wl.Name, sim.DesignDMT, false)
+		if app <= 1 || app >= dmtPW {
+			t.Errorf("native %s: app speedup %.2f not in (1, pw %.2f)", wl.Name, app, dmtPW)
+		}
+	}
+	// Virtualized: pvDMT must beat DMT, which must beat 1.
+	vcells, err := speedups(r, sim.EnvVirt, virtDesigns, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wl := range r.Options().Workloads {
+		pv := lookupCell(vcells, wl.Name, sim.DesignPvDMT, true)
+		d := lookupCell(vcells, wl.Name, sim.DesignDMT, true)
+		if !(pv > d && d > 1) {
+			t.Errorf("virt %s: expected pvDMT (%.2f) > DMT (%.2f) > 1", wl.Name, pv, d)
+		}
+		// pvDMT must also beat every comparison design (§6.2 headline).
+		for _, other := range []sim.Design{sim.DesignFPT, sim.DesignECPT, sim.DesignAgile, sim.DesignASAP} {
+			o := lookupCell(vcells, wl.Name, other, true)
+			if pv <= o {
+				t.Errorf("virt %s: pvDMT (%.2f) not above %s (%.2f)", wl.Name, pv, other, o)
+			}
+		}
+	}
+	// Rendering must include both metric tables.
+	out, err := Figure15(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Page walk speedup") || !strings.Contains(out, "Application speedup") {
+		t.Error("Figure 15 rendering incomplete")
+	}
+}
+
+func TestFigure16Breakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := testRunner(t, workload.Redis())
+	out, err := Figure16(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The baseline table must show the Figure 2 leaf steps; the pvDMT
+	// table must show exactly the two direct fetches.
+	for _, frag := range []string{"05 gL4", "24 hL1", "pvdmt"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Figure 16 output missing %q", frag)
+		}
+	}
+}
+
+func TestFigure17NestedSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := testRunner(t, workload.GUPS())
+	cells, err := speedups(r, sim.EnvNested, []sim.Design{sim.DesignPvDMT}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := lookupCell(cells, "GUPS", sim.DesignPvDMT, false)
+	if app <= 1.2 {
+		t.Errorf("nested GUPS app speedup %.2f; eliminating shadow paging should gain more", app)
+	}
+}
+
+func TestTable6Refs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := testRunner(t, workload.GUPS())
+	out, err := Table6(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"pvdmt", "ecpt", "fpt", "asap", "2 / 8"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table 6 missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestOverheads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := testRunner(t, workload.GUPS())
+	out, err := Overheads(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"TEA allocation latency", "fragmentation", "translation-structure memory", "register coverage"} {
+		if !strings.Contains(strings.ToLower(out), strings.ToLower(frag)) {
+			t.Errorf("overheads output missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dmt/internal/perfmodel"
+	"dmt/internal/sim"
+	"dmt/internal/stats"
+	"dmt/internal/workload"
+)
+
+// Figure4 renders the motivation figure: normalized execution time and
+// page-walk share under native, virtualized (nested and shadow paging),
+// and nested virtualization, cross-checked against the simulator's
+// measured average walk latencies for the same environments.
+func Figure4(r *Runner) (string, error) {
+	t := &stats.Table{
+		Title: "Figure 4: normalized execution time (PW = page-walk portion)",
+		Header: []string{"Workload", "Native", "PW", "Virt nPT", "PW", "Virt sPT", "PW", "Nested", "PW",
+			"simWalk nat", "simWalk virt", "simWalk nested"},
+	}
+	var geo [4][]float64
+	for _, wl := range r.Options().Workloads {
+		c, err := perfmodel.Get(wl.Name)
+		if err != nil {
+			return "", err
+		}
+		row := perfmodel.Figure4()
+		var fr perfmodel.Figure4Row
+		for _, x := range row {
+			if x.Workload == wl.Name {
+				fr = x
+			}
+		}
+		nat, err := r.Run(sim.EnvNative, sim.DesignVanilla, false, wl)
+		if err != nil {
+			return "", err
+		}
+		virt, err := r.Run(sim.EnvVirt, sim.DesignVanilla, false, wl)
+		if err != nil {
+			return "", err
+		}
+		nested, err := r.Run(sim.EnvNested, sim.DesignVanilla, false, wl)
+		if err != nil {
+			return "", err
+		}
+		t.Add(wl.Name, fr.Native, fr.NativePW, fr.Virt, fr.VirtPW, fr.Shadow, fr.ShadowPW, fr.Nested, fr.NestedPW,
+			nat.AvgWalkCycles(), virt.AvgWalkCycles(), nested.AvgWalkCycles())
+		geo[0] = append(geo[0], fr.Native)
+		geo[1] = append(geo[1], fr.Virt)
+		geo[2] = append(geo[2], fr.Shadow)
+		geo[3] = append(geo[3], fr.Nested)
+		_ = c
+	}
+	t.Add("Geo. Mean", stats.GeoMean(geo[0]), "", stats.GeoMean(geo[1]), "", stats.GeoMean(geo[2]), "", stats.GeoMean(geo[3]), "", "", "", "")
+	return t.String(), nil
+}
+
+// Table1 renders the VMA characteristics of the seven benchmarks plus the
+// SPEC corpora ranges.
+func Table1() (string, error) {
+	t := &stats.Table{
+		Title:  "Table 1: VMA characteristics",
+		Header: []string{"Workload", "Total", "99% Cov.", "Clusters"},
+	}
+	for _, s := range workload.All() {
+		st, err := measureLayout(s)
+		if err != nil {
+			return "", err
+		}
+		t.Add(s.Name, st.Total, st.Cov99, st.Clusters)
+	}
+	for _, year := range []int{2006, 2017} {
+		var totals, covs, cls []int
+		for _, wl := range workload.SpecCorpus(year) {
+			st := workload.ComputeVMAStats(wl.Regions)
+			totals = append(totals, st.Total)
+			covs = append(covs, st.Cov99)
+			cls = append(cls, st.Clusters)
+		}
+		t.Add(fmt.Sprintf("SPEC CPU %d (%d WLs)", year, len(totals)),
+			rangeOf(totals), rangeOf(covs), rangeOf(cls))
+	}
+	return t.String(), nil
+}
+
+func rangeOf(xs []int) string {
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return fmt.Sprintf("%d-%d", lo, hi)
+}
+
+// measureLayout instantiates a workload at a small working set (layout
+// shape is size-independent) and measures its VMA statistics.
+func measureLayout(s workload.Spec) (workload.VMAStats, error) {
+	as, built, err := layoutOnly(s)
+	if err != nil {
+		return workload.VMAStats{}, err
+	}
+	_ = built
+	return workload.ComputeVMAStats(workload.RegionsOf(as)), nil
+}
+
+// Figure5 renders the CDFs of the three SPEC VMA metrics as percentile
+// series (the paper plots them as CDF curves).
+func Figure5() (string, error) {
+	var b strings.Builder
+	for _, year := range []int{2006, 2017} {
+		t := &stats.Table{
+			Title:  fmt.Sprintf("Figure 5: SPEC CPU %d VMA-characteristic CDFs", year),
+			Header: []string{"Percentile", "Total", "99% Cov.", "Clusters"},
+		}
+		var totals, covs, cls []float64
+		for _, wl := range workload.SpecCorpus(year) {
+			st := workload.ComputeVMAStats(wl.Regions)
+			totals = append(totals, float64(st.Total))
+			covs = append(covs, float64(st.Cov99))
+			cls = append(cls, float64(st.Clusters))
+		}
+		for _, p := range []float64{10, 25, 50, 75, 90, 100} {
+			t.Add(fmt.Sprintf("p%.0f", p),
+				stats.Percentile(totals, p), stats.Percentile(covs, p), stats.Percentile(cls, p))
+		}
+		b.WriteString(t.String())
+		b.WriteString(stats.CDFPlot(fmt.Sprintf("CDF of clusters (SPEC %d)", year), cls, 40))
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}

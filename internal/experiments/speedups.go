@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dmt/internal/kernel"
+	"dmt/internal/perfmodel"
+	"dmt/internal/phys"
+	"dmt/internal/sim"
+	"dmt/internal/stats"
+	"dmt/internal/workload"
+)
+
+func layoutOnly(s workload.Spec) (*kernel.AddressSpace, *workload.Built, error) {
+	as, err := kernel.NewAddressSpace(phys.New(0, 1<<17), kernel.Config{})
+	if err != nil {
+		return nil, nil, err
+	}
+	// 256 MiB keeps the small-VMA tail below the 1% residual, so the
+	// measured layout statistics match the full-scale shape.
+	b, err := s.Build(as, 256<<20)
+	if err != nil {
+		return nil, nil, err
+	}
+	return as, b, nil
+}
+
+// nativeDesigns and virtDesigns are the comparison sets of Figures 14/15.
+var nativeDesigns = []sim.Design{sim.DesignFPT, sim.DesignECPT, sim.DesignASAP, sim.DesignDMT}
+var virtDesigns = []sim.Design{sim.DesignFPT, sim.DesignECPT, sim.DesignAgile, sim.DesignASAP, sim.DesignDMT, sim.DesignPvDMT}
+
+// SpeedupCell is one bar of a Figure 14/15/17 group.
+type SpeedupCell struct {
+	Workload string
+	Design   sim.Design
+	PageWalk float64 // page-walk speedup over the vanilla baseline
+	App      float64 // application speedup via the §5 model
+}
+
+// speedups computes one environment's speedup bars.
+func speedups(r *Runner, env sim.Environment, designs []sim.Design, thp bool) ([]SpeedupCell, error) {
+	var out []SpeedupCell
+	for _, wl := range r.Options().Workloads {
+		calib, err := perfmodel.Get(wl.Name)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range designs {
+			ratio, err := r.WalkRatio(env, d, thp, wl)
+			if err != nil {
+				return nil, err
+			}
+			cell := SpeedupCell{Workload: wl.Name, Design: d, PageWalk: 1 / ratio}
+			switch env {
+			case sim.EnvNative:
+				cell.App = calib.AppSpeedupNative(ratio)
+			case sim.EnvVirt:
+				cell.App = calib.AppSpeedupVirt(ratio)
+			case sim.EnvNested:
+				cell.App = calib.AppSpeedupNested(ratio)
+			}
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+func renderSpeedups(title string, designs []sim.Design, cells []SpeedupCell, workloads []workload.Spec) string {
+	var b strings.Builder
+	for _, metric := range []string{"Page walk speedup", "Application speedup"} {
+		t := &stats.Table{Title: fmt.Sprintf("%s — %s", title, metric)}
+		t.Header = append([]string{"Workload"}, designNames(designs)...)
+		geo := map[sim.Design][]float64{}
+		for _, wl := range workloads {
+			row := []interface{}{wl.Name}
+			for _, d := range designs {
+				v := lookupCell(cells, wl.Name, d, metric == "Page walk speedup")
+				row = append(row, v)
+				geo[d] = append(geo[d], v)
+			}
+			t.Add(row...)
+		}
+		row := []interface{}{"Geo. Mean"}
+		var chartVals []float64
+		for _, d := range designs {
+			g := stats.GeoMean(geo[d])
+			row = append(row, g)
+			chartVals = append(chartVals, g)
+		}
+		t.Add(row...)
+		b.WriteString(t.String())
+		b.WriteString(stats.BarChart("geomean "+strings.ToLower(metric), designNames(designs), chartVals, 40))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func designNames(ds []sim.Design) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = string(d)
+	}
+	return out
+}
+
+func lookupCell(cells []SpeedupCell, wl string, d sim.Design, pw bool) float64 {
+	for _, c := range cells {
+		if c.Workload == wl && c.Design == d {
+			if pw {
+				return c.PageWalk
+			}
+			return c.App
+		}
+	}
+	return 0
+}
+
+// Figure14 renders the native-environment speedups (4K and THP).
+func Figure14(r *Runner) (string, error) {
+	return pagedFigure(r, "Figure 14: native environment", sim.EnvNative, nativeDesigns)
+}
+
+// Figure15 renders the virtualized-environment speedups (4K and THP).
+func Figure15(r *Runner) (string, error) {
+	return pagedFigure(r, "Figure 15: virtualized environment", sim.EnvVirt, virtDesigns)
+}
+
+func pagedFigure(r *Runner, title string, env sim.Environment, designs []sim.Design) (string, error) {
+	all := append([]sim.Design{sim.DesignVanilla}, designs...)
+	if err := r.Warm(env, all, []bool{false, true}, r.Options().Workloads); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, thp := range []bool{false, true} {
+		label := "(a) 4KB"
+		if thp {
+			label = "(b) THP"
+		}
+		cells, err := speedups(r, env, designs, thp)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(renderSpeedups(title+" "+label, designs, cells, r.Options().Workloads))
+	}
+	return b.String(), nil
+}
+
+// Figure17 renders the nested-virtualization speedups of pvDMT over the
+// nested-KVM baseline.
+func Figure17(r *Runner) (string, error) {
+	return pagedFigure(r, "Figure 17: nested virtualization, pvDMT vs nested KVM",
+		sim.EnvNested, []sim.Design{sim.DesignPvDMT})
+}
+
+// Table5 summarizes DMT/pvDMT's geomean page-walk speedups over the other
+// advanced designs (pvDMT in the virtualized rows, matching §6.2).
+func Table5(r *Runner) (string, error) {
+	t := &stats.Table{
+		Title:  "Table 5: DMT/pvDMT page-walk speedup over other designs (geomean)",
+		Header: []string{"Environment", "FPT", "ECPT", "Agile Paging", "ASAP"},
+	}
+	rows := []struct {
+		label string
+		env   sim.Environment
+		ours  sim.Design
+		thp   bool
+	}{
+		{"Native (4KB)", sim.EnvNative, sim.DesignDMT, false},
+		{"Native (THP)", sim.EnvNative, sim.DesignDMT, true},
+		{"Virtualized (4KB)", sim.EnvVirt, sim.DesignPvDMT, false},
+		{"Virtualized (THP)", sim.EnvVirt, sim.DesignPvDMT, true},
+	}
+	others := []sim.Design{sim.DesignFPT, sim.DesignECPT, sim.DesignAgile, sim.DesignASAP}
+	for _, row := range rows {
+		cells := []interface{}{row.label}
+		for _, other := range others {
+			if row.env == sim.EnvNative && other == sim.DesignAgile {
+				cells = append(cells, "N/A")
+				continue
+			}
+			var ratios []float64
+			for _, wl := range r.Options().Workloads {
+				ours, err := r.Run(row.env, row.ours, row.thp, wl)
+				if err != nil {
+					return "", err
+				}
+				theirs, err := r.Run(row.env, other, row.thp, wl)
+				if err != nil {
+					return "", err
+				}
+				ratios = append(ratios, theirs.AvgWalkCycles()/ours.AvgWalkCycles())
+			}
+			cells = append(cells, fmt.Sprintf("%.2fx", stats.GeoMean(ratios)))
+		}
+		t.Add(cells...)
+	}
+	return t.String(), nil
+}
+
+// Table6 reports measured sequential memory references per design and
+// environment next to the paper's analytic counts.
+func Table6(r *Runner) (string, error) {
+	t := &stats.Table{
+		Title:  "Table 6: sequential memory references per walk (measured vs paper)",
+		Header: []string{"Design", "Native", "Virtualization", "Nested Virt.", "Paper"},
+	}
+	wl := r.Options().Workloads[0] // GUPS-like single-VMA is cleanest; any works
+	for _, s := range r.Options().Workloads {
+		if s.Name == "GUPS" {
+			wl = s
+		}
+	}
+	type rowSpec struct {
+		design sim.Design
+		paper  string
+		nested bool
+	}
+	for _, row := range []rowSpec{
+		{sim.DesignPvDMT, "1 / 2 / 3 (DMT native is pvDMT's degenerate case)", true},
+		{sim.DesignDMT, "1 / 3 / -", false},
+		{sim.DesignECPT, "1 / 3 / N/A", false},
+		{sim.DesignFPT, "2 / 8 / N/A", false},
+		{sim.DesignAgile, "N/A / 4-24 / N/A", false},
+		{sim.DesignASAP, "4 / 24 / N/A", false},
+	} {
+		cells := []interface{}{string(row.design)}
+		// Native column: pvDMT natively is DMT; Agile is virt-only.
+		switch row.design {
+		case sim.DesignPvDMT:
+			res, err := r.Run(sim.EnvNative, sim.DesignDMT, false, wl)
+			if err != nil {
+				return "", err
+			}
+			cells = append(cells, fmt.Sprintf("%.2f", res.AvgSeqRefs()))
+		case sim.DesignAgile:
+			cells = append(cells, "N/A")
+		default:
+			res, err := r.Run(sim.EnvNative, row.design, false, wl)
+			if err != nil {
+				return "", err
+			}
+			cells = append(cells, fmt.Sprintf("%.2f", res.AvgSeqRefs()))
+		}
+		res, err := r.Run(sim.EnvVirt, row.design, false, wl)
+		if err != nil {
+			return "", err
+		}
+		cells = append(cells, fmt.Sprintf("%.2f", res.AvgSeqRefs()))
+		if row.nested {
+			nres, err := r.Run(sim.EnvNested, row.design, false, wl)
+			if err != nil {
+				return "", err
+			}
+			cells = append(cells, fmt.Sprintf("%.2f", nres.AvgSeqRefs()))
+		} else {
+			cells = append(cells, "N/A")
+		}
+		cells = append(cells, row.paper)
+		t.Add(cells...)
+	}
+	// The vanilla baselines for reference.
+	for _, env := range []struct {
+		label string
+		env   sim.Environment
+	}{{"x86 radix (native)", sim.EnvNative}, {"nested paging (virt)", sim.EnvVirt}, {"shadow-on-nested", sim.EnvNested}} {
+		res, err := r.Run(env.env, sim.DesignVanilla, false, wl)
+		if err != nil {
+			return "", err
+		}
+		t.Add("baseline: "+env.label, "", fmt.Sprintf("%.2f avg refs (max 4/24/24)", res.AvgSeqRefs()), "", "")
+	}
+	return t.String(), nil
+}

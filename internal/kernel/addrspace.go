@@ -1,0 +1,429 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dmt/internal/mem"
+	"dmt/internal/pagetable"
+	"dmt/internal/phys"
+)
+
+// Common address-space errors.
+var (
+	ErrOverlap      = errors.New("kernel: VMA overlaps existing mapping")
+	ErrNoSuchVMA    = errors.New("kernel: no such VMA")
+	ErrBadAddress   = errors.New("kernel: address outside any VMA")
+	ErrUnaligned    = errors.New("kernel: unaligned address or length")
+	ErrOutOfMemory  = errors.New("kernel: out of physical memory")
+	ErrNotPopulated = errors.New("kernel: page not populated")
+)
+
+// InvalidateFunc is called when a translation is torn down or changed so
+// that simulated TLBs can drop stale entries (the shootdown path).
+type InvalidateFunc func(va mem.VAddr)
+
+// Config controls an AddressSpace.
+type Config struct {
+	// Levels is the page-table depth (mem.Levels4 by default).
+	Levels int
+	// THP enables transparent-huge-page allocation on faults.
+	THP bool
+	// ASID identifies the address space in TLB tags.
+	ASID uint16
+}
+
+// AddressSpace is one process's (or one guest-physical) address space:
+// the VMA list, the radix page table, and the demand-paging state.
+type AddressSpace struct {
+	Phys *phys.Allocator
+	Pool *pagetable.Pool
+	PT   *pagetable.Table
+
+	cfg   Config
+	vmas  []*VMA // sorted by Start
+	hooks MMHooks
+
+	// rmap maps data frames back to the page mapping them, enabling
+	// movable-page migration.
+	rmap map[mem.PAddr]rmapEntry
+
+	invalidate []InvalidateFunc
+
+	// Stats
+	Faults     uint64
+	THPMapped  uint64
+	MMapCalls  uint64
+	MergedVMAs uint64
+}
+
+type rmapEntry struct {
+	va   mem.VAddr
+	size mem.PageSize
+}
+
+// NewAddressSpace builds a process address space backed by pa.
+func NewAddressSpace(pa *phys.Allocator, cfg Config) (*AddressSpace, error) {
+	if cfg.Levels == 0 {
+		cfg.Levels = mem.Levels4
+	}
+	as := &AddressSpace{
+		Phys: pa,
+		Pool: pagetable.NewPool(),
+		cfg:  cfg,
+		rmap: make(map[mem.PAddr]rmapEntry),
+	}
+	pt, err := pagetable.New(as.Pool, cfg.Levels, as.allocNode, as.freeNode)
+	if err != nil {
+		return nil, err
+	}
+	as.PT = pt
+	pa.SetRelocator(as)
+	return as, nil
+}
+
+// SetHooks installs the DMT-Linux TEA hooks. Must be called before VMAs are
+// created for placement to take effect from the start.
+func (as *AddressSpace) SetHooks(h MMHooks) { as.hooks = h }
+
+// Hooks returns the installed hook set.
+func (as *AddressSpace) Hooks() MMHooks { return as.hooks }
+
+// ASID returns the address-space identifier used in TLB tags.
+func (as *AddressSpace) ASID() uint16 { return as.cfg.ASID }
+
+// THPEnabled reports whether transparent huge pages are on.
+func (as *AddressSpace) THPEnabled() bool { return as.cfg.THP }
+
+// OnInvalidate registers a TLB-invalidation callback.
+func (as *AddressSpace) OnInvalidate(f InvalidateFunc) {
+	as.invalidate = append(as.invalidate, f)
+}
+
+func (as *AddressSpace) notifyInvalidate(va mem.VAddr) {
+	for _, f := range as.invalidate {
+		f(va)
+	}
+}
+
+func (as *AddressSpace) allocNode(level int, va mem.VAddr) (mem.PAddr, error) {
+	if as.hooks != nil {
+		if pa, ok := as.hooks.PlaceNode(level, va); ok {
+			return pa, nil
+		}
+	}
+	return as.Phys.AllocFrame(phys.KindPageTable)
+}
+
+func (as *AddressSpace) freeNode(level int, pa mem.PAddr) {
+	if as.hooks != nil && as.hooks.OwnsNode(pa) {
+		return // TEA-resident node pages are freed with their TEA
+	}
+	as.Phys.FreeFrame(pa)
+}
+
+// VMAs returns the VMA list, sorted by start address.
+func (as *AddressSpace) VMAs() []*VMA { return as.vmas }
+
+// FindVMA returns the VMA containing va.
+func (as *AddressSpace) FindVMA(va mem.VAddr) (*VMA, bool) {
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].End > va })
+	if i < len(as.vmas) && as.vmas[i].Contains(va) {
+		return as.vmas[i], true
+	}
+	return nil, false
+}
+
+// MMap creates a VMA at [start, start+length). Both must be 4 KiB-aligned
+// and the range must not overlap an existing VMA.
+func (as *AddressSpace) MMap(start mem.VAddr, length uint64, kind VMAKind, name string) (*VMA, error) {
+	if !mem.IsAligned(uint64(start), mem.PageBytes4K) || !mem.IsAligned(length, mem.PageBytes4K) || length == 0 {
+		return nil, ErrUnaligned
+	}
+	end := start + mem.VAddr(length)
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].End > start })
+	if i < len(as.vmas) && as.vmas[i].Start < end {
+		return nil, fmt.Errorf("%w: [%#x,%#x) vs %s", ErrOverlap, uint64(start), uint64(end), as.vmas[i])
+	}
+	v := &VMA{Start: start, End: end, Kind: kind, Name: name,
+		present:  make(map[mem.VAddr]mem.PageSize),
+		resident: make(map[mem.VAddr]struct{}),
+	}
+	as.vmas = append(as.vmas, nil)
+	copy(as.vmas[i+1:], as.vmas[i:])
+	as.vmas[i] = v
+	as.MMapCalls++
+	if as.hooks != nil {
+		as.hooks.VMACreated(v)
+	}
+	return v, nil
+}
+
+// MUnmap removes the VMA, tearing down all of its translations.
+func (as *AddressSpace) MUnmap(v *VMA) error {
+	i := as.indexOf(v)
+	if i < 0 {
+		return ErrNoSuchVMA
+	}
+	// Tear down translations while the TEA mapping is still live so
+	// TEA-resident node frames are recognized (OwnsNode) and freed with
+	// their TEA rather than individually.
+	for page, size := range v.present {
+		as.unmapPage(v, page, size)
+	}
+	if as.hooks != nil {
+		as.hooks.VMADeleted(v)
+	}
+	as.vmas = append(as.vmas[:i], as.vmas[i+1:]...)
+	return nil
+}
+
+// Grow extends the VMA's end (mremap/brk analogue).
+func (as *AddressSpace) Grow(v *VMA, newEnd mem.VAddr) error {
+	i := as.indexOf(v)
+	if i < 0 {
+		return ErrNoSuchVMA
+	}
+	if !mem.IsAligned(uint64(newEnd), mem.PageBytes4K) || newEnd <= v.End {
+		return ErrUnaligned
+	}
+	if i+1 < len(as.vmas) && as.vmas[i+1].Start < newEnd {
+		return ErrOverlap
+	}
+	oldStart, oldEnd := v.Start, v.End
+	v.End = newEnd
+	if as.hooks != nil {
+		as.hooks.VMAResized(v, oldStart, oldEnd)
+	}
+	return nil
+}
+
+// Shrink reduces the VMA's end, unmapping pages beyond it.
+func (as *AddressSpace) Shrink(v *VMA, newEnd mem.VAddr) error {
+	if as.indexOf(v) < 0 {
+		return ErrNoSuchVMA
+	}
+	if !mem.IsAligned(uint64(newEnd), mem.PageBytes4K) || newEnd >= v.End || newEnd <= v.Start {
+		return ErrUnaligned
+	}
+	for page, size := range v.present {
+		if page >= newEnd {
+			as.unmapPage(v, page, size)
+		}
+	}
+	oldStart, oldEnd := v.Start, v.End
+	v.End = newEnd
+	if as.hooks != nil {
+		as.hooks.VMAResized(v, oldStart, oldEnd)
+	}
+	return nil
+}
+
+func (as *AddressSpace) indexOf(v *VMA) int {
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].Start >= v.Start })
+	if i < len(as.vmas) && as.vmas[i] == v {
+		return i
+	}
+	return -1
+}
+
+// Touch ensures va is mapped, faulting a page in if necessary. It returns
+// true when a page fault was taken.
+func (as *AddressSpace) Touch(va mem.VAddr, write bool) (bool, error) {
+	if _, _, ok := as.PT.Lookup(va); ok {
+		as.PT.SetAccessed(va, write)
+		return false, nil
+	}
+	v, ok := as.FindVMA(va)
+	if !ok {
+		return false, fmt.Errorf("%w: %#x", ErrBadAddress, uint64(va))
+	}
+	if err := as.faultIn(v, va); err != nil {
+		return false, err
+	}
+	as.PT.SetAccessed(va, write)
+	as.Faults++
+	return true, nil
+}
+
+// faultIn installs a mapping for va, preferring a 2 MiB THP when enabled
+// and the aligned 2 MiB region lies fully inside the VMA.
+func (as *AddressSpace) faultIn(v *VMA, va mem.VAddr) error {
+	if as.cfg.THP {
+		base := mem.AlignDown(va, mem.PageBytes2M)
+		if base >= v.Start && base+mem.PageBytes2M <= v.End {
+			if pa, err := as.Phys.Alloc(9, phys.KindMovable); err == nil { // 2^9 frames = 2 MiB
+				if err := as.PT.Map(base, pa, mem.Size2M, mem.PTEWritable); err != nil {
+					as.Phys.Free(pa, 9)
+					return err
+				}
+				v.present[base] = mem.Size2M
+				as.rmap[pa] = rmapEntry{va: base, size: mem.Size2M}
+				as.THPMapped++
+				return nil
+			}
+			// Fragmented: fall through to a base page.
+		}
+	}
+	base := mem.AlignDown(va, mem.PageBytes4K)
+	pa, err := as.Phys.AllocFrame(phys.KindMovable)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrOutOfMemory, err)
+	}
+	if err := as.PT.Map(base, pa, mem.Size4K, mem.PTEWritable); err != nil {
+		as.Phys.FreeFrame(pa)
+		return err
+	}
+	v.present[base] = mem.Size4K
+	as.rmap[pa] = rmapEntry{va: base, size: mem.Size4K}
+	return nil
+}
+
+func (as *AddressSpace) unmapPage(v *VMA, page mem.VAddr, size mem.PageSize) {
+	pte, ok := as.PT.LeafPTE(page)
+	if ok {
+		frame := pte.Frame()
+		delete(as.rmap, frame)
+		if err := as.PT.Unmap(page, size); err == nil {
+			if _, external := v.resident[page]; !external {
+				if size == mem.Size4K {
+					as.Phys.FreeFrame(frame)
+				} else {
+					as.Phys.Free(frame, 9)
+				}
+			}
+		}
+	}
+	delete(v.present, page)
+	delete(v.resident, page)
+	as.notifyInvalidate(page)
+}
+
+// MapResident installs a translation to a caller-owned frame: the page is
+// neither movable nor freed back to this address space's allocator on
+// unmap. This is the vm_insert_pages analogue the hypervisor uses to map
+// host-allocated gTEAs into the guest physical space (§4.6.2). Any prior
+// mapping of the page is torn down first.
+func (as *AddressSpace) MapResident(v *VMA, va mem.VAddr, pa mem.PAddr, size mem.PageSize) error {
+	if !v.Contains(va) {
+		return ErrBadAddress
+	}
+	base := mem.AlignDown(va, size.Bytes())
+	if old, ok := v.present[base]; ok {
+		as.unmapPage(v, base, old)
+	}
+	if err := as.PT.Map(base, pa, size, mem.PTEWritable); err != nil {
+		return err
+	}
+	v.present[base] = size
+	v.resident[base] = struct{}{}
+	return nil
+}
+
+// UnmapPage releases a single populated page of v (the madvise(DONTNEED)
+// analogue), freeing its frame and shooting down the translation.
+func (as *AddressSpace) UnmapPage(v *VMA, va mem.VAddr) error {
+	base := mem.AlignDown(va, mem.PageBytes4K)
+	size, ok := v.present[base]
+	if !ok {
+		// The page may be covered by a 2 MiB leaf whose base entry is
+		// recorded at the huge-page boundary.
+		hbase := mem.AlignDown(va, mem.PageBytes2M)
+		if hsize, hok := v.present[hbase]; hok && hsize == mem.Size2M {
+			base, size, ok = hbase, hsize, true
+		}
+	}
+	if !ok {
+		return ErrNotPopulated
+	}
+	as.unmapPage(v, base, size)
+	return nil
+}
+
+// Populate eagerly faults in the whole VMA, modelling init-time allocation
+// by data-intensive workloads (§7: "they typically allocate memory at the
+// initialization time").
+func (as *AddressSpace) Populate(v *VMA) error {
+	step := mem.VAddr(mem.PageBytes4K)
+	if as.cfg.THP {
+		// Fault at 2 MiB strides first so THP regions allocate as units.
+		for va := mem.AlignUp(v.Start, mem.PageBytes2M); va+mem.PageBytes2M <= v.End; va += mem.PageBytes2M {
+			if _, err := as.Touch(va, true); err != nil {
+				return err
+			}
+		}
+	}
+	for va := v.Start; va < v.End; va += step {
+		if _, _, ok := as.PT.Lookup(va); ok {
+			continue
+		}
+		if _, err := as.Touch(va, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Relocate implements phys.Relocator: when the buddy allocator migrates a
+// movable data frame, rewrite the PTE and shoot down the stale translation.
+func (as *AddressSpace) Relocate(old, new mem.PAddr) bool {
+	e, ok := as.rmap[old]
+	if !ok {
+		return false
+	}
+	if err := as.PT.Unmap(e.va, e.size); err != nil {
+		return false
+	}
+	if err := as.PT.Map(e.va, new, e.size, mem.PTEWritable); err != nil {
+		// Restore the original mapping; migration is abandoned.
+		_ = as.PT.Map(e.va, old, e.size, mem.PTEWritable)
+		return false
+	}
+	delete(as.rmap, old)
+	as.rmap[new] = e
+	as.notifyInvalidate(e.va)
+	return true
+}
+
+// PromoteTHP collapses fully-populated, physically-contiguous... — in this
+// model it re-faults an aligned 2 MiB region as a huge page, freeing the
+// 512 base frames (khugepaged analogue). It reports promoted regions.
+func (as *AddressSpace) PromoteTHP(v *VMA) int {
+	if !as.cfg.THP {
+		return 0
+	}
+	promoted := 0
+	for base := mem.AlignUp(v.Start, mem.PageBytes2M); base+mem.PageBytes2M <= v.End; base += mem.PageBytes2M {
+		if v.present[base] == mem.Size2M {
+			continue
+		}
+		// All 512 base pages must be present.
+		full := true
+		for off := mem.VAddr(0); off < mem.PageBytes2M; off += mem.PageBytes4K {
+			if v.present[base+off] != mem.Size4K {
+				full = false
+				break
+			}
+		}
+		if !full {
+			continue
+		}
+		pa, err := as.Phys.Alloc(9, phys.KindMovable)
+		if err != nil {
+			return promoted
+		}
+		for off := mem.VAddr(0); off < mem.PageBytes2M; off += mem.PageBytes4K {
+			as.unmapPage(v, base+off, mem.Size4K)
+		}
+		if err := as.PT.Map(base, pa, mem.Size2M, mem.PTEWritable); err != nil {
+			as.Phys.Free(pa, 9)
+			return promoted
+		}
+		v.present[base] = mem.Size2M
+		as.rmap[pa] = rmapEntry{va: base, size: mem.Size2M}
+		as.THPMapped++
+		promoted++
+	}
+	return promoted
+}

@@ -1,0 +1,117 @@
+// Package kernel models the OS memory-management layer the paper modifies
+// (DMT-Linux, §4.6): Virtual Memory Areas, per-process address spaces with
+// mmap/munmap/grow/shrink, demand paging, transparent huge pages, and the
+// hook points (mmap_region / __vma_adjust analogues) through which the TEA
+// manager observes VMA lifecycle events and controls the placement of
+// leaf-level page-table nodes.
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"dmt/internal/mem"
+)
+
+// VMAKind classifies a VMA by the data section it represents (§2.3).
+type VMAKind uint8
+
+const (
+	VMACode VMAKind = iota
+	VMAData
+	VMAHeap
+	VMAStack
+	VMAFile // memory-mapped file
+	VMALib  // dynamically linked library
+	VMAAnon
+)
+
+func (k VMAKind) String() string {
+	switch k {
+	case VMACode:
+		return "code"
+	case VMAData:
+		return "data"
+	case VMAHeap:
+		return "heap"
+	case VMAStack:
+		return "stack"
+	case VMAFile:
+		return "file"
+	case VMALib:
+		return "lib"
+	case VMAAnon:
+		return "anon"
+	}
+	return fmt.Sprintf("VMAKind(%d)", uint8(k))
+}
+
+// VMA is a contiguous region of a process's virtual address space with
+// uniform protection (§2.3). Start and End are page-aligned; End is
+// exclusive.
+type VMA struct {
+	Start mem.VAddr
+	End   mem.VAddr
+	Kind  VMAKind
+	Name  string
+
+	// present tracks populated pages (leaf mappings) by page base.
+	present map[mem.VAddr]mem.PageSize
+	// resident marks pages whose frames are owned by an external party
+	// (e.g. host-allocated gTEA pages mapped into a guest, §4.5.1) and
+	// must not be returned to this allocator on unmap.
+	resident map[mem.VAddr]struct{}
+}
+
+// Size returns the VMA length in bytes.
+func (v *VMA) Size() uint64 { return uint64(v.End - v.Start) }
+
+// Contains reports whether va falls inside the VMA.
+func (v *VMA) Contains(va mem.VAddr) bool { return va >= v.Start && va < v.End }
+
+// Pages returns the number of 4 KiB pages spanned.
+func (v *VMA) Pages() int { return int(v.Size() >> mem.PageShift4K) }
+
+// PopulatedPages returns the number of populated leaf mappings.
+func (v *VMA) PopulatedPages() int { return len(v.present) }
+
+// PresentPage is one populated leaf mapping of a VMA.
+type PresentPage struct {
+	VA   mem.VAddr
+	Size mem.PageSize
+}
+
+// PresentPages returns the populated pages sorted by address (deterministic
+// iteration for consumers like the shadow-table builder).
+func (v *VMA) PresentPages() []PresentPage {
+	out := make([]PresentPage, 0, len(v.present))
+	for va, size := range v.present {
+		out = append(out, PresentPage{VA: va, Size: size})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].VA < out[j].VA })
+	return out
+}
+
+func (v *VMA) String() string {
+	return fmt.Sprintf("%s [%#x,%#x) %s", v.Name, uint64(v.Start), uint64(v.End), v.Kind)
+}
+
+// MMHooks is the interface through which DMT-Linux's TEA machinery observes
+// VMA lifecycle events (§4.2) and directs leaf page-table-node placement
+// into TEAs (§4.3). A nil hook set yields vanilla behaviour.
+type MMHooks interface {
+	// VMACreated fires after a VMA is inserted (mmap_region analogue).
+	VMACreated(v *VMA)
+	// VMAResized fires after a VMA grows or shrinks (__vma_adjust).
+	VMAResized(v *VMA, oldStart, oldEnd mem.VAddr)
+	// VMADeleted fires after a VMA's translations are torn down but
+	// before it leaves the VMA list (munmap).
+	VMADeleted(v *VMA)
+	// PlaceNode is consulted when a new leaf-level page-table node is
+	// needed for va at the given level (1 for 4K leaves, 2 for 2M). A
+	// false return falls back to the buddy allocator.
+	PlaceNode(level int, va mem.VAddr) (mem.PAddr, bool)
+	// OwnsNode reports whether a node frame belongs to a TEA (and thus
+	// must not be returned to the buddy allocator individually).
+	OwnsNode(pa mem.PAddr) bool
+}

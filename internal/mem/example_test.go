@@ -1,0 +1,31 @@
+package mem_test
+
+import (
+	"fmt"
+
+	"dmt/internal/mem"
+)
+
+// The four radix indices of Figure 1, extracted from a canonical VA.
+func ExampleIndex() {
+	va := mem.VAddr(0x7f3a_b5c6_d7e8)
+	for level := 4; level >= 1; level-- {
+		fmt.Printf("L%d index: %d\n", level, mem.Index(va, level))
+	}
+	fmt.Printf("page offset: %#x\n", mem.PageOffset(va, mem.Size4K))
+	// Output:
+	// L4 index: 254
+	// L3 index: 234
+	// L2 index: 430
+	// L1 index: 109
+	// page offset: 0x7e8
+}
+
+func ExamplePTE() {
+	pte := mem.MakePTE(0xabc000, mem.PTEWritable)
+	fmt.Println(pte.Present(), pte.Writable(), pte.Huge())
+	fmt.Printf("%#x\n", uint64(pte.Frame()))
+	// Output:
+	// true true false
+	// 0xabc000
+}

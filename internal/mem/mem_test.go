@@ -1,0 +1,133 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageSizeGeometry(t *testing.T) {
+	cases := []struct {
+		s     PageSize
+		bytes uint64
+		leaf  int
+		name  string
+	}{
+		{Size4K, 4096, 1, "4K"},
+		{Size2M, 2 << 20, 2, "2M"},
+		{Size1G, 1 << 30, 3, "1G"},
+	}
+	for _, c := range cases {
+		if got := c.s.Bytes(); got != c.bytes {
+			t.Errorf("%v.Bytes() = %d, want %d", c.s, got, c.bytes)
+		}
+		if got := c.s.LeafLevel(); got != c.leaf {
+			t.Errorf("%v.LeafLevel() = %d, want %d", c.s, got, c.leaf)
+		}
+		if got := c.s.String(); got != c.name {
+			t.Errorf("%v.String() = %q, want %q", c.s, got, c.name)
+		}
+	}
+}
+
+func TestIndexExtraction(t *testing.T) {
+	// Figure 1: VA[47:39] indexes L4, ..., VA[20:12] indexes L1.
+	va := VAddr(0x0000_7f3a_b5c6_d7e8)
+	want := map[int]int{
+		4: int(uint64(va) >> 39 & 511),
+		3: int(uint64(va) >> 30 & 511),
+		2: int(uint64(va) >> 21 & 511),
+		1: int(uint64(va) >> 12 & 511),
+	}
+	for level, w := range want {
+		if got := Index(va, level); got != w {
+			t.Errorf("Index(level %d) = %d, want %d", level, got, w)
+		}
+	}
+	// 5-level tables index VA[56:48] at level 5.
+	va5 := VAddr(1) << 50
+	if got := Index(va5, 5); got != 1<<(50-48) {
+		t.Errorf("Index(level 5) = %d, want %d", got, 1<<(50-48))
+	}
+}
+
+func TestIndexReconstruction(t *testing.T) {
+	// Property: recombining the four level indices plus the page offset
+	// reconstructs the canonical 48-bit virtual address.
+	f := func(raw uint64) bool {
+		va := VAddr(raw & ((1 << 48) - 1))
+		rebuilt := uint64(0)
+		for level := 4; level >= 1; level-- {
+			rebuilt |= uint64(Index(va, level)) << LevelShift(level)
+		}
+		rebuilt |= PageOffset(va, Size4K)
+		return rebuilt == uint64(va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	if AlignDown(0x1fff, 0x1000) != 0x1000 {
+		t.Error("AlignDown failed")
+	}
+	if AlignUp(0x1001, 0x1000) != 0x2000 {
+		t.Error("AlignUp failed")
+	}
+	if AlignUp(0x2000, 0x1000) != 0x2000 {
+		t.Error("AlignUp of aligned value changed it")
+	}
+	if !IsAligned(0x200000, PageBytes2M) || IsAligned(0x201000, PageBytes2M) {
+		t.Error("IsAligned failed")
+	}
+}
+
+func TestAlignmentProperties(t *testing.T) {
+	f := func(raw uint64) bool {
+		va := VAddr(raw &^ (1 << 63)) // avoid overflow in AlignUp
+		d, u := AlignDown(va, PageBytes4K), AlignUp(va, PageBytes4K)
+		if d > va || u < va {
+			return false
+		}
+		return IsAligned(uint64(d), PageBytes4K) && IsAligned(uint64(u), PageBytes4K)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPTERoundTrip(t *testing.T) {
+	pa := PAddr(0xabcde000)
+	p := MakePTE(pa, PTEWritable)
+	if !p.Present() || !p.Writable() || p.Huge() {
+		t.Errorf("flag bits wrong: %#x", uint64(p))
+	}
+	if p.Frame() != pa {
+		t.Errorf("Frame() = %#x, want %#x", uint64(p.Frame()), uint64(pa))
+	}
+	if p.Accessed() || p.Dirty() {
+		t.Error("fresh PTE must not be accessed/dirty")
+	}
+	p = p.WithAccessed(false)
+	if !p.Accessed() || p.Dirty() {
+		t.Error("WithAccessed(false) must set A only")
+	}
+	p = p.WithAccessed(true)
+	if !p.Dirty() {
+		t.Error("WithAccessed(true) must set D")
+	}
+	if p.Frame() != pa {
+		t.Error("flag updates must not disturb the frame")
+	}
+}
+
+func TestPTEFramePreservesFlagsProperty(t *testing.T) {
+	f := func(frame uint64, flags uint16) bool {
+		pa := PAddr(frame &^ (PageBytes4K - 1) & ((1 << 52) - 1))
+		p := MakePTE(pa, PTE(flags)&(PTEWritable|PTEHuge))
+		return p.Frame() == pa && p.Present()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,32 @@
+package pagetable
+
+import (
+	"dmt/internal/mem"
+	"dmt/internal/phys"
+)
+
+// PhysAlloc returns the vanilla-Linux node placement policy: every node
+// takes an arbitrary frame from the buddy allocator, so last-level PTE
+// pages end up scattered across physical memory (§4.3, "last-level PTEs
+// are randomly scattered").
+func PhysAlloc(a *phys.Allocator) NodeAllocFunc {
+	return func(level int, va mem.VAddr) (mem.PAddr, error) {
+		return a.AllocFrame(phys.KindPageTable)
+	}
+}
+
+// PhysFree returns the matching release policy.
+func PhysFree(a *phys.Allocator) NodeFreeFunc {
+	return func(level int, pa mem.PAddr) { a.FreeFrame(pa) }
+}
+
+// BumpAlloc is a trivial placement policy for unit tests: nodes are laid
+// out sequentially from base.
+func BumpAlloc(base mem.PAddr) NodeAllocFunc {
+	next := base
+	return func(level int, va mem.VAddr) (mem.PAddr, error) {
+		pa := next
+		next += mem.PageBytes4K
+		return pa, nil
+	}
+}

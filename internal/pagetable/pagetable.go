@@ -1,0 +1,365 @@
+// Package pagetable implements x86-64-style radix page tables with
+// physically-placed nodes, the foundation both for the legacy sequential
+// walker (Figure 1) and for DMT's direct fetch.
+//
+// Every page-table node occupies a real (simulated) physical frame, so each
+// PTE has a concrete physical address: the legacy walker's per-level fetches
+// and the DMT fetcher's arithmetically-computed fetch hit the *same* PTE
+// words, which is the paper's no-copy property (§3) — no extra coherence or
+// TLB shootdowns are needed because there is only one copy of each PTE.
+//
+// Node placement is pluggable: the default policy takes frames from the
+// buddy allocator (scattering last-level nodes the way vanilla Linux does),
+// while the TEA-aware policy used by DMT-Linux places each last-level node
+// at its designated slot inside a TEA (§4.3).
+package pagetable
+
+import (
+	"errors"
+	"fmt"
+
+	"dmt/internal/mem"
+)
+
+// ErrNotMapped is returned by Walk for an absent translation.
+var ErrNotMapped = errors.New("pagetable: not mapped")
+
+// ErrAlreadyMapped is returned by Map when a conflicting entry exists.
+var ErrAlreadyMapped = errors.New("pagetable: already mapped")
+
+// NodeAllocFunc decides the physical placement of a new page-table node for
+// the given level and the virtual address being mapped.
+type NodeAllocFunc func(level int, va mem.VAddr) (mem.PAddr, error)
+
+// NodeFreeFunc releases a node frame when its last entry is cleared.
+type NodeFreeFunc func(level int, pa mem.PAddr)
+
+// Node is one 4 KiB page-table page (512 entries).
+type Node struct {
+	Level    int
+	Base     mem.PAddr
+	entries  [mem.EntriesPerNode]mem.PTE
+	children [mem.EntriesPerNode]*Node
+	live     int
+}
+
+// Entry returns the PTE at idx.
+func (n *Node) Entry(idx int) mem.PTE { return n.entries[idx] }
+
+// EntryAddr returns the physical address of the PTE at idx.
+func (n *Node) EntryAddr(idx int) mem.PAddr {
+	return n.Base + mem.PAddr(idx*mem.PTEBytes)
+}
+
+// Pool indexes page-table nodes of one physical address space by their base
+// frame, giving physical-address PTE reads to components (the DMT fetcher)
+// that compute PTE locations arithmetically rather than walking.
+type Pool struct {
+	nodes map[mem.PAddr]*Node
+}
+
+// NewPool creates an empty node pool.
+func NewPool() *Pool { return &Pool{nodes: make(map[mem.PAddr]*Node)} }
+
+// NodeAt returns the node based at the frame containing pa.
+func (p *Pool) NodeAt(pa mem.PAddr) (*Node, bool) {
+	n, ok := p.nodes[mem.AlignDownP(pa, mem.PageBytes4K)]
+	return n, ok
+}
+
+// ReadPTE reads the PTE word stored at physical address pa, which must lie
+// inside a registered page-table node. The second result reports whether a
+// node covers pa — a miss models the machine consuming arbitrary memory as
+// a PTE, which the isolation checks of §4.5.2 are designed to prevent.
+func (p *Pool) ReadPTE(pa mem.PAddr) (mem.PTE, bool) {
+	n, ok := p.NodeAt(pa)
+	if !ok {
+		return 0, false
+	}
+	idx := int(pa-n.Base) / mem.PTEBytes
+	return n.entries[idx], true
+}
+
+// NodeCount returns the number of live page-table nodes (×4 KiB gives the
+// page-table memory footprint reported in §6.3).
+func (p *Pool) NodeCount() int { return len(p.nodes) }
+
+// CountNodes returns how many live nodes satisfy pred (e.g. how many are
+// placed inside TEAs, for the §6.3 memory-overhead accounting).
+func (p *Pool) CountNodes(pred func(*Node) bool) int {
+	n := 0
+	for _, node := range p.nodes {
+		if pred(node) {
+			n++
+		}
+	}
+	return n
+}
+
+// Table is one radix page table (4- or 5-level).
+type Table struct {
+	pool   *Pool
+	levels int
+	root   *Node
+	alloc  NodeAllocFunc
+	free   NodeFreeFunc
+
+	// Mapped counts live leaf entries per page size.
+	Mapped [3]int
+}
+
+// New creates a table with the given depth (mem.Levels4 or mem.Levels5).
+// The root node is allocated immediately.
+func New(pool *Pool, levels int, alloc NodeAllocFunc, free NodeFreeFunc) (*Table, error) {
+	if levels != mem.Levels4 && levels != mem.Levels5 {
+		return nil, fmt.Errorf("pagetable: unsupported depth %d", levels)
+	}
+	t := &Table{pool: pool, levels: levels, alloc: alloc, free: free}
+	root, err := t.newNode(levels, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	return t, nil
+}
+
+// Levels returns the table depth.
+func (t *Table) Levels() int { return t.levels }
+
+// RootPA returns the physical address of the root node (the CR3 analogue).
+func (t *Table) RootPA() mem.PAddr { return t.root.Base }
+
+// Pool returns the node pool backing this table.
+func (t *Table) Pool() *Pool { return t.pool }
+
+func (t *Table) newNode(level int, va mem.VAddr) (*Node, error) {
+	pa, err := t.alloc(level, va)
+	if err != nil {
+		return nil, err
+	}
+	if !mem.IsAligned(uint64(pa), mem.PageBytes4K) {
+		return nil, fmt.Errorf("pagetable: node placement %#x unaligned", uint64(pa))
+	}
+	if _, exists := t.pool.nodes[pa]; exists {
+		return nil, fmt.Errorf("pagetable: node placement %#x already in use", uint64(pa))
+	}
+	n := &Node{Level: level, Base: pa}
+	t.pool.nodes[pa] = n
+	return n, nil
+}
+
+// Map installs a translation va→pa of the given page size. Intermediate
+// nodes are created as needed; va and pa must be size-aligned.
+func (t *Table) Map(va mem.VAddr, pa mem.PAddr, size mem.PageSize, flags mem.PTE) error {
+	if !mem.IsAligned(uint64(va), size.Bytes()) || !mem.IsAligned(uint64(pa), size.Bytes()) {
+		return fmt.Errorf("pagetable: unaligned %v mapping va=%#x pa=%#x", size, uint64(va), uint64(pa))
+	}
+	leaf := size.LeafLevel()
+	node := t.root
+	for level := t.levels; level > leaf; level-- {
+		idx := mem.Index(va, level)
+		child := node.children[idx]
+		if child == nil {
+			if node.entries[idx].Present() {
+				return ErrAlreadyMapped // huge leaf blocks this subtree
+			}
+			var err error
+			child, err = t.newNode(level-1, va)
+			if err != nil {
+				return err
+			}
+			node.children[idx] = child
+			node.entries[idx] = mem.MakePTE(child.Base, 0)
+			node.live++
+		}
+		node = child
+	}
+	idx := mem.Index(va, leaf)
+	if node.entries[idx].Present() {
+		return ErrAlreadyMapped
+	}
+	if leaf > 1 {
+		flags |= mem.PTEHuge
+	}
+	node.entries[idx] = mem.MakePTE(pa, flags)
+	node.live++
+	t.Mapped[size]++
+	return nil
+}
+
+// Unmap removes the translation of va with the given page size. Emptied
+// intermediate nodes are released (except the root).
+func (t *Table) Unmap(va mem.VAddr, size mem.PageSize) error {
+	leaf := size.LeafLevel()
+	var path [mem.Levels5]*Node
+	node := t.root
+	for level := t.levels; level > leaf; level-- {
+		path[level-1] = node
+		node = node.children[mem.Index(va, level)]
+		if node == nil {
+			return ErrNotMapped
+		}
+	}
+	idx := mem.Index(va, leaf)
+	if !node.entries[idx].Present() {
+		return ErrNotMapped
+	}
+	node.entries[idx] = 0
+	node.live--
+	t.Mapped[size]--
+	// Prune empty nodes bottom-up.
+	for level := leaf; level < t.levels && node.live == 0; level++ {
+		parent := path[level]
+		pidx := mem.Index(va, level+1)
+		parent.children[pidx] = nil
+		parent.entries[pidx] = 0
+		parent.live--
+		delete(t.pool.nodes, node.Base)
+		if t.free != nil {
+			t.free(node.Level, node.Base)
+		}
+		node = parent
+	}
+	return nil
+}
+
+// Step records one PTE fetch of a sequential walk.
+type Step struct {
+	Level int
+	Addr  mem.PAddr
+}
+
+// WalkResult describes a completed (or faulted) walk.
+type WalkResult struct {
+	Steps []Step
+	PTE   mem.PTE
+	PA    mem.PAddr
+	Size  mem.PageSize
+	OK    bool
+}
+
+// Walk performs a full sequential walk from the root (Figure 1), recording
+// the physical address of every PTE fetched.
+func (t *Table) Walk(va mem.VAddr) WalkResult {
+	return t.WalkFrom(t.root, t.levels, va, make([]Step, 0, t.levels))
+}
+
+// WalkFrom resumes a walk at the given node and level — this is how a
+// page-walk-cache hit skips upper levels.
+func (t *Table) WalkFrom(node *Node, level int, va mem.VAddr, steps []Step) WalkResult {
+	for {
+		idx := mem.Index(va, level)
+		steps = append(steps, Step{Level: level, Addr: node.EntryAddr(idx)})
+		pte := node.entries[idx]
+		if !pte.Present() {
+			return WalkResult{Steps: steps}
+		}
+		if level == 1 || pte.Huge() {
+			size := mem.PageSize(level - 1)
+			return WalkResult{
+				Steps: steps,
+				PTE:   pte,
+				PA:    pte.Frame() + mem.PAddr(mem.PageOffset(va, size)),
+				Size:  size,
+				OK:    true,
+			}
+		}
+		node = node.children[idx]
+		level--
+	}
+}
+
+// NodeForLevel returns the node that a walk for va reaches at the given
+// level, or nil when absent; used to service PWC refills.
+func (t *Table) NodeForLevel(va mem.VAddr, level int) *Node {
+	node := t.root
+	for l := t.levels; l > level; l-- {
+		node = node.children[mem.Index(va, l)]
+		if node == nil {
+			return nil
+		}
+	}
+	return node
+}
+
+// Lookup resolves va without recording steps (OS-side helper).
+func (t *Table) Lookup(va mem.VAddr) (mem.PAddr, mem.PageSize, bool) {
+	r := t.Walk(va)
+	return r.PA, r.Size, r.OK
+}
+
+// SetAccessed sets the A (and optionally D) bit on the leaf PTE mapping va,
+// modelling the hardware walker's A/D updates. It reports whether a leaf
+// was found.
+func (t *Table) SetAccessed(va mem.VAddr, write bool) bool {
+	node, idx, ok := t.leafSlot(va)
+	if !ok {
+		return false
+	}
+	node.entries[idx] = node.entries[idx].WithAccessed(write)
+	return true
+}
+
+func (t *Table) leafSlot(va mem.VAddr) (*Node, int, bool) {
+	node := t.root
+	for level := t.levels; ; level-- {
+		idx := mem.Index(va, level)
+		pte := node.entries[idx]
+		if !pte.Present() {
+			return nil, 0, false
+		}
+		if level == 1 || pte.Huge() {
+			return node, idx, true
+		}
+		node = node.children[idx]
+	}
+}
+
+// LeafPTE returns the leaf PTE mapping va.
+func (t *Table) LeafPTE(va mem.VAddr) (mem.PTE, bool) {
+	node, idx, ok := t.leafSlot(va)
+	if !ok {
+		return 0, false
+	}
+	return node.entries[idx], true
+}
+
+// RelocateL1 moves the last-level node that maps va to a new physical
+// placement, preserving its entries — the mechanism behind gradual TEA
+// migration (§4.3). The old frame is reported to the free callback.
+func (t *Table) RelocateL1(va mem.VAddr, newBase mem.PAddr) error {
+	return t.RelocateNode(va, 1, newBase)
+}
+
+// RelocateNode moves the level-`level` node on va's walk path to a new
+// physical placement, rewriting the parent entry. Entries are preserved,
+// so translations are unaffected; only the fetch address changes.
+func (t *Table) RelocateNode(va mem.VAddr, level int, newBase mem.PAddr) error {
+	if !mem.IsAligned(uint64(newBase), mem.PageBytes4K) {
+		return errors.New("pagetable: unaligned relocation target")
+	}
+	if level < 1 || level >= t.levels {
+		return fmt.Errorf("pagetable: cannot relocate level-%d node", level)
+	}
+	if _, exists := t.pool.nodes[newBase]; exists {
+		return fmt.Errorf("pagetable: relocation target %#x occupied", uint64(newBase))
+	}
+	parent := t.NodeForLevel(va, level+1)
+	if parent == nil {
+		return ErrNotMapped
+	}
+	idx := mem.Index(va, level+1)
+	node := parent.children[idx]
+	if node == nil {
+		return ErrNotMapped
+	}
+	old := node.Base
+	delete(t.pool.nodes, old)
+	node.Base = newBase
+	t.pool.nodes[newBase] = node
+	parent.entries[idx] = mem.MakePTE(newBase, 0)
+	if t.free != nil {
+		t.free(level, old)
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+// Package perfmodel implements the §5 execution-time model:
+//
+//	T_target = O_vanilla_measured × (O_sim_target / O_sim_vanilla) + T_ideal
+//
+// On the paper's testbed, O_vanilla_measured and T_ideal come from Linux
+// perf on the Xeon Gold 6138 machine. That hardware is unavailable here, so
+// the measured split between translation overhead and ideal execution time
+// is substituted by per-workload calibration constants chosen to match the
+// aggregates the paper itself reports (Figure 4 and §2.2: page-walk shares
+// of 21 % native / 43 % virtualized / 48 % nested on average; shadow paging
+// 1.39× slower than nested paging with a 28 % walk share; virtualization
+// 1.46× and nested virtualization 4.13× the native execution time, with
+// GUPS at 13.9×). See DESIGN.md §2 for the substitution rationale: the
+// model only needs this split to convert simulated walk-cycle ratios into
+// application-level speedups.
+package perfmodel
+
+import "fmt"
+
+// Calib is the per-workload calibration: page-walk shares of the total
+// execution time in each environment, and total execution times normalized
+// to the native run.
+type Calib struct {
+	// PWNative/PWVirt/PWShadow/PWNested are the vanilla page-walk shares
+	// of total execution time per environment.
+	PWNative, PWVirt, PWShadow, PWNested float64
+	// VirtMult, ShadowMult, NestedMult are total execution times
+	// relative to native (ShadowMult is relative to the virtualized
+	// nested-paging run).
+	VirtMult, ShadowMult, NestedMult float64
+}
+
+// calibration is chosen so the per-environment averages reproduce the
+// paper's reported aggregates (see package comment).
+var calibration = map[string]Calib{
+	"Redis":     {PWNative: 0.25, PWVirt: 0.48, PWShadow: 0.30, PWNested: 0.52, VirtMult: 1.50, ShadowMult: 1.45, NestedMult: 2.90},
+	"Memcached": {PWNative: 0.15, PWVirt: 0.35, PWShadow: 0.22, PWNested: 0.40, VirtMult: 1.25, ShadowMult: 1.30, NestedMult: 2.30},
+	"GUPS":      {PWNative: 0.35, PWVirt: 0.55, PWShadow: 0.35, PWNested: 0.60, VirtMult: 1.80, ShadowMult: 1.50, NestedMult: 13.90},
+	"BTree":     {PWNative: 0.22, PWVirt: 0.45, PWShadow: 0.30, PWNested: 0.50, VirtMult: 1.55, ShadowMult: 1.40, NestedMult: 3.10},
+	"Canneal":   {PWNative: 0.18, PWVirt: 0.40, PWShadow: 0.26, PWNested: 0.45, VirtMult: 1.40, ShadowMult: 1.35, NestedMult: 2.40},
+	"XSBench":   {PWNative: 0.15, PWVirt: 0.38, PWShadow: 0.24, PWNested: 0.42, VirtMult: 1.30, ShadowMult: 1.30, NestedMult: 2.10},
+	"Graph500":  {PWNative: 0.17, PWVirt: 0.40, PWShadow: 0.29, PWNested: 0.46, VirtMult: 1.40, ShadowMult: 1.40, NestedMult: 2.60},
+}
+
+// Get returns the calibration for a workload.
+func Get(workload string) (Calib, error) {
+	c, ok := calibration[workload]
+	if !ok {
+		return Calib{}, fmt.Errorf("perfmodel: no calibration for workload %q", workload)
+	}
+	return c, nil
+}
+
+// Workloads returns the calibrated workload names in the paper's order.
+func Workloads() []string {
+	return []string{"Redis", "Memcached", "GUPS", "BTree", "Canneal", "XSBench", "Graph500"}
+}
+
+// AppSpeedupNative converts a simulated walk-overhead ratio
+// (O_sim_target / O_sim_vanilla) into a native application speedup:
+// speedup = T_vanilla / T_target = 1 / (share·ratio + (1−share)).
+func (c Calib) AppSpeedupNative(ratio float64) float64 {
+	return 1 / (c.PWNative*ratio + (1 - c.PWNative))
+}
+
+// AppSpeedupVirt is the virtualized-environment analogue.
+func (c Calib) AppSpeedupVirt(ratio float64) float64 {
+	return 1 / (c.PWVirt*ratio + (1 - c.PWVirt))
+}
+
+// NestedComponents decomposes the nested-virtualization baseline run
+// (normalized native = 1) into ideal work, page-walk time, and the
+// shadow-sync VM-exit overhead that pvDMT eliminates (§2.1.3, §5). The
+// ideal component is approximated by the virtualized run's non-walk time,
+// since nested virtualization adds no useful work.
+func (c Calib) NestedComponents() (ideal, walk, exits float64) {
+	ideal = c.VirtMult * (1 - c.PWVirt)
+	walk = c.NestedMult * c.PWNested
+	exits = c.NestedMult - ideal - walk
+	if exits < 0 {
+		exits = 0
+	}
+	return ideal, walk, exits
+}
+
+// AppSpeedupNested converts the simulated nested-walk ratio into the
+// application speedup of pvDMT over the nested-KVM baseline: the walk time
+// scales by the ratio and the shadow-sync exit overhead disappears, since
+// pvDMT gives nested virtualization hardware-assisted translation (§3.2).
+func (c Calib) AppSpeedupNested(ratio float64) float64 {
+	ideal, walk, _ := c.NestedComponents()
+	return c.NestedMult / (ideal + walk*ratio)
+}
+
+// Figure4Row reproduces one workload's bars of Figure 4: normalized total
+// execution times and page-walk portions for the four environments.
+type Figure4Row struct {
+	Workload                             string
+	Native, Virt, Shadow, Nested         float64
+	NativePW, VirtPW, ShadowPW, NestedPW float64
+}
+
+// Figure4 returns the calibrated Figure 4 data.
+func Figure4() []Figure4Row {
+	rows := make([]Figure4Row, 0, len(calibration))
+	for _, name := range Workloads() {
+		c := calibration[name]
+		shadowTotal := c.VirtMult * c.ShadowMult
+		rows = append(rows, Figure4Row{
+			Workload: name,
+			Native:   1, NativePW: c.PWNative,
+			Virt: c.VirtMult, VirtPW: c.VirtMult * c.PWVirt,
+			Shadow: shadowTotal, ShadowPW: shadowTotal * c.PWShadow,
+			Nested: c.NestedMult, NestedPW: c.NestedMult * c.PWNested,
+		})
+	}
+	return rows
+}

@@ -1,0 +1,122 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"dmt/internal/stats"
+)
+
+func TestCalibrationMatchesPaperAggregates(t *testing.T) {
+	var pwN, pwV, pwS, pwNest, virt, shadow, nested []float64
+	for _, name := range Workloads() {
+		c, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pwN = append(pwN, c.PWNative)
+		pwV = append(pwV, c.PWVirt)
+		pwS = append(pwS, c.PWShadow)
+		pwNest = append(pwNest, c.PWNested)
+		virt = append(virt, c.VirtMult)
+		shadow = append(shadow, c.ShadowMult)
+		nested = append(nested, c.NestedMult)
+	}
+	checks := []struct {
+		name      string
+		got, want float64
+		tol       float64
+	}{
+		{"native PW share", stats.Mean(pwN), 0.21, 0.02},    // §2.2: 21%
+		{"virt PW share", stats.Mean(pwV), 0.43, 0.02},      // §2.2: 43%
+		{"shadow PW share", stats.Mean(pwS), 0.28, 0.02},    // §2.2: 28%
+		{"nested PW share", stats.Mean(pwNest), 0.48, 0.03}, // §2.2: 48%
+		{"virt slowdown", stats.Mean(virt), 1.46, 0.05},     // §2.2: 1.46x
+		{"shadow vs nPT", stats.Mean(shadow), 1.39, 0.05},   // §2.2: 1.39x
+		{"nested slowdown", stats.Mean(nested), 4.13, 0.25}, // §2.2: 4.13x
+	}
+	for _, c := range checks {
+		if c.got < c.want-c.tol || c.got > c.want+c.tol {
+			t.Errorf("%s: calibrated mean %.3f, paper %.3f (±%.3f)", c.name, c.got, c.want, c.tol)
+		}
+	}
+}
+
+func TestSpeedupIdentities(t *testing.T) {
+	for _, name := range Workloads() {
+		c, _ := Get(name)
+		// A ratio of 1 (same walk overhead) must give speedup 1.
+		for _, f := range []func(float64) float64{c.AppSpeedupNative, c.AppSpeedupVirt} {
+			if s := f(1); s < 0.999 || s > 1.001 {
+				t.Errorf("%s: speedup at ratio 1 = %.4f", name, s)
+			}
+		}
+		// Smaller ratios must yield larger speedups, bounded by the
+		// walk share.
+		if c.AppSpeedupVirt(0.5) <= 1 || c.AppSpeedupVirt(0.5) >= 1/(1-c.PWVirt) {
+			t.Errorf("%s: virt speedup out of bounds", name)
+		}
+		if c.AppSpeedupVirt(0.5) <= c.AppSpeedupVirt(0.8) {
+			t.Errorf("%s: speedup not monotone in ratio", name)
+		}
+	}
+}
+
+func TestNestedComponentsDecompose(t *testing.T) {
+	for _, name := range Workloads() {
+		c, _ := Get(name)
+		ideal, walk, exits := c.NestedComponents()
+		sum := ideal + walk + exits
+		if sum < c.NestedMult-0.001 || sum > c.NestedMult+0.001 {
+			t.Errorf("%s: components %.3f don't sum to NestedMult %.3f", name, sum, c.NestedMult)
+		}
+		if ideal <= 0 || walk <= 0 || exits < 0 {
+			t.Errorf("%s: non-physical components: %v %v %v", name, ideal, walk, exits)
+		}
+		// Even with an unchanged walk (ratio 1), removing the exit
+		// overhead must speed nested execution up.
+		if s := c.AppSpeedupNested(1); s <= 1 {
+			t.Errorf("%s: nested speedup at ratio 1 = %.3f, want > 1", name, s)
+		}
+	}
+}
+
+func TestGUPSNestedOutlier(t *testing.T) {
+	c, _ := Get("GUPS")
+	if c.NestedMult < 10 {
+		t.Fatal("GUPS nested multiplier must reproduce the 13.9x outlier of Figure 4")
+	}
+	// GUPS gains the most from eliminating shadow paging.
+	gups := c.AppSpeedupNested(1.0)
+	for _, other := range []string{"Memcached", "XSBench"} {
+		oc, _ := Get(other)
+		if gups <= oc.AppSpeedupNested(1.0) {
+			t.Errorf("GUPS nested speedup %.2f not above %s's", gups, other)
+		}
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	rows := Figure4()
+	if len(rows) != 7 {
+		t.Fatalf("Figure 4 has %d rows, want 7", len(rows))
+	}
+	for _, r := range rows {
+		if !(r.Native < r.Virt && r.Virt < r.Nested) {
+			t.Errorf("%s: ordering native(%.2f) < virt(%.2f) < nested(%.2f) broken", r.Workload, r.Native, r.Virt, r.Nested)
+		}
+		if r.Shadow <= r.Virt {
+			t.Errorf("%s: shadow paging (%.2f) must be slower than nested paging (%.2f)", r.Workload, r.Shadow, r.Virt)
+		}
+		for _, pair := range [][2]float64{{r.NativePW, r.Native}, {r.VirtPW, r.Virt}, {r.ShadowPW, r.Shadow}, {r.NestedPW, r.Nested}} {
+			if pair[0] <= 0 || pair[0] >= pair[1] {
+				t.Errorf("%s: PW portion %.2f outside (0, total %.2f)", r.Workload, pair[0], pair[1])
+			}
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

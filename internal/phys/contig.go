@@ -1,0 +1,326 @@
+package phys
+
+import (
+	"math/rand"
+
+	"dmt/internal/mem"
+)
+
+// AllocContig allocates nframes physically-contiguous 4 KiB frames, the
+// analogue of Linux's alloc_contig_pages used by DMT-Linux to back TEAs
+// (§4.3). It first tries a buddy block of the covering order; failing that
+// it scans for a window whose frames are all free or movable, migrates the
+// movable ones out (via the registered Relocator), and claims the window.
+// It returns ErrNoContig when no window can be assembled, which the TEA
+// manager answers by splitting the VMA-to-TEA mapping (§4.2.2).
+func (a *Allocator) AllocContig(nframes int, kind Kind) (mem.PAddr, error) {
+	if nframes <= 0 {
+		return 0, ErrNoContig
+	}
+	// Fast path: an exact buddy block.
+	if order := coveringOrder(nframes); order <= MaxOrder {
+		if pa, err := a.Alloc(order, kind); err == nil {
+			// Trim the tail beyond nframes back to the free lists.
+			f := a.frameOf(pa)
+			extra := (uint32(1) << order) - uint32(nframes)
+			if extra > 0 {
+				a.release(f+uint32(nframes), extra)
+			}
+			return pa, nil
+		}
+	}
+	// Slow path: scan for a claimable window, like alloc_contig_range.
+	a.Stats.ContigScans++
+	n := uint32(nframes)
+	if start, ok := a.findWindow(n, false); ok {
+		a.claimWindow(start, n, kind)
+		return a.addrOf(start), nil
+	}
+	if a.relocator != nil {
+		if start, ok := a.findWindow(n, true); ok {
+			if a.migrateOut(start, n) {
+				a.claimWindow(start, n, kind)
+				return a.addrOf(start), nil
+			}
+		}
+	}
+	return 0, ErrNoContig
+}
+
+// FreeContig releases a range allocated by AllocContig.
+func (a *Allocator) FreeContig(pa mem.PAddr, nframes int) {
+	f := a.frameOf(pa)
+	a.freeFrames += uint32(nframes)
+	a.Stats.Frees++
+	a.releaseAllocated(f, uint32(nframes))
+}
+
+// ExpandContigInPlace tries to extend an existing contiguous allocation by
+// extra frames immediately after its current end, implementing the in-place
+// TEA expansion of §4.3. It reports whether the expansion succeeded.
+func (a *Allocator) ExpandContigInPlace(pa mem.PAddr, cur, extra int) bool {
+	f := a.frameOf(pa)
+	start := f + uint32(cur)
+	end := start + uint32(extra)
+	if end > a.frames {
+		return false
+	}
+	for i := start; i < end; i++ {
+		if !a.free[i] {
+			return false
+		}
+	}
+	kind := a.kind[f]
+	a.claimWindow(start, uint32(extra), kind)
+	return true
+}
+
+func coveringOrder(nframes int) int {
+	order := 0
+	for 1<<order < nframes {
+		order++
+	}
+	return order
+}
+
+// release returns a run of currently-allocated bookkeeping (from a split
+// block) to the free lists without touching freeFrames, used when trimming
+// an over-allocated buddy block.
+func (a *Allocator) release(f, n uint32) {
+	a.freeFrames += n
+	a.releaseAllocated(f, n)
+}
+
+// releaseAllocated frees the run [f, f+n) frame-by-frame in maximal aligned
+// buddy chunks so coalescing works.
+func (a *Allocator) releaseAllocated(f, n uint32) {
+	for n > 0 {
+		order := 0
+		for order < MaxOrder && f&(1<<(order+1)-1) == 0 && uint32(1)<<(order+1) <= n {
+			order++
+		}
+		a.freeBlock(f, order)
+		f += 1 << order
+		n -= 1 << order
+	}
+}
+
+// findWindow scans for n consecutive frames that are free (and, when
+// allowMovable is set, movable). The scan is linear from the bottom of the
+// zone, like the isolation scanner in alloc_contig_range.
+func (a *Allocator) findWindow(n uint32, allowMovable bool) (uint32, bool) {
+	var runStart, runLen uint32
+	for f := uint32(0); f < a.frames; f++ {
+		ok := a.free[f] || (allowMovable && a.kind[f] == KindMovable)
+		if !ok {
+			runLen = 0
+			continue
+		}
+		if runLen == 0 {
+			runStart = f
+		}
+		runLen++
+		if runLen >= n {
+			return runStart, true
+		}
+	}
+	return 0, false
+}
+
+// migrateOut relocates every movable allocated frame in [start, start+n)
+// to frames outside the window. It returns false (leaving successfully
+// migrated frames at their new homes) if any migration fails.
+func (a *Allocator) migrateOut(start, n uint32) bool {
+	for f := start; f < start+n; f++ {
+		if a.free[f] || a.kind[f] != KindMovable {
+			continue
+		}
+		if !a.migrateFrame(f, start, n) {
+			return false
+		}
+	}
+	return true
+}
+
+// migrateFrame moves one movable frame to a free frame outside the window
+// [wStart, wStart+wLen).
+func (a *Allocator) migrateFrame(f, wStart, wLen uint32) bool {
+	dst, ok := a.findFreeOutside(wStart, wLen)
+	if !ok || a.relocator == nil {
+		return false
+	}
+	old := a.addrOf(f)
+	a.carveFrame(dst)
+	a.claim(dst, 1, KindMovable)
+	if !a.relocator.Relocate(old, a.addrOf(dst)) {
+		// Owner refused; roll back the destination frame.
+		a.freeFrames++
+		a.freeBlock(dst, 0)
+		return false
+	}
+	a.Stats.Migrations++
+	// Release the source frame (it becomes part of the window; the caller
+	// claims it, so just mark free here).
+	a.freeFrames++
+	a.freeBlock(f, 0)
+	return true
+}
+
+// findFreeOutside locates a free frame outside the given window, searching
+// from the top of the zone downward (mirroring compaction's free scanner).
+func (a *Allocator) findFreeOutside(wStart, wLen uint32) (uint32, bool) {
+	for f := a.frames; f > 0; f-- {
+		i := f - 1
+		if i >= wStart && i < wStart+wLen {
+			continue
+		}
+		if a.free[i] {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// carveFrame splits free blocks until frame f is the head of an order-0
+// free block, then detaches it. The caller must claim it afterwards.
+func (a *Allocator) carveFrame(f uint32) {
+	head, order := a.containingFreeBlock(f)
+	// Detach the containing block.
+	a.blockOrder[head] = -1
+	for order > 0 {
+		half := uint32(1) << (order - 1)
+		if f < head+half {
+			a.insertFree(head+half, order-1)
+			a.blockOrder[head+half] = int8(order - 1)
+		} else {
+			a.insertFree(head, order-1)
+			head += half
+		}
+		a.blockOrder[head] = -1
+		order--
+		a.Stats.Splits++
+	}
+	// f == head: an order-0 detached frame, still free but unlisted. The
+	// caller claims it (clearing free and adjusting freeFrames) next.
+	a.blockOrder[f] = -1
+}
+
+// containingFreeBlock finds the head and order of the free block holding f.
+func (a *Allocator) containingFreeBlock(f uint32) (uint32, int) {
+	for order := 0; order <= MaxOrder; order++ {
+		head := f &^ (uint32(1)<<order - 1)
+		if a.blockOrder[head] == int8(order) {
+			return head, order
+		}
+	}
+	panic("phys: frame not in any free block")
+}
+
+// claimWindow marks an arbitrary free window allocated, splitting any free
+// blocks that straddle its edges.
+func (a *Allocator) claimWindow(start, n uint32, kind Kind) {
+	for f := start; f < start+n; f++ {
+		if !a.free[f] {
+			panic("phys: claimWindow over non-free frame")
+		}
+		a.carveFrame(f)
+		a.free[f] = false
+		a.kind[f] = kind
+	}
+	a.freeFrames -= n
+	a.Stats.Allocs++
+}
+
+// Compact migrates movable frames from the top of the zone into free frames
+// near the bottom, increasing high-order contiguity the way Linux's memory
+// compaction does. It returns the number of frames migrated.
+func (a *Allocator) Compact() int {
+	if a.relocator == nil {
+		return 0
+	}
+	migrated := 0
+	lo, hi := uint32(0), a.frames
+	for lo < hi {
+		// Advance lo to the next free frame.
+		for lo < hi && !a.free[lo] {
+			lo++
+		}
+		// Retreat hi to the next movable frame.
+		for lo < hi && (hi == 0 || a.free[hi-1] || a.kind[hi-1] != KindMovable) {
+			hi--
+		}
+		if lo >= hi || hi == 0 {
+			break
+		}
+		src := hi - 1
+		dst := lo
+		a.carveFrame(dst)
+		a.claim(dst, 1, KindMovable)
+		if !a.relocator.Relocate(a.addrOf(src), a.addrOf(dst)) {
+			a.freeFrames++
+			a.freeBlock(dst, 0)
+			hi--
+			continue
+		}
+		a.freeFrames++
+		a.freeBlock(src, 0)
+		a.Stats.Migrations++
+		migrated++
+		lo++
+		hi--
+	}
+	return migrated
+}
+
+// FragmentationIndex reports how fragmented free memory is with respect to
+// allocations of the given order, on [0, 1]: 0 means all free memory sits
+// in blocks of at least that order; values near 1 mean free memory exists
+// only as smaller fragments. It is the analogue of Linux's external
+// fragmentation index used in the §6.3 methodology (index 0.99).
+func (a *Allocator) FragmentationIndex(order int) float64 {
+	if a.freeFrames == 0 {
+		return 0
+	}
+	var suitable uint64
+	for o := order; o <= MaxOrder; o++ {
+		suitable += uint64(a.countFreeBlocks(o)) << uint(o)
+	}
+	return 1 - float64(suitable)/float64(a.freeFrames)
+}
+
+func (a *Allocator) countFreeBlocks(order int) int {
+	n := 0
+	for _, f := range a.freeStacks[order] {
+		if a.blockOrder[f] == int8(order) {
+			n++
+		}
+	}
+	return n
+}
+
+// Fragment deliberately fragments free memory until the order-`order`
+// fragmentation index reaches at least target, reproducing the methodology
+// of §6.3 (a fragmentation tool driving the index to 0.99). It allocates
+// every free frame as an unmovable pin, then releases every other frame:
+// free memory ends up as isolated single frames (~half the zone stays
+// available, none of it contiguous). The surviving pins model background
+// load.
+func (a *Allocator) Fragment(rng *rand.Rand, order int, target float64) {
+	if a.FragmentationIndex(order) >= target {
+		return
+	}
+	var held []mem.PAddr
+	for {
+		pa, err := a.AllocFrame(KindUnmovable)
+		if err != nil {
+			break
+		}
+		held = append(held, pa)
+	}
+	offset := rng.Intn(2)
+	for i, pa := range held {
+		if i%2 == offset {
+			a.FreeFrame(pa)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package phys
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmt/internal/mem"
+)
+
+// TestAgainstReferenceModel drives the buddy allocator and a trivial
+// reference model (a set of allocated ranges) with the same random
+// operation stream and cross-checks every observable after each step:
+// no overlapping allocations, free-frame accounting, and kind tracking.
+func TestAgainstReferenceModel(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			const totalFrames = 4096
+			a := New(0, totalFrames)
+
+			type block struct {
+				pa     mem.PAddr
+				frames int
+				order  int // -1 for contig allocations
+				kind   Kind
+			}
+			var live []block
+			owned := make([]bool, totalFrames) // reference occupancy
+
+			claim := func(b block) {
+				f := int(uint64(b.pa) >> mem.PageShift4K)
+				for i := f; i < f+b.frames; i++ {
+					if owned[i] {
+						t.Fatalf("seed %d: overlap at frame %d", seed, i)
+					}
+					owned[i] = true
+				}
+				live = append(live, b)
+			}
+			releaseAt := func(idx int) {
+				b := live[idx]
+				f := int(uint64(b.pa) >> mem.PageShift4K)
+				for i := f; i < f+b.frames; i++ {
+					owned[i] = false
+				}
+				if b.order >= 0 {
+					a.Free(b.pa, b.order)
+				} else {
+					a.FreeContig(b.pa, b.frames)
+				}
+				live[idx] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+
+			for step := 0; step < 600; step++ {
+				switch op := rng.Intn(6); {
+				case op <= 1 || len(live) == 0: // buddy alloc
+					order := rng.Intn(6)
+					kind := Kind(1 + rng.Intn(3))
+					pa, err := a.Alloc(order, kind)
+					if err != nil {
+						continue
+					}
+					claim(block{pa: pa, frames: 1 << order, order: order, kind: kind})
+				case op == 2: // contig alloc (arbitrary size)
+					n := 1 + rng.Intn(200)
+					pa, err := a.AllocContig(n, KindPageTable)
+					if err != nil {
+						continue
+					}
+					claim(block{pa: pa, frames: n, order: -1, kind: KindPageTable})
+				default: // free
+					releaseAt(rng.Intn(len(live)))
+				}
+
+				// Invariant: allocator accounting matches the model.
+				used := 0
+				for _, o := range owned {
+					if o {
+						used++
+					}
+				}
+				if got := totalFrames - a.FreeFrames(); got != used {
+					t.Fatalf("seed %d step %d: allocator says %d used, model says %d", seed, step, got, used)
+				}
+				// Invariant: kinds recorded correctly for a sample.
+				if len(live) > 0 {
+					b := live[rng.Intn(len(live))]
+					if got := a.FrameKind(b.pa); got != b.kind {
+						t.Fatalf("seed %d step %d: kind %v, want %v", seed, step, got, b.kind)
+					}
+				}
+			}
+			// Drain and verify full recovery.
+			for len(live) > 0 {
+				releaseAt(0)
+			}
+			if a.FreeFrames() != totalFrames {
+				t.Fatalf("seed %d: %d frames leaked", seed, totalFrames-a.FreeFrames())
+			}
+			if _, err := a.Alloc(MaxOrder, KindMovable); err != nil {
+				t.Fatalf("seed %d: coalescing broken after drain: %v", seed, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"math/rand"
+
+	"fmt"
+
+	"dmt/internal/baseline/asap"
+	"dmt/internal/baseline/ecpt"
+	"dmt/internal/baseline/fpt"
+	"dmt/internal/cache"
+	"dmt/internal/core"
+	"dmt/internal/kernel"
+	"dmt/internal/mem"
+	"dmt/internal/phys"
+	"dmt/internal/tea"
+	"dmt/internal/tlb"
+)
+
+// frames computes an allocator size: the working set plus headroom for
+// page tables, TEAs, hash tables, and allocator slack.
+func frames(ws uint64, slack float64, extra uint64) int {
+	return int((uint64(float64(ws)*slack) + extra) >> mem.PageShift4K)
+}
+
+// teaConfig derives the TEA-manager configuration with ablation overrides.
+func teaConfig(cfg Config) tea.Config {
+	t := tea.DefaultConfig(cfg.THP)
+	if cfg.TEARegisters > 0 {
+		t.Registers = cfg.TEARegisters
+	}
+	if cfg.TEAMergeThreshold != 0 {
+		t.MergeThreshold = cfg.TEAMergeThreshold
+	}
+	return t
+}
+
+func ecptSizes(thp bool) []mem.PageSize {
+	if thp {
+		return []mem.PageSize{mem.Size4K, mem.Size2M}
+	}
+	return []mem.PageSize{mem.Size4K}
+}
+
+// buildNative assembles a native-environment machine.
+func buildNative(cfg Config) (*machine, error) {
+	headroom := 1.35
+	if cfg.FragmentTarget > 0 {
+		headroom = 2.9 // fragmentation pins roughly half the zone
+	}
+	pa := phys.New(0, frames(cfg.WSBytes, headroom, 256<<20))
+	if cfg.FragmentTarget > 0 {
+		pa.Fragment(rand.New(rand.NewSource(cfg.Seed)), 4, cfg.FragmentTarget)
+	}
+	as, err := kernel.NewAddressSpace(pa, kernel.Config{THP: cfg.THP, ASID: 1})
+	if err != nil {
+		return nil, err
+	}
+
+	// DMT's TEA hooks must observe VMA creation, so install them before
+	// the workload lays out its VMAs.
+	var mgr *tea.Manager
+	if cfg.Design == DesignDMT {
+		mgr = tea.NewManager(as, tea.NewPhysBackend(pa), teaConfig(cfg))
+		as.SetHooks(mgr)
+	}
+
+	built, err := cfg.Workload.Build(as, cfg.WSBytes)
+	if err != nil {
+		return nil, err
+	}
+
+	hier := cache.NewHierarchy(cache.ScaledConfig(cfg.CacheScale))
+	radix := core.NewRadixWalker(as.PT, hier, tlb.NewPWCScaled(cfg.CacheScale), as.ASID())
+
+	m := &machine{hier: hier, gen: built.NewGen(cfg.Seed)}
+	switch cfg.Design {
+	case DesignVanilla:
+		m.walker = radix
+		m.footer = func(r *Result) { r.PTEBytes = as.Pool.NodeCount() * mem.PageBytes4K }
+	case DesignDMT:
+		d := core.NewDMTWalker(mgr, as.Pool, hier, radix)
+		m.walker = d
+		m.coverage = d.Coverage
+		m.footer = func(r *Result) {
+			r.PTEBytes = as.Pool.NodeCount() * mem.PageBytes4K
+		}
+	case DesignECPT:
+		sys, err := ecpt.NewSystem(pa, ecptSizes(cfg.THP), int(cfg.WSBytes>>mem.PageShift4K)/ecpt.GroupPages)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.Sync(as); err != nil {
+			return nil, err
+		}
+		w := &ecpt.Walker{Sys: sys, Hier: hier}
+		m.walker = w
+		m.footer = func(r *Result) { r.PTEBytes = sys.Table(mem.Size4K).FootprintBytes() }
+	case DesignFPT:
+		t, err := fpt.New(pa)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.Sync(as); err != nil {
+			return nil, err
+		}
+		m.walker = &fpt.Walker{T: t, Hier: hier}
+		m.footer = func(r *Result) { r.PTEBytes = t.FootprintBytes() }
+	case DesignASAP:
+		src := asap.LastTwoLevelSource(func(va mem.VAddr) []core.MemRef {
+			var refs []core.MemRef
+			for _, s := range as.PT.Walk(va).Steps {
+				refs = append(refs, core.MemRef{Addr: s.Addr, Level: s.Level})
+			}
+			return refs
+		})
+		m.walker = &asap.Walker{Inner: radix, Hier: hier, Source: src, MemLatency: hier.Config().MemLatency}
+		m.footer = func(r *Result) { r.PTEBytes = as.Pool.NodeCount() * mem.PageBytes4K }
+	default:
+		return nil, fmt.Errorf("design %q not available natively", cfg.Design)
+	}
+	return m, nil
+}

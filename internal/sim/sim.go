@@ -1,0 +1,282 @@
+// Package sim is the measurement engine of the reproduction: it assembles
+// a (environment × translation-design × page-size) machine, drives a
+// workload trace through TLB → walker → cache hierarchy, and collects the
+// quantities the paper's evaluation reports — average page-walk latency,
+// sequential reference counts, per-step walk breakdowns (Figure 16),
+// register coverage, VM exits, and hypercalls.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"dmt/internal/cache"
+	"dmt/internal/core"
+	"dmt/internal/mem"
+	"dmt/internal/tlb"
+	"dmt/internal/workload"
+)
+
+// Environment selects the virtualization depth.
+type Environment int
+
+const (
+	EnvNative Environment = iota
+	EnvVirt
+	EnvNested
+)
+
+func (e Environment) String() string {
+	switch e {
+	case EnvNative:
+		return "native"
+	case EnvVirt:
+		return "virtualized"
+	case EnvNested:
+		return "nested"
+	}
+	return fmt.Sprintf("Environment(%d)", int(e))
+}
+
+// Design selects the translation design under test.
+type Design string
+
+// The designs of the evaluation: the vanilla baseline (radix walk native,
+// hardware-assisted nested paging virtualized, shadow-over-nested for
+// nested virtualization), shadow paging, DMT and pvDMT, and the four
+// comparison designs of §6.2.
+const (
+	DesignVanilla Design = "vanilla"
+	DesignShadow  Design = "shadow"
+	DesignDMT     Design = "dmt"
+	DesignPvDMT   Design = "pvdmt"
+	DesignECPT    Design = "ecpt"
+	DesignFPT     Design = "fpt"
+	DesignAgile   Design = "agile"
+	DesignASAP    Design = "asap"
+)
+
+// Config describes one run.
+type Config struct {
+	Env      Environment
+	Design   Design
+	THP      bool
+	Workload workload.Spec
+	// WSBytes overrides the workload's scaled default working set.
+	WSBytes uint64
+	// Ops is the trace length.
+	Ops int
+	// Seed drives the trace generator.
+	Seed int64
+	// CacheScale divides every cache/TLB capacity (latencies unchanged),
+	// keeping structure reach proportional to the scaled working sets
+	// (DESIGN.md §6). Default 16.
+	CacheScale int
+	// TEARegisters overrides the DMT register-file size (0 = the paper's
+	// 16); used by the register-count ablation.
+	TEARegisters int
+	// TEAMergeThreshold overrides the VMA-clustering bubble threshold
+	// (0 = the paper's 2%; negative disables merging); used by the
+	// merge-threshold ablation.
+	TEAMergeThreshold float64
+	// FragmentTarget, when positive, pre-fragments physical memory to
+	// the given order-4 fragmentation index before the workload is laid
+	// out (the §6.3 methodology).
+	FragmentTarget float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ops == 0 {
+		c.Ops = 200_000
+	}
+	if c.CacheScale == 0 {
+		c.CacheScale = 16
+	}
+	if c.WSBytes == 0 {
+		c.WSBytes = c.Workload.DefaultWS
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// StepAgg aggregates one architectural walk step across all walks.
+type StepAgg struct {
+	Label  string
+	Cycles uint64
+	Count  uint64
+}
+
+// Result is the measured outcome of a run.
+type Result struct {
+	Config Config
+
+	Ops        int
+	TLBMisses  uint64
+	Walks      uint64
+	WalkCycles uint64
+	SeqRefs    uint64
+	TotalRefs  uint64
+	DataCycles uint64
+	// Coverage is the fraction of walks served by DMT registers without
+	// fallback (1.0 for non-DMT designs' notion of "always").
+	Coverage  float64
+	Fallbacks uint64
+
+	Hypercalls      uint64
+	VMExits         uint64
+	ShadowSyncs     uint64
+	IsolationFaults uint64
+
+	// PTEBytes is the design's translation-structure footprint.
+	PTEBytes int
+
+	breakdown map[string]*StepAgg
+}
+
+// AvgWalkCycles is the mean page-walk latency.
+func (r *Result) AvgWalkCycles() float64 {
+	if r.Walks == 0 {
+		return 0
+	}
+	return float64(r.WalkCycles) / float64(r.Walks)
+}
+
+// AvgSeqRefs is the mean number of sequential references per walk.
+func (r *Result) AvgSeqRefs() float64 {
+	if r.Walks == 0 {
+		return 0
+	}
+	return float64(r.SeqRefs) / float64(r.Walks)
+}
+
+// MissRatio is the TLB miss ratio of the trace.
+func (r *Result) MissRatio() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.TLBMisses) / float64(r.Ops)
+}
+
+// Breakdown returns the per-step aggregation sorted by label (architectural
+// step number first for nested walks).
+func (r *Result) Breakdown() []StepAgg {
+	out := make([]StepAgg, 0, len(r.breakdown))
+	for _, a := range r.breakdown {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// recordingWalker decorates a walker with per-step aggregation and
+// fall-back counting.
+type recordingWalker struct {
+	inner core.Walker
+	res   *Result
+}
+
+func (w *recordingWalker) Name() string { return w.inner.Name() }
+
+func (w *recordingWalker) Walk(va mem.VAddr) core.WalkOutcome {
+	out := w.inner.Walk(va)
+	w.res.Walks++
+	w.res.WalkCycles += uint64(out.Cycles)
+	w.res.SeqRefs += uint64(out.SeqSteps)
+	w.res.TotalRefs += uint64(len(out.Refs))
+	if out.Fallback {
+		w.res.Fallbacks++
+	}
+	for _, ref := range out.Refs {
+		label := refLabel(ref)
+		agg := w.res.breakdown[label]
+		if agg == nil {
+			agg = &StepAgg{Label: label}
+			w.res.breakdown[label] = agg
+		}
+		agg.Cycles += uint64(ref.Cycles)
+		agg.Count++
+	}
+	return out
+}
+
+func refLabel(ref core.MemRef) string {
+	if ref.Step > 0 {
+		return fmt.Sprintf("%02d %sL%d", ref.Step, ref.Dim, ref.Level)
+	}
+	if ref.Level > 0 {
+		return fmt.Sprintf("%s L%d", ref.Dim, ref.Level)
+	}
+	return ref.Dim
+}
+
+// machine is the assembled simulation target returned by the builders.
+type machine struct {
+	hier     *cache.Hierarchy
+	walker   core.Walker
+	gen      workload.Gen
+	coverage func() float64
+	footer   func(*Result) // copies counters (exits, footprints) at the end
+}
+
+// Run executes one configuration and returns its measurements.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Result{Config: cfg, Ops: cfg.Ops, breakdown: map[string]*StepAgg{}}
+
+	var m *machine
+	var err error
+	switch cfg.Env {
+	case EnvNative:
+		m, err = buildNative(cfg)
+	case EnvVirt:
+		m, err = buildVirt(cfg)
+	case EnvNested:
+		m, err = buildNested(cfg)
+	default:
+		err = fmt.Errorf("sim: unknown environment %v", cfg.Env)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sim: building %v/%v/%s: %w", cfg.Env, cfg.Design, cfg.Workload.Name, err)
+	}
+
+	rec := &recordingWalker{inner: m.walker, res: res}
+	mmu := core.NewMMU(tlb.New(scaledTLB(cfg.CacheScale)), rec, 1)
+	for i := 0; i < cfg.Ops; i++ {
+		va, _ := m.gen()
+		pa, _, ok := mmu.Translate(va)
+		if !ok {
+			return nil, fmt.Errorf("sim: translation fault at %#x (op %d, %v/%v)", uint64(va), i, cfg.Env, cfg.Design)
+		}
+		res.DataCycles += uint64(m.hier.Access(pa).Cycles)
+	}
+	res.TLBMisses = mmu.Misses
+	if m.coverage != nil {
+		res.Coverage = m.coverage()
+	} else {
+		res.Coverage = 1
+	}
+	if m.footer != nil {
+		m.footer(res)
+	}
+	return res, nil
+}
+
+// scaledTLB divides the Table 3 TLB capacities by scale.
+func scaledTLB(scale int) tlb.Config {
+	cfg := tlb.DefaultConfig()
+	cfg.L1Entries = maxInt(cfg.L1Ways, cfg.L1Entries/scale)
+	cfg.L2Entries = maxInt(cfg.L2Ways, cfg.L2Entries/scale)
+	// Keep entries divisible by ways.
+	cfg.L1Entries -= cfg.L1Entries % cfg.L1Ways
+	cfg.L2Entries -= cfg.L2Entries % cfg.L2Ways
+	return cfg
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"fmt"
+
+	"dmt/internal/baseline/agile"
+	"dmt/internal/baseline/asap"
+	"dmt/internal/baseline/ecpt"
+	"dmt/internal/baseline/fpt"
+	"dmt/internal/cache"
+	"dmt/internal/core"
+	"dmt/internal/kernel"
+	"dmt/internal/mem"
+	"dmt/internal/tea"
+	"dmt/internal/tlb"
+	"dmt/internal/virt"
+	"dmt/internal/workload"
+)
+
+// scaleWalkerCaches replaces a 2D walker's MMU caches with working-set-
+// scaled versions (DESIGN.md §6).
+func scaleWalkerCaches(w *virt.NestedWalker, scale int) {
+	w.GuestPWC = tlb.NewPWCScaled(scale)
+	w.HostPWC = tlb.NewPWCScaled(scale)
+	w.Nested = tlb.NewNestedCacheSized(38 / scale)
+}
+
+// virtEnv is the assembled single-level virtualized stack.
+type virtEnv struct {
+	hyp   *virt.Hypervisor
+	vm    *virt.VM
+	guest *kernel.AddressSpace
+	gmgr  *tea.Manager
+	built *workload.Built
+}
+
+func setupVirt(cfg Config) (*virtEnv, error) {
+	guestRAM := mem.AlignUp(mem.VAddr(uint64(float64(cfg.WSBytes)*1.3)+256<<20), mem.PageBytes2M)
+	machineFrames := frames(uint64(guestRAM), 1.25, 384<<20)
+	hyp := virt.NewHypervisor(machineFrames, cache.ScaledConfig(cfg.CacheScale))
+
+	needHostDMT := cfg.Design == DesignDMT || cfg.Design == DesignPvDMT
+	vm, err := hyp.NewVM(virt.VMConfig{
+		Name:             "vm0",
+		RAMBytes:         uint64(guestRAM),
+		HostTHP:          cfg.THP,
+		HostDMT:          needHostDMT,
+		ASID:             100,
+		PvTEAWindowBytes: 64 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	guest, err := vm.NewGuestProcess(cfg.THP, 1)
+	if err != nil {
+		return nil, err
+	}
+	var gmgr *tea.Manager
+	switch cfg.Design {
+	case DesignDMT:
+		gmgr = tea.NewManager(guest, tea.NewPhysBackend(vm.GuestPhys), teaConfig(cfg))
+		guest.SetHooks(gmgr)
+	case DesignPvDMT:
+		gmgr = tea.NewManager(guest, virt.NewHypercallBackend(vm), teaConfig(cfg))
+		guest.SetHooks(gmgr)
+	}
+	built, err := cfg.Workload.Build(guest, cfg.WSBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &virtEnv{hyp: hyp, vm: vm, guest: guest, gmgr: gmgr, built: built}, nil
+}
+
+func (e *virtEnv) counters(r *Result) {
+	r.Hypercalls = e.hyp.Hypercalls
+	r.VMExits = e.hyp.VMExits
+	r.ShadowSyncs = e.hyp.ShadowSyncs
+	r.IsolationFaults = e.hyp.IsolationFaults
+	r.PTEBytes = (e.guest.Pool.NodeCount() + e.vm.HostAS.Pool.NodeCount()) * mem.PageBytes4K
+}
+
+// buildVirt assembles a single-level virtualized machine.
+func buildVirt(cfg Config) (*machine, error) {
+	e, err := setupVirt(cfg)
+	if err != nil {
+		return nil, err
+	}
+	hier := e.hyp.Hier
+	nested := virt.NewNestedWalker(e.guest.PT, e.vm.HostAS.PT, hier, 1)
+	scaleWalkerCaches(nested, cfg.CacheScale)
+
+	m := &machine{hier: hier, gen: e.built.NewGen(cfg.Seed), footer: e.counters}
+	switch cfg.Design {
+	case DesignVanilla:
+		m.walker = nested
+	case DesignShadow:
+		spt, err := virt.BuildShadowVA(e.vm, e.guest)
+		if err != nil {
+			return nil, err
+		}
+		m.walker = core.NewRadixWalker(spt, hier, tlb.NewPWCScaled(cfg.CacheScale), 1)
+	case DesignDMT:
+		w := &virt.DMTVirtWalker{
+			Guest: e.gmgr, GuestPool: e.guest.Pool,
+			Host: e.vm.HostTEA, HostPool: e.vm.HostAS.Pool,
+			Hier: hier, Fallback: nested,
+		}
+		m.walker = w
+		m.coverage = func() float64 {
+			total := w.RegisterHits + w.FallbackWalks
+			if total == 0 {
+				return 0
+			}
+			return float64(w.RegisterHits) / float64(total)
+		}
+	case DesignPvDMT:
+		w := virt.NewPvDMTWalker(e.vm, e.gmgr, e.guest.Pool, hier, nested)
+		m.walker = w
+		m.coverage = w.Coverage
+	case DesignECPT:
+		gsys, err := ecpt.NewSystem(e.vm.GuestPhys, ecptSizes(cfg.THP), int(cfg.WSBytes>>mem.PageShift4K)/ecpt.GroupPages)
+		if err != nil {
+			return nil, err
+		}
+		if err := gsys.Sync(e.guest); err != nil {
+			return nil, err
+		}
+		hsys, err := ecpt.NewSystem(e.hyp.MachinePhys, ecptSizes(cfg.THP), e.vm.HostAS.Pool.NodeCount()*mem.EntriesPerNode/ecpt.GroupPages)
+		if err != nil {
+			return nil, err
+		}
+		if err := hsys.Sync(e.vm.HostAS); err != nil {
+			return nil, err
+		}
+		m.walker = &ecpt.VirtWalker{Guest: gsys, Host: hsys, Hier: hier}
+	case DesignFPT:
+		gt, err := fpt.New(e.vm.GuestPhys)
+		if err != nil {
+			return nil, err
+		}
+		if err := gt.Sync(e.guest); err != nil {
+			return nil, err
+		}
+		ht, err := fpt.New(e.hyp.MachinePhys)
+		if err != nil {
+			return nil, err
+		}
+		if err := ht.Sync(e.vm.HostAS); err != nil {
+			return nil, err
+		}
+		m.walker = &fpt.VirtWalker{Guest: gt, Host: ht, Hier: hier}
+	case DesignAgile:
+		mirror, err := agile.BuildMirror(e.vm, e.guest)
+		if err != nil {
+			return nil, err
+		}
+		aw := agile.NewWalker(mirror, e.guest.PT, e.vm.HostAS.PT, hier, 1)
+		aw.HostPWC = tlb.NewPWCScaled(cfg.CacheScale)
+		aw.NestedC = tlb.NewNestedCacheSized(38 / cfg.CacheScale)
+		m.walker = aw
+	case DesignASAP:
+		// Only the guest-dimension PTE lines are prefetchable in a
+		// virtualized setup: ASAP's contiguity arithmetic can compute
+		// gPTE locations, but the data page's host-dimension PTEs
+		// depend on the gPTE *content* and stay demand-fetched
+		// (§6.2.2's dependency-chain argument).
+		src := func(gva mem.VAddr) [][]mem.PAddr {
+			var out []mem.PAddr
+			for _, s := range e.guest.PT.Walk(gva).Steps {
+				if s.Level > 2 {
+					continue
+				}
+				if machineAddr, ok := e.vm.MachineAddr(s.Addr); ok {
+					out = append(out, machineAddr)
+				}
+			}
+			return [][]mem.PAddr{out}
+		}
+		m.walker = &asap.Walker{Inner: nested, Hier: hier, Source: src, MemLatency: hier.Config().MemLatency}
+	default:
+		return nil, fmt.Errorf("design %q not available in a virtualized environment", cfg.Design)
+	}
+	return m, nil
+}
+
+// buildNested assembles the nested-virtualization machine: the baseline is
+// shadow-compressed nested paging (Figure 3); pvDMT is the three-register
+// chain of Figure 9.
+func buildNested(cfg Config) (*machine, error) {
+	l2RAM := mem.AlignUp(mem.VAddr(uint64(float64(cfg.WSBytes)*1.3)+192<<20), mem.PageBytes2M)
+	l1RAM := mem.AlignUp(l2RAM+mem.VAddr(uint64(float64(l2RAM)*0.25)+256<<20), mem.PageBytes2M)
+	machineFrames := frames(uint64(l1RAM), 1.2, 384<<20)
+	hyp := virt.NewHypervisor(machineFrames, cache.ScaledConfig(cfg.CacheScale))
+
+	needDMT := cfg.Design == DesignPvDMT
+	l1, err := hyp.NewVM(virt.VMConfig{
+		Name: "L1", RAMBytes: uint64(l1RAM), HostTHP: cfg.THP, HostDMT: needDMT,
+		ASID: 100, PvTEAWindowBytes: 96 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	l2, err := hyp.NewNestedVM(l1, virt.VMConfig{
+		Name: "L2", RAMBytes: uint64(l2RAM), HostTHP: cfg.THP, HostDMT: needDMT,
+		ASID: 101, PvTEAWindowBytes: 64 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	guest, err := l2.NewGuestProcess(cfg.THP, 1)
+	if err != nil {
+		return nil, err
+	}
+	var gmgr *tea.Manager
+	if needDMT {
+		gmgr = tea.NewManager(guest, virt.NewHypercallBackend(l2), tea.DefaultConfig(cfg.THP))
+		guest.SetHooks(gmgr)
+	}
+	built, err := cfg.Workload.Build(guest, cfg.WSBytes)
+	if err != nil {
+		return nil, err
+	}
+	spt, err := virt.BuildNestedShadow(l2)
+	if err != nil {
+		return nil, err
+	}
+	hier := hyp.Hier
+	baseline := virt.NewNestedWalker(guest.PT, spt, hier, 1)
+	scaleWalkerCaches(baseline, cfg.CacheScale)
+
+	m := &machine{hier: hier, gen: built.NewGen(cfg.Seed)}
+	m.footer = func(r *Result) {
+		r.Hypercalls = hyp.Hypercalls
+		r.VMExits = hyp.VMExits
+		r.ShadowSyncs = hyp.ShadowSyncs
+		r.IsolationFaults = hyp.IsolationFaults
+		r.PTEBytes = (guest.Pool.NodeCount() + l2.HostAS.Pool.NodeCount() + l1.HostAS.Pool.NodeCount()) * mem.PageBytes4K
+	}
+	switch cfg.Design {
+	case DesignVanilla:
+		m.walker = baseline
+	case DesignPvDMT:
+		w := virt.NewPvDMTNestedWalker(l2, gmgr, guest.Pool, hier, baseline)
+		m.walker = w
+		m.coverage = w.Coverage
+	default:
+		return nil, fmt.Errorf("design %q not available under nested virtualization", cfg.Design)
+	}
+	return m, nil
+}

@@ -1,0 +1,30 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"dmt/internal/stats"
+)
+
+func ExampleGeoMean() {
+	// The paper reports speedups as geometric means across workloads.
+	fmt.Printf("%.2f\n", stats.GeoMean([]float64{1.2, 1.5, 2.0}))
+	// Output:
+	// 1.53
+}
+
+func ExampleTable() {
+	t := &stats.Table{
+		Title:  "speedups",
+		Header: []string{"design", "pw", "app"},
+	}
+	t.Add("pvDMT", 1.58, 1.20)
+	t.Add("ECPT", 1.36, 1.10)
+	fmt.Print(t.String())
+	// Output:
+	// speedups
+	// design  pw    app
+	// ------  ----  ----
+	// pvDMT   1.58  1.20
+	// ECPT    1.36  1.10
+}

@@ -1,0 +1,200 @@
+// Package stats provides the small numeric and rendering helpers shared by
+// the benchmark harnesses: geometric means, CDFs, and fixed-width tables
+// in the shape of the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// GeoMean returns the geometric mean of xs (0 for empty input; panics on
+// non-positive values, which would indicate a broken measurement).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: non-positive value %v in GeoMean", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// CDF returns the (x, fraction≤x) points of the empirical CDF of xs.
+func CDF(xs []float64) (vals []float64, fracs []float64) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, v := range sorted {
+		vals = append(vals, v)
+		fracs = append(fracs, float64(i+1)/float64(len(sorted)))
+	}
+	return vals, fracs
+}
+
+// Percentile returns the p-th percentile (0–100) of xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Table renders rows with a header as an aligned fixed-width table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row; values are formatted with %v (floats with %.2f).
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == len(cells)-1 {
+				b.WriteString(c) // no trailing padding
+			} else {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Bar renders a simple horizontal ASCII bar of value scaled to maxWidth at
+// max — a stand-in for the paper's bar charts.
+func Bar(value, max float64, maxWidth int) string {
+	if max <= 0 {
+		return ""
+	}
+	n := int(value / max * float64(maxWidth))
+	if n < 0 {
+		n = 0
+	}
+	if n > maxWidth {
+		n = maxWidth
+	}
+	return strings.Repeat("#", n)
+}
+
+// BarChart renders labeled horizontal bars scaled to the maximum value —
+// the ASCII stand-in for the paper's grouped bar figures. Values are
+// printed with two decimals next to each bar.
+func BarChart(title string, labels []string, values []float64, width int) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	maxVal := 0.0
+	labelW := 0
+	for i, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		fmt.Fprintf(&b, "  %-*s %6.2f |%s\n", labelW, labels[i], v, Bar(v, maxVal, width))
+	}
+	return b.String()
+}
+
+// CDFPlot renders an empirical CDF as rows of percent-filled bars, one row
+// per sample step (used for Figure 5's CDF curves).
+func CDFPlot(title string, xs []float64, width int) string {
+	vals, fracs := CDF(xs)
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	// Downsample to at most 12 rows.
+	step := (len(vals) + 11) / 12
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(vals); i += step {
+		fmt.Fprintf(&b, "  x<=%-6.0f %5.1f%% |%s\n", vals[i], fracs[i]*100, Bar(fracs[i], 1, width))
+	}
+	if (len(vals)-1)%step != 0 {
+		last := len(vals) - 1
+		fmt.Fprintf(&b, "  x<=%-6.0f %5.1f%% |%s\n", vals[last], fracs[last]*100, Bar(fracs[last], 1, width))
+	}
+	return b.String()
+}

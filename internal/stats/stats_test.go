@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("GeoMean(2,8) = %v, want 4", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("GeoMean(nil) = %v, want 0", g)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("GeoMean of non-positive value must panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestGeoMeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		min, max := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r)/100 + 0.01
+			min = math.Min(min, xs[i])
+			max = math.Max(max, xs[i])
+		}
+		g := GeoMean(xs)
+		return g >= min-1e-9 && g <= max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAndPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if m := Mean(xs); m != 2.5 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if p := Percentile(xs, 50); p != 2 {
+		t.Fatalf("p50 = %v, want 2", p)
+	}
+	if p := Percentile(xs, 100); p != 4 {
+		t.Fatalf("p100 = %v, want 4", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Fatalf("empty percentile = %v", p)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	vals, fracs := CDF([]float64{3, 1, 2})
+	if len(vals) != 3 || vals[0] != 1 || fracs[2] != 1 {
+		t.Fatalf("CDF = %v %v", vals, fracs)
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1] || fracs[i] < fracs[i-1] {
+			t.Fatal("CDF not monotone")
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Header: []string{"a", "bb"}}
+	tb.Add("x", 1.5)
+	tb.Add("longer", "v")
+	s := tb.String()
+	if !strings.Contains(s, "T\n") || !strings.Contains(s, "1.50") || !strings.Contains(s, "longer") {
+		t.Fatalf("table rendering broken:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("table has %d lines, want 5:\n%s", len(lines), s)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if b := Bar(5, 10, 10); b != "#####" {
+		t.Fatalf("Bar = %q", b)
+	}
+	if b := Bar(20, 10, 10); len(b) != 10 {
+		t.Fatal("Bar must clamp to maxWidth")
+	}
+	if b := Bar(-1, 10, 10); b != "" {
+		t.Fatal("negative value must render empty")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	s := BarChart("t", []string{"a", "bb"}, []float64{1, 2}, 10)
+	if !strings.Contains(s, "bb") || !strings.Contains(s, "##########") {
+		t.Fatalf("chart rendering broken:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("chart has %d lines, want 3", len(lines))
+	}
+}
+
+func TestCDFPlot(t *testing.T) {
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := CDFPlot("cdf", xs, 20)
+	if !strings.Contains(s, "100.0%") {
+		t.Fatalf("CDF plot missing terminal row:\n%s", s)
+	}
+}

@@ -1,0 +1,65 @@
+package tea
+
+import (
+	"dmt/internal/mem"
+	"dmt/internal/phys"
+)
+
+// PhysBackend is the native TEA backend: TEAs are carved out of the local
+// buddy allocator with the contiguous page allocator, exactly as DMT-Linux
+// uses alloc_contig_pages (§4.6.2). In a guest without paravirtualization
+// this yields guest-physically-contiguous gTEAs (plain DMT, §3.1).
+type PhysBackend struct {
+	a *phys.Allocator
+
+	// Compactions counts defragmentation passes triggered by failed
+	// contiguous allocations.
+	Compactions uint64
+}
+
+// NewPhysBackend wraps a buddy allocator as a TEA backend.
+func NewPhysBackend(a *phys.Allocator) *PhysBackend { return &PhysBackend{a: a} }
+
+// AllocTEA allocates a physically-contiguous TEA. On failure it instructs
+// the allocator to defragment (§4.3: "DMT-Linux also instructs the memory
+// allocator to defragment the memory to resolve moveable fragmentations")
+// and retries once before reporting ErrNoTEA — which then triggers the
+// §4.2.2 mapping split.
+func (b *PhysBackend) AllocTEA(frames int) (Region, error) {
+	pa, err := b.a.AllocContig(frames, phys.KindPageTable)
+	if err != nil {
+		if b.a.Compact() == 0 {
+			return Region{}, ErrNoTEA
+		}
+		b.Compactions++
+		pa, err = b.a.AllocContig(frames, phys.KindPageTable)
+		if err != nil {
+			return Region{}, ErrNoTEA
+		}
+	}
+	return Region{NodeBase: pa, FetchBase: pa, Frames: frames}, nil
+}
+
+// FreeTEA returns the region to the buddy allocator.
+func (b *PhysBackend) FreeTEA(r Region) {
+	b.a.FreeContig(r.NodeBase, r.Frames)
+}
+
+// ExpandTEAInPlace grows the region at its end when the following frames
+// are free.
+func (b *PhysBackend) ExpandTEAInPlace(r Region, extra int) (Region, bool) {
+	if !b.a.ExpandContigInPlace(r.NodeBase, r.Frames, extra) {
+		return r, false
+	}
+	r.Frames += extra
+	return r, true
+}
+
+var _ Backend = (*PhysBackend)(nil)
+
+// SlotAddr is a convenience for tests: the fetch address of the PTE for va
+// given a region covering from coverVA at page size s.
+func SlotAddr(r Region, coverVA, va mem.VAddr, s mem.PageSize) mem.PAddr {
+	idx := (uint64(va) - uint64(coverVA)) >> s.Shift()
+	return r.FetchBase + mem.PAddr(idx*mem.PTEBytes)
+}

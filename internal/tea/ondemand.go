@@ -1,0 +1,78 @@
+package tea
+
+import (
+	"dmt/internal/mem"
+)
+
+// On-demand TEA allocation with dynamic expansion — the §7 extension the
+// paper sketches for workloads where eager allocation is wasteful ("e.g.,
+// mmapping a 1TB file to memory but accessing a small portion of it").
+//
+// In this mode a mapping's TEA initially covers only a small window at the
+// VMA's start; the first leaf-node placement beyond the window grows the
+// TEA (in place when the adjacent frames are free, by migration otherwise,
+// reusing the §4.3 machinery). The register's Limit tracks the covered
+// span, so translations beyond it fall back to the legacy walker instead
+// of fetching garbage — exactly the P-bit discipline of §4.6.1.
+
+// OnDemandInitialFrames is the initial TEA window (frames); each frame
+// covers one leaf node's span (2 MiB of VA for 4K pages).
+const OnDemandInitialFrames = 4
+
+// onDemandCoveredEnd returns the VA limit currently covered by the
+// region's frames.
+func (sr *sizeRegion) coveredEnd() mem.VAddr {
+	return sr.coverVA + mem.VAddr(uint64(sr.region.Frames)*sr.nodeSpan)
+}
+
+// ensureCovered grows an on-demand region until it covers va, returning
+// false when growth fails (the caller falls back to buddy placement and
+// the legacy walker serves the VA).
+func (m *Manager) ensureCovered(mp *Mapping, sr *sizeRegion, va mem.VAddr) bool {
+	if va < sr.coveredEnd() {
+		return true
+	}
+	if sr.shared != nil && sr.shared.refs > 1 {
+		return false // cannot grow a region another mapping depends on
+	}
+	// Grow to cover va plus slack, bounded by the mapping span.
+	_, maxFrames := framesFor(mp.Start, mp.End, sr.size)
+	want := int((uint64(va)-uint64(sr.coverVA))/sr.nodeSpan) + 1 + OnDemandInitialFrames
+	if want > maxFrames {
+		want = maxFrames
+	}
+	extra := want - sr.region.Frames
+	if extra <= 0 {
+		return true
+	}
+	if grown, ok := m.backend.ExpandTEAInPlace(sr.region, extra); ok {
+		m.updateSharedRegion(sr, grown)
+		m.Stats.ExpandsInPlace++
+		m.Stats.FramesLive += int64(extra)
+		m.reloadRegisters()
+		return true
+	}
+	// Migrate to a larger region (synchronously: the faulting page's
+	// placement must be resolved now).
+	newRegion, err := m.backend.AllocTEA(want)
+	if err != nil {
+		m.Stats.AllocFailures++
+		return false
+	}
+	m.Stats.FramesLive += int64(want)
+	sr.migrate = &migration{to: newRegion}
+	m.Stats.Migrations++
+	m.PumpMigration(1 << 30)
+	return true
+}
+
+// updateSharedRegion keeps the shared-region registry consistent when an
+// in-place expansion changes a region's frame count.
+func (m *Manager) updateSharedRegion(sr *sizeRegion, grown Region) {
+	if sr.shared != nil {
+		delete(m.shared, sr.shared.key)
+		sr.shared.key.frames = grown.Frames
+		m.shared[sr.shared.key] = &sharedEntry{region: grown, ref: sr.shared}
+	}
+	sr.region = grown
+}

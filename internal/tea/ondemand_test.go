@@ -1,0 +1,145 @@
+package tea
+
+import (
+	"testing"
+
+	"dmt/internal/kernel"
+	"dmt/internal/mem"
+)
+
+func newOnDemandEnv(t *testing.T) *env {
+	t.Helper()
+	cfg := DefaultConfig(false)
+	cfg.OnDemand = true
+	return newEnv(t, 1<<15, cfg, kernel.Config{})
+}
+
+func TestOnDemandStartsSmall(t *testing.T) {
+	e := newOnDemandEnv(t)
+	v, err := e.as.MMap(0x40000000, 256<<20, kernel.VMAHeap, "sparse") // would need 128 eager frames
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := e.mg.Mappings()[0]
+	sr := mp.regions[mem.Size4K]
+	if sr.region.Frames != OnDemandInitialFrames {
+		t.Fatalf("initial on-demand TEA = %d frames, want %d", sr.region.Frames, OnDemandInitialFrames)
+	}
+	// The register exposes only the covered window.
+	reg := e.mg.Lookup(v.Start)
+	if reg == nil {
+		t.Fatal("no register")
+	}
+	wantLimit := sr.coverVA + mem.VAddr(uint64(OnDemandInitialFrames)*nodeSpanOf(mem.Size4K))
+	if reg.Limit != wantLimit {
+		t.Fatalf("register limit %#x, want covered end %#x", uint64(reg.Limit), uint64(wantLimit))
+	}
+	if e.mg.Lookup(v.End-1) != nil {
+		t.Fatal("uncovered tail must not match any register")
+	}
+}
+
+func TestOnDemandGrowsWithFaults(t *testing.T) {
+	e := newOnDemandEnv(t)
+	v, _ := e.as.MMap(0x40000000, 128<<20, kernel.VMAHeap, "sparse")
+	// Touch a page 40 MiB in: the window must grow to cover it.
+	va := v.Start + 40<<20
+	if _, err := e.as.Touch(va, true); err != nil {
+		t.Fatal(err)
+	}
+	reg := e.mg.Lookup(va)
+	if reg == nil || !reg.Covered[mem.Size4K] {
+		t.Fatal("register does not cover the touched page after growth")
+	}
+	// Fetch arithmetic must land on the walker's leaf.
+	w := e.as.PT.Walk(va)
+	if got := reg.PTEAddr(mem.Size4K)(va); got != w.Steps[len(w.Steps)-1].Addr {
+		t.Fatalf("on-demand fetch %#x != walker leaf %#x", uint64(got), uint64(w.Steps[len(w.Steps)-1].Addr))
+	}
+	if e.mg.Stats.ExpandsInPlace == 0 && e.mg.Stats.Migrations == 0 {
+		t.Fatal("growth recorded neither expansion nor migration")
+	}
+}
+
+func TestOnDemandGrowthPreservesEarlierNodes(t *testing.T) {
+	e := newOnDemandEnv(t)
+	v, _ := e.as.MMap(0x40000000, 128<<20, kernel.VMAHeap, "sparse")
+	// Touch pages across a growing range, re-verifying all earlier ones
+	// each time (growth may migrate the TEA; arithmetic must follow).
+	var touched []mem.VAddr
+	for off := uint64(0); off < 96<<20; off += 7 << 21 {
+		va := v.Start + mem.VAddr(off)
+		if _, err := e.as.Touch(va, true); err != nil {
+			t.Fatal(err)
+		}
+		touched = append(touched, va)
+		for _, prev := range touched {
+			reg := e.mg.Lookup(prev)
+			if reg == nil {
+				t.Fatalf("page %#x lost register coverage after growth", uint64(prev))
+			}
+			w := e.as.PT.Walk(prev)
+			if !w.OK {
+				t.Fatalf("page %#x unwalkable", uint64(prev))
+			}
+			if got := reg.PTEAddr(mem.Size4K)(prev); got != w.Steps[len(w.Steps)-1].Addr {
+				t.Fatalf("page %#x: fetch arithmetic broken after growth", uint64(prev))
+			}
+		}
+	}
+}
+
+func TestOnDemandSparseSavesMemory(t *testing.T) {
+	// The §7 scenario: a large mapping of which only the front is used.
+	eager := newEnv(t, 1<<15, DefaultConfig(false), kernel.Config{})
+	lazy := newOnDemandEnv(t)
+	for _, e := range []*env{eager, lazy} {
+		v, err := e.as.MMap(0x40000000, 192<<20, kernel.VMAFile, "bigfile")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for off := mem.VAddr(0); off < 4<<20; off += mem.PageBytes4K {
+			if _, err := e.as.Touch(v.Start+off, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	eagerFrames := eager.mg.Stats.FramesLive
+	lazyFrames := lazy.mg.Stats.FramesLive
+	if eagerFrames != 96 { // 192 MiB / 2 MiB per frame
+		t.Fatalf("eager TEA = %d frames, want 96", eagerFrames)
+	}
+	if lazyFrames >= eagerFrames/4 {
+		t.Fatalf("on-demand TEA = %d frames, want far below eager %d", lazyFrames, eagerFrames)
+	}
+	// Both modes translate the touched region identically.
+	for _, e := range []*env{eager, lazy} {
+		va := mem.VAddr(0x40000000) + 2<<20 + 0x123
+		reg := e.mg.Lookup(va)
+		if reg == nil {
+			t.Fatal("touched page uncovered")
+		}
+		w := e.as.PT.Walk(va)
+		if got := reg.PTEAddr(mem.Size4K)(va); got != w.Steps[len(w.Steps)-1].Addr {
+			t.Fatal("fetch arithmetic mismatch")
+		}
+	}
+}
+
+func TestOnDemandFullLifecycleNoLeaks(t *testing.T) {
+	e := newOnDemandEnv(t)
+	free0 := e.pa.FreeFrames()
+	v, _ := e.as.MMap(0x40000000, 64<<20, kernel.VMAHeap, "heap")
+	if err := e.as.Populate(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.as.MUnmap(v); err != nil {
+		t.Fatal(err)
+	}
+	if e.pa.FreeFrames() != free0 {
+		t.Fatalf("leaked %d frames", free0-e.pa.FreeFrames())
+	}
+	if e.mg.Stats.FramesLive != 0 {
+		t.Fatalf("TEA accounting shows %d live frames", e.mg.Stats.FramesLive)
+	}
+}

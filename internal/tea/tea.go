@@ -1,0 +1,813 @@
+// Package tea implements Translation Entry Areas and VMA-to-TEA mapping
+// management — the OS half of DMT (§3, §4.2, §4.3 of the paper).
+//
+// A TEA is a physically-contiguous region holding the last-level PTEs of
+// the pages of one VMA (or one cluster of adjacent VMAs), in order. Because
+// a 4 KiB page of TEA is exactly one x86 L1 page-table node covering 2 MiB
+// of virtual space, TEAs are aligned so TEA pages *are* the page-table
+// nodes: the legacy walker and the DMT fetcher read the same PTE words
+// (the paper's no-copy property).
+//
+// The Manager plugs into the kernel's MMHooks: it reacts to VMA lifecycle
+// events by creating, merging (§4.2.1), splitting (§4.2.2), expanding, and
+// migrating (§4.3) TEAs, and it maintains the 16-register file (Figure 13)
+// that the hardware DMT fetcher consults.
+package tea
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dmt/internal/kernel"
+	"dmt/internal/mem"
+)
+
+// DefaultRegisters is the register-file size of the paper's implementation.
+const DefaultRegisters = 16
+
+// DefaultMergeThreshold is the maximum bubble ratio t tolerated when
+// clustering adjacent VMAs (§4.2.1).
+const DefaultMergeThreshold = 0.02
+
+// ErrNoTEA is returned by the backend when no contiguous region exists.
+var ErrNoTEA = errors.New("tea: cannot allocate contiguous TEA")
+
+// Region describes one allocated TEA.
+//
+// NodeBase is the address at which the contained page-table nodes are
+// registered in the owning table's pool (a guest-physical address under
+// pvDMT); FetchBase is the address the DMT fetcher dereferences (the host-
+// physical base — under pvDMT the two differ, which is exactly the
+// indirection the gTEA table resolves, §4.5.1). ID is the gTEA ID for
+// pvDMT, 0 otherwise.
+type Region struct {
+	NodeBase  mem.PAddr
+	FetchBase mem.PAddr
+	Frames    int
+	ID        int
+}
+
+// Backend allocates TEA storage. The native backend draws from the local
+// buddy allocator; the paravirtualized backend issues KVM_HC_ALLOC_TEA
+// hypercalls so the host places gTEAs contiguously in host physical memory.
+type Backend interface {
+	AllocTEA(frames int) (Region, error)
+	FreeTEA(r Region)
+	// ExpandTEAInPlace grows r by extra frames at its end, returning the
+	// enlarged region and whether in-place expansion succeeded.
+	ExpandTEAInPlace(r Region, extra int) (Region, bool)
+}
+
+// Config controls a Manager.
+type Config struct {
+	Registers      int
+	MergeThreshold float64
+	// Sizes lists the page sizes for which TEAs are maintained; typically
+	// {Size4K} or {Size4K, Size2M} with THP (§4.4).
+	Sizes []mem.PageSize
+	// GradualMigration leaves TEA migration to explicit PumpMigration
+	// calls (a background kthread analogue); otherwise migrations
+	// complete synchronously.
+	GradualMigration bool
+	// MinVMABytes below which no TEA is created (tiny VMAs — libraries,
+	// stack — rarely cause TLB misses, §4.2).
+	MinVMABytes uint64
+	// OnDemand enables lazy TEA allocation with dynamic expansion (§7):
+	// a mapping's TEA starts as a small window at the VMA's start and
+	// grows as leaf nodes are placed, so sparsely-touched mappings never
+	// pay for full eager coverage. Registers expose only the covered
+	// span; beyond it translation falls back to the legacy walker.
+	OnDemand bool
+}
+
+// DefaultMinVMABytes is the size below which no TEA is created: tiny VMAs
+// (libraries, stacks) have high temporal locality and rarely miss the TLB
+// (§4.2), so eager TEAs for them would only waste memory; their occasional
+// misses fall back to the legacy walker.
+const DefaultMinVMABytes = 64 << 10
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig(thp bool) Config {
+	sizes := []mem.PageSize{mem.Size4K}
+	if thp {
+		sizes = append(sizes, mem.Size2M)
+	}
+	return Config{
+		Registers:      DefaultRegisters,
+		MergeThreshold: DefaultMergeThreshold,
+		Sizes:          sizes,
+		MinVMABytes:    DefaultMinVMABytes,
+	}
+}
+
+// sizeRegion is a TEA of one page size belonging to a mapping.
+type sizeRegion struct {
+	size     mem.PageSize
+	coverVA  mem.VAddr // aligned-down start of node coverage
+	region   Region
+	migrate  *migration
+	nodeSpan uint64 // bytes of VA covered per TEA frame (512 * size)
+	// shared is non-nil when several mappings cover the same aligned
+	// node span: the leaf-level page-table nodes in that span are shared
+	// radix structures, so their TEA must be shared too (e.g. two VMAs
+	// inside one 1 GiB region share the L2 node holding their 2M PTEs).
+	shared *sharedRegion
+}
+
+// sharedRegion refcounts a TEA used by several mappings.
+type sharedRegion struct {
+	key  sharedKey
+	refs int
+}
+
+type sharedKey struct {
+	size   mem.PageSize
+	cover  mem.VAddr
+	frames int
+}
+
+type migration struct {
+	to       Region
+	nextSlot int
+}
+
+// Mapping is one VMA-to-TEA mapping, possibly covering a cluster of
+// adjacent VMAs with small bubbles (§4.2.1), possibly one half of a split
+// (§4.2.2).
+type Mapping struct {
+	Start, End mem.VAddr // covered span (page aligned)
+	regions    map[mem.PageSize]*sizeRegion
+	vmas       []*kernel.VMA
+}
+
+// Span returns the number of bytes covered.
+func (m *Mapping) Span() uint64 { return uint64(m.End - m.Start) }
+
+// Contains reports whether va falls in the covered span.
+func (m *Mapping) Contains(va mem.VAddr) bool { return va >= m.Start && va < m.End }
+
+// Register is one entry of the DMT register file (Figure 13): the VMA base
+// VPN and size, a per-page-size TEA base PFN (SZ field fan-out of §4.4),
+// the Present bit, and the gTEA ID used by pvDMT.
+type Register struct {
+	Present bool
+	Base    mem.VAddr
+	Limit   mem.VAddr
+	// FetchBase[s] is the TEA base the fetcher dereferences for page
+	// size s; Covered[s] reports whether a TEA of that size exists.
+	FetchBase [3]mem.PAddr
+	CoverVA   [3]mem.VAddr
+	Covered   [3]bool
+	GTEAID    [3]int
+}
+
+// Match reports whether va is covered by the register.
+func (r *Register) Match(va mem.VAddr) bool {
+	return r.Present && va >= r.Base && va < r.Limit
+}
+
+// PTEAddr computes the fetch address of the last-level PTE for va at page
+// size s — the two-step arithmetic of Figure 7: VPN offset inside the VMA,
+// then indexing into the TEA.
+func (r *Register) PTEAddr(s mem.PageSize) func(va mem.VAddr) mem.PAddr {
+	base, cover := r.FetchBase[s], r.CoverVA[s]
+	return func(va mem.VAddr) mem.PAddr {
+		idx := (uint64(va) - uint64(cover)) >> s.Shift()
+		return base + mem.PAddr(idx*mem.PTEBytes)
+	}
+}
+
+// Stats counts TEA-management activity for the §6.3 overhead analysis.
+type Stats struct {
+	Created        uint64
+	Deleted        uint64
+	Merges         uint64
+	Splits         uint64
+	ExpandsInPlace uint64
+	Migrations     uint64
+	MigratedNodes  uint64
+	AllocFailures  uint64
+	FramesLive     int64
+}
+
+// Manager owns every mapping and TEA of one address space and implements
+// kernel.MMHooks.
+type Manager struct {
+	cfg      Config
+	as       *kernel.AddressSpace
+	backend  Backend
+	mappings []*Mapping // sorted by Start
+	regs     []Register
+	shared   map[sharedKey]*sharedEntry
+
+	Stats Stats
+}
+
+type sharedEntry struct {
+	region Region
+	ref    *sharedRegion
+}
+
+var _ kernel.MMHooks = (*Manager)(nil)
+
+// NewManager creates a TEA manager for as, drawing TEA storage from the
+// backend. Install it with as.SetHooks before creating VMAs.
+func NewManager(as *kernel.AddressSpace, backend Backend, cfg Config) *Manager {
+	if cfg.Registers == 0 {
+		cfg.Registers = DefaultRegisters
+	}
+	if cfg.MergeThreshold == 0 {
+		cfg.MergeThreshold = DefaultMergeThreshold
+	}
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = []mem.PageSize{mem.Size4K}
+	}
+	return &Manager{
+		cfg:     cfg,
+		as:      as,
+		backend: backend,
+		regs:    make([]Register, cfg.Registers),
+		shared:  map[sharedKey]*sharedEntry{},
+	}
+}
+
+// Registers returns the current register file, reloaded from the mapping
+// set — the task-state registers the DMT fetcher reads (§4.1).
+func (m *Manager) Registers() []Register { return m.regs }
+
+// Mappings returns all live VMA-to-TEA mappings.
+func (m *Manager) Mappings() []*Mapping { return m.mappings }
+
+// nodeSpanOf returns the VA bytes covered by one 4 KiB TEA frame for size s:
+// a frame holds 512 PTEs, each covering one page of size s.
+func nodeSpanOf(s mem.PageSize) uint64 { return mem.EntriesPerNode * s.Bytes() }
+
+// framesFor returns the TEA frame count needed to cover [start, end) with
+// size-s PTEs, after aligning outward to node coverage.
+func framesFor(start, end mem.VAddr, s mem.PageSize) (mem.VAddr, int) {
+	span := nodeSpanOf(s)
+	a := mem.AlignDown(start, span)
+	b := mem.AlignUp(end, span)
+	return a, int(uint64(b-a) / span)
+}
+
+// ---- kernel.MMHooks ----
+
+// VMACreated creates a VMA-to-TEA mapping for the new VMA, merging it into
+// an adjacent cluster when the bubble ratio stays below the threshold.
+func (m *Manager) VMACreated(v *kernel.VMA) {
+	if v.Size() < m.cfg.MinVMABytes {
+		return
+	}
+	if merged := m.tryMerge(v); merged {
+		// §4.2.1: "This process is performed iteratively until the
+		// ratio is larger than t" — keep folding neighbours into the
+		// cluster while the bubble budget allows.
+		for m.tryMergeNeighbours() {
+		}
+		m.reloadRegisters()
+		return
+	}
+	mp := &Mapping{Start: v.Start, End: v.End, regions: map[mem.PageSize]*sizeRegion{}, vmas: []*kernel.VMA{v}}
+	if err := m.allocRegions(mp); err != nil {
+		m.Stats.AllocFailures++
+		// Splitting path (§4.2.2): halve until allocation succeeds.
+		m.splitAndAlloc(v, v.Start, v.End, 0)
+		m.reloadRegisters()
+		return
+	}
+	m.insertMapping(mp)
+	m.Stats.Created++
+	m.reloadRegisters()
+}
+
+// VMAResized expands or shrinks the covering TEAs (§4.2.3). Split VMAs
+// (§4.2.2) are covered by several mappings: growth extends the tail
+// mapping; a shrink truncates the mapping straddling the new end and drops
+// mappings lying wholly beyond it.
+func (m *Manager) VMAResized(v *kernel.VMA, oldStart, oldEnd mem.VAddr) {
+	var owned []*Mapping
+	for _, mp := range m.mappings {
+		for _, mv := range mp.vmas {
+			if mv == v {
+				owned = append(owned, mp)
+				break
+			}
+		}
+	}
+	if len(owned) == 0 {
+		// The VMA had no TEA (e.g. below MinVMABytes); treat growth as
+		// a fresh creation.
+		if v.End-v.Start >= mem.VAddr(m.cfg.MinVMABytes) {
+			m.VMACreated(v)
+		}
+		return
+	}
+	if v.End > oldEnd {
+		// Grow: extend the mapping covering the old tail.
+		tail := owned[0]
+		for _, mp := range owned {
+			if mp.End > tail.End {
+				tail = mp
+			}
+		}
+		if v.End > tail.End {
+			m.expandMapping(tail, v.End)
+		}
+	} else if v.End < oldEnd {
+		var drop []*Mapping
+		for _, mp := range owned {
+			switch {
+			case mp.Start >= v.End && len(mp.vmas) == 1:
+				drop = append(drop, mp)
+			case mp.End > v.End && mp.Start < v.End && len(mp.vmas) == 1:
+				m.shrinkMapping(mp, v.End)
+			}
+		}
+		for _, mp := range drop {
+			m.dropMapping(mp)
+		}
+	}
+	m.reloadRegisters()
+}
+
+// VMADeleted frees the VMA's TEAs (or detaches it from its cluster). A
+// split VMA (§4.2.2) is covered by several mappings; all of them are
+// visited.
+func (m *Manager) VMADeleted(v *kernel.VMA) {
+	var drop []*Mapping
+	for _, mp := range m.mappings {
+		for i, mv := range mp.vmas {
+			if mv == v {
+				mp.vmas = append(mp.vmas[:i], mp.vmas[i+1:]...)
+				break
+			}
+		}
+		if len(mp.vmas) == 0 {
+			drop = append(drop, mp)
+		}
+	}
+	for _, mp := range drop {
+		m.dropMapping(mp)
+	}
+	m.reloadRegisters()
+}
+
+// PlaceNode places leaf-level page-table nodes at their TEA slots (§4.3).
+func (m *Manager) PlaceNode(level int, va mem.VAddr) (mem.PAddr, bool) {
+	if level < 1 || level > 2 {
+		return 0, false
+	}
+	size := mem.PageSize(level - 1)
+	mp := m.mappingAt(va)
+	if mp == nil {
+		return 0, false
+	}
+	sr, ok := mp.regions[size]
+	if !ok {
+		return 0, false
+	}
+	if m.cfg.OnDemand && !m.ensureCovered(mp, sr, va) {
+		return 0, false // buddy placement; the legacy walker serves it
+	}
+	// During gradual migration new nodes go straight to the new region.
+	base := sr.region.NodeBase
+	if sr.migrate != nil {
+		base = sr.migrate.to.NodeBase
+	}
+	slot := (uint64(va) - uint64(sr.coverVA)) / sr.nodeSpan
+	if int(slot) >= sr.region.Frames && sr.migrate == nil {
+		return 0, false // beyond the covered window
+	}
+	return base + mem.PAddr(slot*mem.PageBytes4K), true
+}
+
+// OwnsNode reports whether pa lies inside any TEA (node-address side).
+func (m *Manager) OwnsNode(pa mem.PAddr) bool {
+	for _, mp := range m.mappings {
+		for _, sr := range mp.regions {
+			if within(pa, sr.region.NodeBase, sr.region.Frames) {
+				return true
+			}
+			if sr.migrate != nil && within(pa, sr.migrate.to.NodeBase, sr.migrate.to.Frames) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func within(pa, base mem.PAddr, frames int) bool {
+	return pa >= base && pa < base+mem.PAddr(uint64(frames)<<mem.PageShift4K)
+}
+
+// ---- mapping bookkeeping ----
+
+func (m *Manager) mappingAt(va mem.VAddr) *Mapping {
+	i := sort.Search(len(m.mappings), func(i int) bool { return m.mappings[i].End > va })
+	if i < len(m.mappings) && m.mappings[i].Contains(va) {
+		return m.mappings[i]
+	}
+	return nil
+}
+
+func (m *Manager) insertMapping(mp *Mapping) {
+	i := sort.Search(len(m.mappings), func(i int) bool { return m.mappings[i].Start >= mp.Start })
+	m.mappings = append(m.mappings, nil)
+	copy(m.mappings[i+1:], m.mappings[i:])
+	m.mappings[i] = mp
+}
+
+func (m *Manager) removeMapping(mp *Mapping) {
+	for i, x := range m.mappings {
+		if x == mp {
+			m.mappings = append(m.mappings[:i], m.mappings[i+1:]...)
+			return
+		}
+	}
+}
+
+func (m *Manager) allocRegions(mp *Mapping) error {
+	done := make([]*sizeRegion, 0, len(m.cfg.Sizes))
+	for _, s := range m.cfg.Sizes {
+		cover, frames := framesFor(mp.Start, mp.End, s)
+		if m.cfg.OnDemand && frames > OnDemandInitialFrames {
+			frames = OnDemandInitialFrames
+		}
+		key := sharedKey{size: s, cover: cover, frames: frames}
+		if se, ok := m.shared[key]; ok {
+			// Another mapping covers exactly the same aligned node
+			// span: the underlying leaf nodes are shared, so share the
+			// TEA instead of fighting over node placement.
+			se.ref.refs++
+			mp.regions[s] = &sizeRegion{size: s, coverVA: cover, region: se.region, nodeSpan: nodeSpanOf(s), shared: se.ref}
+			continue
+		}
+		r, err := m.backend.AllocTEA(frames)
+		if err != nil {
+			for _, sr := range done {
+				m.releaseRegion(sr)
+			}
+			return err
+		}
+		ref := &sharedRegion{key: key, refs: 1}
+		m.shared[key] = &sharedEntry{region: r, ref: ref}
+		sr := &sizeRegion{size: s, coverVA: cover, region: r, nodeSpan: nodeSpanOf(s), shared: ref}
+		mp.regions[s] = sr
+		done = append(done, sr)
+		m.Stats.FramesLive += int64(frames)
+	}
+	return nil
+}
+
+// releaseRegion drops one reference to a sizeRegion's TEA, freeing it when
+// unshared.
+func (m *Manager) releaseRegion(sr *sizeRegion) {
+	if sr.shared != nil {
+		sr.shared.refs--
+		if sr.shared.refs > 0 {
+			return
+		}
+		delete(m.shared, sr.shared.key)
+	}
+	m.backend.FreeTEA(sr.region)
+	m.Stats.FramesLive -= int64(sr.region.Frames)
+}
+
+func (m *Manager) dropMapping(mp *Mapping) {
+	for _, sr := range mp.regions {
+		m.releaseRegion(sr)
+		if sr.migrate != nil {
+			m.backend.FreeTEA(sr.migrate.to)
+			m.Stats.FramesLive -= int64(sr.migrate.to.Frames)
+		}
+	}
+	m.removeMapping(mp)
+	m.Stats.Deleted++
+}
+
+// splitAndAlloc implements §4.2.2: when a TEA allocation fails, cover the
+// VMA with two half-size mappings, splitting recursively until allocation
+// succeeds (or the pieces reach one node span, at which point the remainder
+// is left to the legacy walker).
+func (m *Manager) splitAndAlloc(v *kernel.VMA, start, end mem.VAddr, depth int) {
+	if uint64(end-start) <= nodeSpanOf(mem.Size4K) || depth > 16 {
+		return
+	}
+	mid := mem.AlignDown(start+(end-start)/2, mem.PageBytes2M)
+	if mid <= start || mid >= end {
+		return
+	}
+	m.Stats.Splits++
+	for _, half := range [][2]mem.VAddr{{start, mid}, {mid, end}} {
+		mp := &Mapping{Start: half[0], End: half[1], regions: map[mem.PageSize]*sizeRegion{}, vmas: []*kernel.VMA{v}}
+		if err := m.allocRegions(mp); err != nil {
+			m.Stats.AllocFailures++
+			m.splitAndAlloc(v, half[0], half[1], depth+1)
+			continue
+		}
+		m.insertMapping(mp)
+		m.Stats.Created++
+	}
+}
+
+// tryMerge attempts to cluster v with the nearest existing mapping when
+// the resulting bubble ratio is below the threshold (§4.2.1). It returns
+// whether a merge happened.
+func (m *Manager) tryMerge(v *kernel.VMA) bool {
+	if m.cfg.MergeThreshold <= 0 {
+		return false
+	}
+	var best *Mapping
+	var bestRatio = m.cfg.MergeThreshold
+	for _, mp := range m.mappings {
+		var gap, span uint64
+		switch {
+		case mp.End <= v.Start:
+			gap = uint64(v.Start - mp.End)
+			span = uint64(v.End - mp.Start)
+		case v.End <= mp.Start:
+			gap = uint64(mp.Start - v.End)
+			span = uint64(mp.End - v.Start)
+		default:
+			continue
+		}
+		if span == 0 {
+			continue
+		}
+		ratio := float64(gap) / float64(span)
+		if ratio <= bestRatio {
+			best, bestRatio = mp, ratio
+		}
+	}
+	if best == nil {
+		return false
+	}
+	newStart, newEnd := best.Start, best.End
+	if v.Start < newStart {
+		newStart = v.Start
+	}
+	if v.End > newEnd {
+		newEnd = v.End
+	}
+	// Build the merged mapping with fresh TEAs, then migrate the old
+	// TEA contents into it (§4.2.1: expansion + migration).
+	merged := &Mapping{Start: newStart, End: newEnd, regions: map[mem.PageSize]*sizeRegion{},
+		vmas: append(append([]*kernel.VMA{}, best.vmas...), v)}
+	if err := m.allocRegions(merged); err != nil {
+		m.Stats.AllocFailures++
+		return false
+	}
+	m.migrateMappingInto(best, merged)
+	m.removeMapping(best)
+	m.insertMapping(merged)
+	m.Stats.Merges++
+	return true
+}
+
+// tryMergeNeighbours merges one pair of adjacent mappings whose combined
+// bubble ratio stays below the threshold; it reports whether a merge
+// happened (callers loop until it returns false).
+func (m *Manager) tryMergeNeighbours() bool {
+	if m.cfg.MergeThreshold <= 0 {
+		return false
+	}
+	for i := 0; i+1 < len(m.mappings); i++ {
+		a, b := m.mappings[i], m.mappings[i+1]
+		gap := uint64(b.Start - a.End)
+		span := uint64(b.End - a.Start)
+		if span == 0 || float64(gap)/float64(span) > m.cfg.MergeThreshold {
+			continue
+		}
+		merged := &Mapping{Start: a.Start, End: b.End, regions: map[mem.PageSize]*sizeRegion{},
+			vmas: append(append([]*kernel.VMA{}, a.vmas...), b.vmas...)}
+		if err := m.allocRegions(merged); err != nil {
+			m.Stats.AllocFailures++
+			return false
+		}
+		m.migrateMappingInto(a, merged)
+		m.migrateMappingInto(b, merged)
+		m.removeMapping(a)
+		m.removeMapping(b)
+		m.insertMapping(merged)
+		m.Stats.Merges++
+		return true
+	}
+	return false
+}
+
+// migrateMappingInto relocates every live node of old's TEAs into the
+// corresponding slots of the freshly-allocated regions of merged.
+func (m *Manager) migrateMappingInto(old, merged *Mapping) {
+	for s, osr := range old.regions {
+		nsr, ok := merged.regions[s]
+		if !ok {
+			m.backend.FreeTEA(osr.region)
+			m.Stats.FramesLive -= int64(osr.region.Frames)
+			continue
+		}
+		if osr.shared != nil && osr.shared.refs > 1 {
+			// Shared with another mapping: leave the region (and its
+			// nodes) in place; the merged TEA serves future placements.
+			m.releaseRegion(osr)
+			continue
+		}
+		for slot := 0; slot < osr.region.Frames; slot++ {
+			va := osr.coverVA + mem.VAddr(uint64(slot)*osr.nodeSpan)
+			newSlot := (uint64(va) - uint64(nsr.coverVA)) / nsr.nodeSpan
+			target := nsr.region.NodeBase + mem.PAddr(newSlot*mem.PageBytes4K)
+			if m.relocateNode(s, va, target) {
+				m.Stats.MigratedNodes++
+			}
+		}
+		m.releaseRegion(osr)
+		m.Stats.Migrations++
+	}
+}
+
+// relocateNode moves the level-(s+1) node covering va to target if one
+// exists there.
+func (m *Manager) relocateNode(s mem.PageSize, va mem.VAddr, target mem.PAddr) bool {
+	level := s.LeafLevel()
+	node := m.as.PT.NodeForLevel(va, level)
+	if node == nil || node.Base == target {
+		return false
+	}
+	if level == 1 {
+		return m.as.PT.RelocateL1(va, target) == nil
+	}
+	// Level-2 nodes: the table API relocates L1; emulate for L2 via the
+	// same parent-rewrite primitive.
+	return m.as.PT.RelocateNode(va, level, target) == nil
+}
+
+// expandMapping grows the mapping's TEAs to cover newEnd (§4.2.3), first
+// in place, then by migration to a larger region (§4.3).
+func (m *Manager) expandMapping(mp *Mapping, newEnd mem.VAddr) {
+	for s, sr := range mp.regions {
+		_, needFrames := framesFor(mp.Start, newEnd, s)
+		extra := needFrames - sr.region.Frames
+		if extra <= 0 {
+			continue
+		}
+		if sr.shared != nil && sr.shared.refs > 1 {
+			// Another mapping still references this TEA; growing it in
+			// place would invalidate the sharer's coverage. The grown
+			// tail falls back to the legacy walker until the sharer
+			// releases the region.
+			m.Stats.AllocFailures++
+			continue
+		}
+		if grown, ok := m.backend.ExpandTEAInPlace(sr.region, extra); ok {
+			m.updateSharedRegion(sr, grown)
+			m.Stats.ExpandsInPlace++
+			m.Stats.FramesLive += int64(extra)
+			continue
+		}
+		newRegion, err := m.backend.AllocTEA(needFrames)
+		if err != nil {
+			m.Stats.AllocFailures++
+			continue // stale TEA keeps covering the old span; rest falls back
+		}
+		m.Stats.FramesLive += int64(needFrames)
+		sr.migrate = &migration{to: newRegion}
+		m.Stats.Migrations++
+		if !m.cfg.GradualMigration {
+			m.PumpMigration(1 << 30)
+		}
+	}
+	mp.End = newEnd
+}
+
+func (m *Manager) shrinkMapping(mp *Mapping, newEnd mem.VAddr) {
+	// TEA frames beyond the new coverage stay allocated until deletion
+	// (the paper shrinks lazily; splitting frames out of a contiguous
+	// region would defeat contiguity anyway). Only the span changes, so
+	// register coverage and bounds checks tighten immediately.
+	mp.End = newEnd
+}
+
+// PumpMigration advances all in-flight gradual TEA migrations by at most
+// batch node relocations (the background-worker analogue of §4.3). While a
+// region is migrating its register entry is absent (P-bit clear), so
+// translations fall back to the legacy walker. It returns the number of
+// nodes moved.
+func (m *Manager) PumpMigration(batch int) int {
+	moved := 0
+	for _, mp := range m.mappings {
+		for s, sr := range mp.regions {
+			if sr.migrate == nil {
+				continue
+			}
+			mg := sr.migrate
+			for mg.nextSlot < sr.region.Frames && moved < batch {
+				va := sr.coverVA + mem.VAddr(uint64(mg.nextSlot)*sr.nodeSpan)
+				slot := (uint64(va) - uint64(sr.coverVA)) / sr.nodeSpan
+				target := mg.to.NodeBase + mem.PAddr(slot*mem.PageBytes4K)
+				if m.relocateNode(s, va, target) {
+					m.Stats.MigratedNodes++
+				}
+				mg.nextSlot++
+				moved++
+			}
+			if mg.nextSlot >= sr.region.Frames {
+				old := sr.region
+				if sr.shared != nil {
+					delete(m.shared, sr.shared.key)
+					sr.shared.key.frames = mg.to.Frames
+					m.shared[sr.shared.key] = &sharedEntry{region: mg.to, ref: sr.shared}
+				}
+				m.backend.FreeTEA(old)
+				m.Stats.FramesLive -= int64(old.Frames)
+				sr.region = mg.to
+				sr.migrate = nil
+			}
+		}
+	}
+	if moved > 0 {
+		m.reloadRegisters()
+	}
+	return moved
+}
+
+// MigrationsPending reports whether any TEA migration is in flight.
+func (m *Manager) MigrationsPending() bool {
+	for _, mp := range m.mappings {
+		for _, sr := range mp.regions {
+			if sr.migrate != nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// reloadRegisters re-sorts mappings by covered size and loads the largest
+// into the register file (§4.2: large VMAs cause the page-table walks;
+// small hot VMAs rarely miss the TLB).
+func (m *Manager) reloadRegisters() {
+	order := make([]*Mapping, len(m.mappings))
+	copy(order, m.mappings)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Span() != order[j].Span() {
+			return order[i].Span() > order[j].Span()
+		}
+		return order[i].Start < order[j].Start
+	})
+	for i := range m.regs {
+		m.regs[i] = Register{}
+	}
+	n := 0
+	for _, mp := range order {
+		if n == len(m.regs) {
+			break
+		}
+		r := Register{Present: true, Base: mp.Start, Limit: mp.End}
+		for s, sr := range mp.regions {
+			if sr.migrate != nil {
+				// P-bit clear during migration: skip this size; if no
+				// size remains the register is not loaded.
+				continue
+			}
+			r.FetchBase[s] = sr.region.FetchBase
+			r.CoverVA[s] = sr.coverVA
+			r.Covered[s] = true
+			r.GTEAID[s] = sr.region.ID
+			// On-demand regions expose only their covered window.
+			if ce := sr.coveredEnd(); ce < r.Limit {
+				r.Limit = ce
+			}
+		}
+		any := false
+		for _, c := range r.Covered {
+			any = any || c
+		}
+		if !any {
+			continue
+		}
+		m.regs[n] = r
+		n++
+	}
+}
+
+// Lookup finds the register covering va, mirroring the hardware filter in
+// Figure 10. It returns nil when no register matches (fallback path).
+func (m *Manager) Lookup(va mem.VAddr) *Register {
+	for i := range m.regs {
+		if m.regs[i].Match(va) {
+			return &m.regs[i]
+		}
+	}
+	return nil
+}
+
+// String summarizes the manager state.
+func (m *Manager) String() string {
+	return fmt.Sprintf("tea.Manager{mappings=%d, regs=%d, live=%d frames}",
+		len(m.mappings), m.cfg.Registers, m.Stats.FramesLive)
+}
+
+// SharedCount returns the number of distinct TEA regions currently shared
+// or singly owned (diagnostics).
+func (m *Manager) SharedCount() int { return len(m.shared) }

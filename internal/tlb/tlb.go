@@ -1,0 +1,311 @@
+// Package tlb implements the translation-lookaside structures of the
+// simulated architecture (Table 3): a two-level data TLB (64-entry 4-way L1,
+// 1536-entry 12-way L2 STLB), the 3-level page-walk caches (2/4/32 entries,
+// 1-cycle access), and the nested page-walk cache used by two-dimensional
+// walks in virtualized environments.
+package tlb
+
+import "dmt/internal/mem"
+
+// assoc is a small set-associative map from uint64 keys to uint64 values
+// with LRU replacement; it backs TLBs, PWCs, and nested walk caches.
+type assoc struct {
+	sets  []assocSet
+	ways  int
+	now   uint64
+	hits  uint64
+	miss  uint64
+	valid map[uint64]struct{} // nil unless tracking needed
+}
+
+type assocSet struct {
+	keys  []uint64 // key+1, 0 = invalid
+	vals  []uint64
+	stamp []uint64
+}
+
+func newAssoc(entries, ways int) *assoc {
+	if entries%ways != 0 {
+		panic("tlb: entries not divisible by ways")
+	}
+	n := entries / ways
+	a := &assoc{sets: make([]assocSet, n), ways: ways}
+	for i := range a.sets {
+		a.sets[i] = assocSet{
+			keys:  make([]uint64, ways),
+			vals:  make([]uint64, ways),
+			stamp: make([]uint64, ways),
+		}
+	}
+	return a
+}
+
+func (a *assoc) set(key uint64) *assocSet {
+	// Mix the key so consecutive VPNs spread across sets.
+	h := key * 0x9e3779b97f4a7c15
+	return &a.sets[(h>>32)%uint64(len(a.sets))]
+}
+
+func (a *assoc) lookup(key uint64) (uint64, bool) {
+	a.now++
+	s := a.set(key)
+	for w, k := range s.keys {
+		if k == key+1 {
+			s.stamp[w] = a.now
+			a.hits++
+			return s.vals[w], true
+		}
+	}
+	a.miss++
+	return 0, false
+}
+
+func (a *assoc) insert(key, val uint64) {
+	a.now++
+	s := a.set(key)
+	victim, oldest := 0, ^uint64(0)
+	for w, k := range s.keys {
+		if k == key+1 {
+			s.vals[w] = val
+			s.stamp[w] = a.now
+			return
+		}
+		if k == 0 {
+			victim, oldest = w, 0
+			break
+		}
+		if s.stamp[w] < oldest {
+			victim, oldest = w, s.stamp[w]
+		}
+	}
+	s.keys[victim] = key + 1
+	s.vals[victim] = val
+	s.stamp[victim] = a.now
+}
+
+func (a *assoc) invalidate(key uint64) {
+	s := a.set(key)
+	for w, k := range s.keys {
+		if k == key+1 {
+			s.keys[w] = 0
+		}
+	}
+}
+
+func (a *assoc) flush() {
+	for i := range a.sets {
+		for w := range a.sets[i].keys {
+			a.sets[i].keys[w] = 0
+		}
+	}
+}
+
+// Config describes the two-level TLB; DefaultConfig matches Table 3.
+type Config struct {
+	L1Entries, L1Ways int
+	L2Entries, L2Ways int
+}
+
+// DefaultConfig is the Table 3 data-side configuration: 64-entry 4-way L1D
+// TLB and 1536-entry 12-way L2 STLB.
+func DefaultConfig() Config {
+	return Config{L1Entries: 64, L1Ways: 4, L2Entries: 1536, L2Ways: 12}
+}
+
+// TLB is a two-level, multi-page-size translation lookaside buffer keyed by
+// (ASID, page size, VPN).
+type TLB struct {
+	l1, l2 *assoc
+
+	L1Hits, L2Hits, Misses uint64
+}
+
+// New builds a TLB from cfg.
+func New(cfg Config) *TLB {
+	return &TLB{
+		l1: newAssoc(cfg.L1Entries, cfg.L1Ways),
+		l2: newAssoc(cfg.L2Entries, cfg.L2Ways),
+	}
+}
+
+func key(va mem.VAddr, size mem.PageSize, asid uint16) uint64 {
+	return mem.PageNumber(va, size)<<12 | uint64(asid)<<2 | uint64(size)
+}
+
+// Lookup probes both levels for a translation of va under asid, trying all
+// three page sizes. On an L2 hit the entry is promoted into the L1.
+func (t *TLB) Lookup(va mem.VAddr, asid uint16) (mem.PAddr, mem.PageSize, bool) {
+	for _, size := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+		k := key(va, size, asid)
+		if v, ok := t.l1.lookup(k); ok {
+			t.L1Hits++
+			return frameToPA(v, va, size), size, true
+		}
+	}
+	for _, size := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+		k := key(va, size, asid)
+		if v, ok := t.l2.lookup(k); ok {
+			t.L2Hits++
+			t.l1.insert(k, v)
+			return frameToPA(v, va, size), size, true
+		}
+	}
+	t.Misses++
+	return 0, 0, false
+}
+
+func frameToPA(frame uint64, va mem.VAddr, size mem.PageSize) mem.PAddr {
+	return mem.PAddr(frame<<size.Shift() | mem.PageOffset(va, size))
+}
+
+// Insert installs the translation va→pa (page-aligned internally) for the
+// given page size into both levels.
+func (t *TLB) Insert(va mem.VAddr, pa mem.PAddr, size mem.PageSize, asid uint16) {
+	k := key(va, size, asid)
+	frame := uint64(pa) >> size.Shift()
+	t.l1.insert(k, frame)
+	t.l2.insert(k, frame)
+}
+
+// Invalidate drops any entry translating va (all sizes), the analogue of
+// INVLPG.
+func (t *TLB) Invalidate(va mem.VAddr, asid uint16) {
+	for _, size := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+		t.l1.invalidate(key(va, size, asid))
+		t.l2.invalidate(key(va, size, asid))
+	}
+}
+
+// Flush empties both levels (CR3 write without PCID).
+func (t *TLB) Flush() {
+	t.l1.flush()
+	t.l2.flush()
+}
+
+// PWCLatency is the access latency of the page-walk caches (Table 3).
+const PWCLatency = 1
+
+// PWC is a set of page-walk caches. Entry level L caches, for a VA prefix,
+// the physical address of the level-(L-1) page-table node — i.e. a hit at
+// level 2 lets the walker skip straight to the last-level (L1) PTE fetch.
+// Table 3: 3 levels with 2, 4, and 32 entries (for skip depths covering
+// L4, L3, and L2 respectively), 1-cycle access.
+type PWC struct {
+	byLevel map[int]*assoc
+
+	Hits, Misses uint64
+}
+
+// NewPWC builds the Table 3 page-walk-cache stack.
+func NewPWC() *PWC { return NewPWCSized(2, 4, 32) }
+
+// NewPWCSized builds a PWC with explicit entry counts for the L4/L3/L2
+// skip levels; used when structures are scaled with the working set
+// (DESIGN.md §6).
+func NewPWCSized(l4, l3, l2 int) *PWC {
+	mk := func(entries, ways int) *assoc {
+		if entries < ways {
+			ways = entries
+		}
+		entries -= entries % ways
+		return newAssoc(entries, ways)
+	}
+	return &PWC{byLevel: map[int]*assoc{
+		4: mk(l4, 2),
+		3: mk(l3, 4),
+		2: mk(l2, 4),
+	}}
+}
+
+// NewPWCScaled divides the Table 3 entry counts by scale (minimum one
+// entry per level).
+func NewPWCScaled(scale int) *PWC {
+	d := func(n int) int {
+		if n/scale < 1 {
+			return 1
+		}
+		return n / scale
+	}
+	return NewPWCSized(d(2), d(4), d(32))
+}
+
+func pwcKey(va mem.VAddr, level int, asid uint16) uint64 {
+	// The prefix consumed by levels > (level-1): everything above the
+	// bits indexing the level-(level-1) node.
+	prefix := uint64(va) >> mem.LevelShift(level)
+	return prefix<<12 | uint64(asid)<<2 | uint64(level)
+}
+
+// Lookup probes the PWC for the deepest available skip, trying level 2
+// first (largest skip), then 3, then 4. It returns the physical address of
+// the next page-table node to read and the level of that node.
+func (p *PWC) Lookup(va mem.VAddr, asid uint16) (nodePA mem.PAddr, nextLevel int, ok bool) {
+	for _, level := range []int{2, 3, 4} {
+		if v, hit := p.byLevel[level].lookup(pwcKey(va, level, asid)); hit {
+			p.Hits++
+			return mem.PAddr(v), level - 1, true
+		}
+	}
+	p.Misses++
+	return 0, 0, false
+}
+
+// Insert records that, for va's prefix at the given level, the next node
+// (level-1) resides at nodePA.
+func (p *PWC) Insert(va mem.VAddr, level int, nodePA mem.PAddr, asid uint16) {
+	if level < 2 || level > 4 {
+		return
+	}
+	p.byLevel[level].insert(pwcKey(va, level, asid), uint64(nodePA))
+}
+
+// Flush empties all levels.
+func (p *PWC) Flush() {
+	for _, a := range p.byLevel {
+		a.flush()
+	}
+}
+
+// NestedCache caches gPA-page → hPA-page translations discovered during the
+// host dimension of a 2D walk (the "nested PWC" row of Table 3, used to
+// shortcut steps 1–4, 6–9, … of Figure 2 on reuse).
+type NestedCache struct {
+	a *assoc
+
+	Hits, Misses uint64
+}
+
+// NewNestedCache builds the nested walk cache (38 entries total, matching
+// the 2-4-32 budget of Table 3).
+func NewNestedCache() *NestedCache {
+	return NewNestedCacheSized(38)
+}
+
+// NewNestedCacheSized builds a nested walk cache with the given entry
+// count (minimum 2).
+func NewNestedCacheSized(entries int) *NestedCache {
+	if entries < 2 {
+		entries = 2
+	}
+	entries -= entries % 2
+	return &NestedCache{a: newAssoc(entries, 2)}
+}
+
+// Lookup returns the cached host frame for a guest-physical page.
+func (n *NestedCache) Lookup(gpa mem.PAddr) (mem.PAddr, bool) {
+	page := uint64(gpa) >> mem.PageShift4K
+	if v, ok := n.a.lookup(page); ok {
+		n.Hits++
+		return mem.PAddr(v<<mem.PageShift4K | uint64(gpa)&(mem.PageBytes4K-1)), true
+	}
+	n.Misses++
+	return 0, false
+}
+
+// Insert records gpa→hpa at page granularity.
+func (n *NestedCache) Insert(gpa, hpa mem.PAddr) {
+	n.a.insert(uint64(gpa)>>mem.PageShift4K, uint64(hpa)>>mem.PageShift4K)
+}
+
+// Flush empties the cache.
+func (n *NestedCache) Flush() { n.a.flush() }

@@ -1,0 +1,186 @@
+package virt
+
+import (
+	"dmt/internal/cache"
+	"dmt/internal/core"
+	"dmt/internal/mem"
+	"dmt/internal/pagetable"
+	"dmt/internal/tea"
+)
+
+// fetchGroup accumulates one parallel fan-out of PTE fetches (§4.4). The
+// group counts as one sequential step whose critical path is the fetch
+// that produced the valid leaf (the fetcher proceeds on first valid
+// return); only when nothing matches must it wait for the slowest probe.
+type fetchGroup struct {
+	cycles  int // critical path: the matched fetch
+	slowest int
+	matched bool
+	refs    []core.MemRef
+}
+
+func (g *fetchGroup) add(r core.MemRef) {
+	g.refs = append(g.refs, r)
+	if r.Cycles > g.slowest {
+		g.slowest = r.Cycles
+	}
+}
+
+// markMatched records that the most recently added ref carried the valid
+// leaf.
+func (g *fetchGroup) markMatched() {
+	g.matched = true
+	if n := len(g.refs); n > 0 && g.refs[n-1].Cycles > g.cycles {
+		g.cycles = g.refs[n-1].Cycles
+	}
+}
+
+func (g *fetchGroup) commit(out *core.WalkOutcome) {
+	out.Refs = append(out.Refs, g.refs...)
+	if g.matched {
+		out.Cycles += g.cycles
+	} else {
+		out.Cycles += g.slowest
+	}
+	out.SeqSteps++
+}
+
+// DMTVirtWalker is DMT applied to a virtualized environment *without*
+// paravirtualization (§3.1, §4.5): three sequential memory references.
+//
+//  1. The gVMA-to-gTEA register yields the guest-physical address of the
+//     gPTE; the hVMA-to-hTEA register yields the hPTE that locates the
+//     gPTE's page in machine memory (fetch 1).
+//  2. Fetch the gPTE itself (fetch 2), obtaining the data page's gPA.
+//  3. Fetch the hPTE of the data page via the host register (fetch 3).
+type DMTVirtWalker struct {
+	Guest     *tea.Manager
+	GuestPool *pagetable.Pool
+	Host      *tea.Manager
+	HostPool  *pagetable.Pool
+	Hier      *cache.Hierarchy
+	Fallback  core.Walker
+
+	RegisterHits  uint64
+	FallbackWalks uint64
+}
+
+// Name implements core.Walker.
+func (w *DMTVirtWalker) Name() string { return "DMT-virt" }
+
+// Walk implements core.Walker.
+func (w *DMTVirtWalker) Walk(gva mem.VAddr) core.WalkOutcome {
+	greg := w.Guest.Lookup(gva)
+	if greg == nil {
+		return w.fallback(gva, core.WalkOutcome{})
+	}
+	out := core.WalkOutcome{Cycles: core.FetchLogicCycles}
+
+	// Candidate gPTE locations, one per covered guest page size.
+	type cand struct {
+		size    mem.PageSize
+		gpteGPA mem.PAddr
+		machine mem.PAddr
+		ok      bool
+	}
+	var cands []cand
+	for _, s := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+		if greg.Covered[s] {
+			cands = append(cands, cand{size: s, gpteGPA: greg.PTEAddr(s)(gva)})
+		}
+	}
+	if len(cands) == 0 {
+		return w.fallback(gva, out)
+	}
+
+	// Fetch 1 (parallel across candidates): host PTE locating each gPTE.
+	g1 := fetchGroup{}
+	for i := range cands {
+		m, ok := w.hostFetch(cands[i].gpteGPA, &g1)
+		cands[i].machine, cands[i].ok = m, ok
+	}
+	g1.commit(&out)
+
+	// Fetch 2 (parallel): the gPTEs themselves.
+	g2 := fetchGroup{}
+	var dataGPA mem.PAddr
+	var guestSize mem.PageSize
+	found := false
+	for _, c := range cands {
+		if !c.ok {
+			continue
+		}
+		r := w.Hier.Access(c.machine)
+		g2.add(core.MemRef{Addr: c.machine, Cycles: r.Cycles, Served: r.Served, Level: c.size.LeafLevel(), Dim: "g"})
+		pte, ok := w.GuestPool.ReadPTE(c.gpteGPA)
+		if ok && pteLeafValid(pte, c.size) {
+			dataGPA = pte.Frame() + mem.PAddr(mem.PageOffset(gva, c.size))
+			guestSize = c.size
+			found = true
+			g2.markMatched()
+		}
+	}
+	g2.commit(&out)
+	if !found {
+		return w.fallback(gva, out)
+	}
+
+	// Fetch 3: host PTE of the data page.
+	g3 := fetchGroup{}
+	mData, ok := w.hostFetch(dataGPA, &g3)
+	g3.commit(&out)
+	if !ok {
+		return w.fallback(gva, out)
+	}
+	out.PA = mData
+	out.Size = guestSize
+	out.OK = true
+	w.RegisterHits++
+	return out
+}
+
+// hostFetch performs one host-side DMT fetch: locate the hPTE of gpa via
+// the hVMA-to-hTEA register, access it, and return the machine address the
+// hPTE maps gpa to. Refs are added to g (the caller's parallel group).
+func (w *DMTVirtWalker) hostFetch(gpa mem.PAddr, g *fetchGroup) (mem.PAddr, bool) {
+	hreg := w.Host.Lookup(mem.VAddr(gpa))
+	if hreg == nil {
+		return 0, false
+	}
+	for _, s := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+		if !hreg.Covered[s] {
+			continue
+		}
+		hpteAddr := hreg.PTEAddr(s)(mem.VAddr(gpa))
+		r := w.Hier.Access(hpteAddr)
+		g.add(core.MemRef{Addr: hpteAddr, Cycles: r.Cycles, Served: r.Served, Level: s.LeafLevel(), Dim: "h"})
+		pte, ok := w.HostPool.ReadPTE(hpteAddr)
+		if ok && pteLeafValid(pte, s) {
+			g.markMatched()
+			return pte.Frame() + mem.PAddr(mem.PageOffset(mem.VAddr(gpa), s)), true
+		}
+	}
+	return 0, false
+}
+
+func (w *DMTVirtWalker) fallback(gva mem.VAddr, partial core.WalkOutcome) core.WalkOutcome {
+	w.FallbackWalks++
+	fb := w.Fallback.Walk(gva)
+	fb.Cycles += partial.Cycles
+	fb.Refs = append(partial.Refs, fb.Refs...)
+	fb.SeqSteps += partial.SeqSteps
+	fb.Fallback = true
+	return fb
+}
+
+func pteLeafValid(pte mem.PTE, s mem.PageSize) bool {
+	if !pte.Present() {
+		return false
+	}
+	if s == mem.Size4K {
+		return !pte.Huge()
+	}
+	return pte.Huge()
+}
+
+var _ core.Walker = (*DMTVirtWalker)(nil)

@@ -1,0 +1,159 @@
+package virt
+
+import (
+	"errors"
+
+	"dmt/internal/mem"
+	"dmt/internal/phys"
+	"dmt/internal/tea"
+)
+
+// GTEAEntry is one row of the gTEA table (§4.5.2): the host-maintained
+// record of a guest TEA — its base in *machine* physical memory (where the
+// DMT fetcher dereferences), its base in the guest's physical address space
+// (where the guest's page-table nodes are registered, so the guest can
+// update PTEs without VM exits), and its length.
+type GTEAEntry struct {
+	MachineBase mem.PAddr
+	GPABase     mem.PAddr
+	Frames      int
+}
+
+// GTEATable is the per-VM gTEA table. It is conceptually read-only to the
+// guest: entries are only installed by the host's hypercall handler, and
+// the DMT fetcher bounds-checks every access against it, which is what
+// prevents a malicious guest from pointing a register at arbitrary host
+// memory (§4.5.2).
+type GTEATable struct {
+	entries []GTEAEntry
+}
+
+// NewGTEATable creates an empty table.
+func NewGTEATable() *GTEATable { return &GTEATable{} }
+
+// Len returns the number of registered gTEAs.
+func (t *GTEATable) Len() int { return len(t.entries) }
+
+// add registers an entry (host-side only) and returns its ID (1-based so
+// the zero value of a register never aliases a real gTEA).
+func (t *GTEATable) add(e GTEAEntry) int {
+	t.entries = append(t.entries, e)
+	return len(t.entries)
+}
+
+// ErrIsolation is reported when a fetch violates the gTEA bounds: an
+// invalid ID or an out-of-bounds machine address. The paper's hardware
+// raises a page fault in the host (§4.5.2).
+var ErrIsolation = errors.New("virt: gTEA isolation violation")
+
+// Resolve validates a fetch against entry id and translates the machine
+// fetch address back to the guest-physical address holding the PTE content.
+func (t *GTEATable) Resolve(id int, fetchAddr mem.PAddr) (mem.PAddr, error) {
+	if id < 1 || id > len(t.entries) {
+		return 0, ErrIsolation
+	}
+	e := t.entries[id-1]
+	limit := e.MachineBase + mem.PAddr(uint64(e.Frames)<<mem.PageShift4K)
+	if fetchAddr < e.MachineBase || fetchAddr >= limit {
+		return 0, ErrIsolation
+	}
+	return e.GPABase + (fetchAddr - e.MachineBase), nil
+}
+
+// AllocPvTEA is the KVM_HC_ALLOC_TEA hypercall handler (§4.5.1): the host
+// allocates a machine-contiguous region for a guest TEA, maps it into the
+// guest's pv-TEA window, records it in the gTEA table, and returns the
+// (gPA window, machine base, ID) triple. Under nested virtualization the
+// call cascades: L1 forwards the allocation to L0 and then maps the result
+// through its own level (§4.5.3), so the region is machine-contiguous all
+// the way down.
+func (vm *VM) AllocPvTEA(frames int) (tea.Region, error) {
+	vm.Hyp.Hypercalls++
+	vm.Hyp.VMExits++
+	if vm.TEAVMA == nil {
+		return tea.Region{}, errors.New("virt: VM has no pv-TEA window")
+	}
+	bytes := mem.PAddr(uint64(frames) << mem.PageShift4K)
+	if vm.teaWindowNext+mem.VAddr(bytes) > vm.teaWindowEnd {
+		return tea.Region{}, tea.ErrNoTEA
+	}
+
+	// Obtain a machine-contiguous region at the hosting level.
+	var machineBase mem.PAddr
+	var hostAddrs []mem.PAddr // host-level PAs backing each frame
+	if vm.Parent == nil {
+		pa, err := vm.HostPhys.AllocContig(frames, phys.KindPageTable)
+		if err != nil {
+			return tea.Region{}, tea.ErrNoTEA
+		}
+		machineBase = pa
+		hostAddrs = make([]mem.PAddr, frames)
+		for i := range hostAddrs {
+			hostAddrs[i] = pa + mem.PAddr(i<<mem.PageShift4K)
+		}
+	} else {
+		// Cascade to the parent: the returned region is machine-
+		// contiguous and mapped into the parent guest's (our host's)
+		// physical space at region.NodeBase.
+		region, err := vm.Parent.AllocPvTEA(frames)
+		if err != nil {
+			return tea.Region{}, err
+		}
+		machineBase = region.FetchBase
+		hostAddrs = make([]mem.PAddr, frames)
+		for i := range hostAddrs {
+			hostAddrs[i] = region.NodeBase + mem.PAddr(i<<mem.PageShift4K)
+		}
+	}
+
+	// Map the region into this VM's pv-TEA window.
+	gpaBase := mem.PAddr(vm.teaWindowNext)
+	for i := 0; i < frames; i++ {
+		gva := vm.teaWindowNext + mem.VAddr(i<<mem.PageShift4K)
+		if err := vm.HostAS.MapResident(vm.TEAVMA, gva, hostAddrs[i], mem.Size4K); err != nil {
+			return tea.Region{}, err
+		}
+	}
+	vm.teaWindowNext += mem.VAddr(bytes)
+
+	id := vm.GTEA.add(GTEAEntry{MachineBase: machineBase, GPABase: gpaBase, Frames: frames})
+	return tea.Region{NodeBase: gpaBase, FetchBase: machineBase, Frames: frames, ID: id}, nil
+}
+
+// HypercallBackend is the guest-side TEA backend of pvDMT: TEA storage is
+// requested from the host via KVM_HC_ALLOC_TEA so gTEAs are contiguous in
+// machine physical memory (§3.1).
+type HypercallBackend struct {
+	vm *VM
+}
+
+// NewHypercallBackend creates the pvDMT backend for a guest of vm.
+func NewHypercallBackend(vm *VM) *HypercallBackend { return &HypercallBackend{vm: vm} }
+
+// AllocTEA implements tea.Backend via the hypercall.
+func (b *HypercallBackend) AllocTEA(frames int) (tea.Region, error) {
+	return b.vm.AllocPvTEA(frames)
+}
+
+// FreeTEA releases the gTEA. The window gPA space and table slot are
+// retired lazily (IDs stay allocated; reuse is a host policy decision).
+func (b *HypercallBackend) FreeTEA(r tea.Region) {
+	b.vm.Hyp.Hypercalls++
+	b.vm.Hyp.VMExits++
+	if b.vm.Parent == nil {
+		b.vm.HostPhys.FreeContig(r.FetchBase, r.Frames)
+	}
+	if r.ID >= 1 && r.ID <= len(b.vm.GTEA.entries) {
+		b.vm.GTEA.entries[r.ID-1].Frames = 0 // invalidate bounds
+	}
+}
+
+// ExpandTEAInPlace cannot be done from the guest side without renegotiating
+// with the host; the manager falls back to migration, which issues a fresh
+// hypercall (§4.5.1: "only one VM exit would occur when a TEA is created or
+// updated").
+func (b *HypercallBackend) ExpandTEAInPlace(r tea.Region, extra int) (tea.Region, bool) {
+	return r, false
+}
+
+var _ tea.Backend = (*HypercallBackend)(nil)

@@ -1,0 +1,153 @@
+package virt
+
+import (
+	"dmt/internal/cache"
+	"dmt/internal/core"
+	"dmt/internal/mem"
+	"dmt/internal/pagetable"
+	"dmt/internal/tea"
+)
+
+// PvLevel is one stage of the pvDMT translation chain (§3.1, §3.2): a TEA
+// register file translating this level's addresses to the next level's,
+// the page-table pool holding the PTE contents, and — for paravirtualized
+// levels — the gTEA table that both resolves fetch addresses back to node
+// addresses and enforces isolation (§4.5.2).
+type PvLevel struct {
+	Name string
+	Mgr  *tea.Manager
+	Pool *pagetable.Pool
+	// Table is nil for levels whose TEAs live directly in machine memory
+	// (the innermost host level); otherwise fetch addresses are machine
+	// addresses validated and translated through the gTEA table.
+	Table *GTEATable
+}
+
+// PvDMTWalker is paravirtualized DMT: exactly one memory reference per
+// virtualization level — two for single-level virtualization (Figure 8),
+// three for nested virtualization (Figure 9). All TEAs are contiguous in
+// machine physical memory, so every fetch address is a machine address and
+// no intermediate translation is needed.
+type PvDMTWalker struct {
+	Levels   []PvLevel
+	Hier     *cache.Hierarchy
+	Hyp      *Hypervisor
+	Fallback core.Walker
+
+	RegisterHits  uint64
+	FallbackWalks uint64
+}
+
+// Name implements core.Walker.
+func (w *PvDMTWalker) Name() string {
+	if len(w.Levels) > 2 {
+		return "pvDMT-nested"
+	}
+	return "pvDMT"
+}
+
+// Walk implements core.Walker.
+func (w *PvDMTWalker) Walk(va mem.VAddr) core.WalkOutcome {
+	out := core.WalkOutcome{Cycles: core.FetchLogicCycles}
+	addr := uint64(va) // current address in the current level's space
+	var size mem.PageSize
+	for li := range w.Levels {
+		lv := &w.Levels[li]
+		reg := lv.Mgr.Lookup(mem.VAddr(addr))
+		if reg == nil {
+			return w.fallback(va, out)
+		}
+		g := fetchGroup{}
+		next := uint64(0)
+		found := false
+		for _, s := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+			if !reg.Covered[s] {
+				continue
+			}
+			fetchAddr := reg.PTEAddr(s)(mem.VAddr(addr))
+			nodeAddr := fetchAddr
+			if lv.Table != nil {
+				var err error
+				nodeAddr, err = lv.Table.Resolve(reg.GTEAID[s], fetchAddr)
+				if err != nil {
+					// Out-of-bounds or invalid gTEA ID: the hardware
+					// raises a page fault in the host (§4.5.2).
+					w.Hyp.IsolationFaults++
+					out.OK = false
+					return out
+				}
+			}
+			r := w.Hier.Access(fetchAddr)
+			g.add(core.MemRef{Addr: fetchAddr, Cycles: r.Cycles, Served: r.Served, Level: s.LeafLevel(), Dim: lv.Name})
+			pte, ok := lv.Pool.ReadPTE(nodeAddr)
+			if ok && pteLeafValid(pte, s) {
+				next = uint64(pte.Frame()) + mem.PageOffset(mem.VAddr(addr), s)
+				if li == 0 {
+					size = s
+				}
+				found = true
+				g.markMatched()
+			}
+		}
+		g.commit(&out)
+		if !found {
+			return w.fallback(va, out)
+		}
+		addr = next
+	}
+	out.PA = mem.PAddr(addr)
+	out.Size = size
+	out.OK = true
+	w.RegisterHits++
+	return out
+}
+
+func (w *PvDMTWalker) fallback(va mem.VAddr, partial core.WalkOutcome) core.WalkOutcome {
+	w.FallbackWalks++
+	fb := w.Fallback.Walk(va)
+	fb.Cycles += partial.Cycles
+	fb.Refs = append(partial.Refs, fb.Refs...)
+	fb.SeqSteps += partial.SeqSteps
+	fb.Fallback = true
+	return fb
+}
+
+// Coverage returns the fraction of walks served without fallback.
+func (w *PvDMTWalker) Coverage() float64 {
+	total := w.RegisterHits + w.FallbackWalks
+	if total == 0 {
+		return 0
+	}
+	return float64(w.RegisterHits) / float64(total)
+}
+
+var _ core.Walker = (*PvDMTWalker)(nil)
+
+// NewPvDMTWalker assembles the single-level pvDMT chain: the guest process
+// level (gTEAs machine-contiguous via hypercall) followed by the host level.
+func NewPvDMTWalker(vm *VM, guestMgr *tea.Manager, guestPool *pagetable.Pool, h *cache.Hierarchy, fallback core.Walker) *PvDMTWalker {
+	return &PvDMTWalker{
+		Levels: []PvLevel{
+			{Name: "g", Mgr: guestMgr, Pool: guestPool, Table: vm.GTEA},
+			{Name: "h", Mgr: vm.HostTEA, Pool: vm.HostAS.Pool},
+		},
+		Hier:     h,
+		Hyp:      vm.Hyp,
+		Fallback: fallback,
+	}
+}
+
+// NewPvDMTNestedWalker assembles the three-level chain of Figure 9 for a
+// process in an L2 guest: L2VA → L2PA → L1PA → L0PA, one fetch per level.
+func NewPvDMTNestedWalker(l2 *VM, guestMgr *tea.Manager, guestPool *pagetable.Pool, h *cache.Hierarchy, fallback core.Walker) *PvDMTWalker {
+	return &PvDMTWalker{
+		Levels: []PvLevel{
+			{Name: "L2", Mgr: guestMgr, Pool: guestPool, Table: l2.GTEA},
+			{Name: "L1", Mgr: l2.HostTEA, Pool: l2.HostAS.Pool, Table: l2.Parent.GTEA},
+			{Name: "L0", Mgr: l2.Parent.HostTEA, Pool: l2.Parent.HostAS.Pool},
+		},
+		Hier:     h,
+		Hyp:      l2.Hyp,
+		Fallback: fallback,
+	}
+}

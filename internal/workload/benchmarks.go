@@ -1,0 +1,367 @@
+package workload
+
+import (
+	"dmt/internal/kernel"
+	"dmt/internal/mem"
+)
+
+// GUPS is the HPC Challenge RandomAccess kernel (Table 4): uniformly
+// random 8-byte updates over one huge array — the least cacheable pattern
+// and a single dominant VMA (Table 1: 103 VMAs, 1 covers 99 %).
+func GUPS() Spec {
+	return Spec{
+		Name:        "GUPS",
+		Description: "Random memory accesses, 100% updates",
+		PaperWSGiB:  128,
+		DefaultWS:   13 * gib / 10, // 1.3 GiB
+		build: func(as *kernel.AddressSpace, ws uint64) (*Built, error) {
+			heap, err := as.MMap(heapBase, uint64(mem.AlignUp(mem.VAddr(ws), mem.PageBytes2M)), kernel.VMAHeap, "table")
+			if err != nil {
+				return nil, err
+			}
+			if err := smallVMAs(as, 102, 0x7f0000000000); err != nil {
+				return nil, err
+			}
+			return &Built{
+				Major: []*kernel.VMA{heap},
+				NewGen: func(seed int64) Gen {
+					r := rng(seed)
+					n := int64(heap.Size() / 8)
+					return func() (mem.VAddr, bool) {
+						return heap.Start + mem.VAddr(r.Int63n(n)*8), true
+					}
+				},
+			}, nil
+		},
+	}
+}
+
+// Redis models the in-memory key-value store under 100 % GETs: a uniform
+// hash-bucket probe followed by a dependent value fetch in a separate
+// allocator arena. Table 1: 182 VMAs, 6 covering 99 % — the jemalloc-style
+// arenas appear as six large mappings.
+func Redis() Spec {
+	return Spec{
+		Name:        "Redis",
+		Description: "In-memory key-value store, 100% reads",
+		PaperWSGiB:  155,
+		DefaultWS:   16 * gib / 10, // 1.6 GiB
+		build: func(as *kernel.AddressSpace, ws uint64) (*Built, error) {
+			// One hash-table VMA (~1/8 of WS) + five value arenas.
+			htBytes := alignedPart(ws, 8)
+			arenaBytes := alignedPart(ws-htBytes, 5)
+			ht, err := as.MMap(heapBase, htBytes, kernel.VMAHeap, "hashtable")
+			if err != nil {
+				return nil, err
+			}
+			var arenas []*kernel.VMA
+			addr := mem.AlignUp(ht.End+0x10000000, mem.PageBytes2M)
+			for i := 0; i < 5; i++ {
+				a, err := as.MMap(addr, arenaBytes, kernel.VMAFile, "arena")
+				if err != nil {
+					return nil, err
+				}
+				arenas = append(arenas, a)
+				addr = mem.AlignUp(a.End+0x10000000, mem.PageBytes2M)
+			}
+			if err := smallVMAs(as, 176, 0x7f0000000000); err != nil {
+				return nil, err
+			}
+			major := append([]*kernel.VMA{ht}, arenas...)
+			return &Built{
+				Major: major,
+				NewGen: func(seed int64) Gen {
+					r := rng(seed)
+					buckets := int64(ht.Size() / 64)
+					per := int64(arenaBytes / 256)
+					pending := mem.VAddr(0)
+					return func() (mem.VAddr, bool) {
+						if pending != 0 {
+							va := pending
+							pending = 0
+							return va, false
+						}
+						// Bucket probe now; dependent value fetch next.
+						a := arenas[r.Intn(len(arenas))]
+						pending = a.Start + mem.VAddr(r.Int63n(per)*256)
+						return ht.Start + mem.VAddr(r.Int63n(buckets)*64), false
+					}
+				},
+			}, nil
+		},
+	}
+}
+
+// Memcached reproduces the distinctive Table 1 layout: 1,065 VMAs of which
+// 778 slab mappings cover 99 % of the footprint, packed into two clusters
+// with sub-16 KiB bubbles. Accesses are hash probe + slab item fetch.
+func Memcached() Spec {
+	return Spec{
+		Name:        "Memcached",
+		Description: "Distributed-memory object cache, 100% reads",
+		PaperWSGiB:  95,
+		DefaultWS:   gib, // 1.0 GiB
+		build: func(as *kernel.AddressSpace, ws uint64) (*Built, error) {
+			htBytes := alignedPart(ws, 10)
+			ht, err := as.MMap(heapBase, htBytes, kernel.VMAHeap, "hashtable")
+			if err != nil {
+				return nil, err
+			}
+			// 778 slab VMAs in 2 clusters, 8 KiB bubbles between them.
+			slabBytes := uint64(mem.AlignUp(mem.VAddr((ws-htBytes)/778), mem.PageBytes4K))
+			var slabs []*kernel.VMA
+			addr := ht.End + 1<<12 // adjacent: the hash table joins slab cluster 1
+			for i := 0; i < 778; i++ {
+				if i == 389 {
+					addr += 0x40000000 // the inter-cluster gap
+				}
+				s, err := as.MMap(addr, slabBytes, kernel.VMAFile, "slab")
+				if err != nil {
+					return nil, err
+				}
+				slabs = append(slabs, s)
+				addr = s.End + 1<<12 // 4 KiB bubble (paper: <16 KiB)
+			}
+			if err := smallVMAs(as, 1065-1-778, 0x7f0000000000); err != nil {
+				return nil, err
+			}
+			major := append([]*kernel.VMA{ht}, slabs...)
+			return &Built{
+				Major: major,
+				NewGen: func(seed int64) Gen {
+					r := rng(seed)
+					buckets := int64(ht.Size() / 64)
+					pending := mem.VAddr(0)
+					return func() (mem.VAddr, bool) {
+						if pending != 0 {
+							va := pending
+							pending = 0
+							return va, false
+						}
+						s := slabs[r.Intn(len(slabs))]
+						pending = s.Start + mem.VAddr(r.Int63n(int64(s.Size()/1024))*1024)
+						return ht.Start + mem.VAddr(r.Int63n(buckets)*64), false
+					}
+				},
+			}, nil
+		},
+	}
+}
+
+// BTree is the Mitosis B-tree lookup benchmark: root-to-leaf traversals
+// where upper levels are hot and leaves are cold (Table 1: 2 VMAs cover
+// 99 % — the node pool and the key pool).
+func BTree() Spec {
+	return Spec{
+		Name:        "BTree",
+		Description: "B-tree index, 100% lookups",
+		PaperWSGiB:  125,
+		DefaultWS:   13 * gib / 10,
+		build: func(as *kernel.AddressSpace, ws uint64) (*Built, error) {
+			nodeBytes := alignedPart(ws*3/4, 1)
+			keyBytes := alignedPart(ws/4, 1)
+			nodes, err := as.MMap(heapBase, nodeBytes, kernel.VMAHeap, "nodes")
+			if err != nil {
+				return nil, err
+			}
+			keys, err := as.MMap(mem.AlignUp(nodes.End+0x10000000, mem.PageBytes2M), keyBytes, kernel.VMAFile, "keys")
+			if err != nil {
+				return nil, err
+			}
+			if err := smallVMAs(as, 107, 0x7f0000000000); err != nil {
+				return nil, err
+			}
+			const nodeSize = 512 // bytes per node, fanout 8 of 64-byte slots
+			const fanout = 8
+			// Level l (0 = root) occupies fanout^l nodes laid out
+			// contiguously, level by level.
+			levels := 1
+			total := int64(1)
+			for total*fanout*nodeSize <= int64(nodeBytes) && levels < 10 {
+				total = total*fanout + 1
+				levels++
+			}
+			return &Built{
+				Major: []*kernel.VMA{nodes, keys},
+				NewGen: func(seed int64) Gen {
+					r := rng(seed)
+					depth := 0
+					node := int64(0)
+					levelBase := int64(0)
+					key := int64(0)
+					return func() (mem.VAddr, bool) {
+						if depth == 0 {
+							key = r.Int63()
+							node, levelBase = 0, 0
+						}
+						va := nodes.Start + mem.VAddr((levelBase+node)*nodeSize)
+						depth++
+						if depth >= levels {
+							// Leaf reached: fetch the key record next
+							// round; restart.
+							depth = 0
+							return keys.Start + mem.VAddr(uint64(key)%(keys.Size()-8))&^7, false
+						}
+						child := (key >> uint(3*(levels-depth))) & (fanout - 1)
+						levelBase = levelBase*fanout + 1
+						node = node*fanout + child
+						return va, false
+					}
+				},
+			}, nil
+		},
+	}
+}
+
+// Canneal is the PARSEC chip-design annealer: pairs of uniformly random
+// element reads followed by swap writes, with neighbour reads.
+func Canneal() Spec {
+	return Spec{
+		Name:        "Canneal",
+		Description: "Simulated annealing for chip design",
+		PaperWSGiB:  62,
+		DefaultWS:   64 * gib / 100, // 0.64 GiB
+		build: func(as *kernel.AddressSpace, ws uint64) (*Built, error) {
+			elems, err := as.MMap(heapBase, alignedPart(ws*7/8, 1), kernel.VMAHeap, "elements")
+			if err != nil {
+				return nil, err
+			}
+			nets, err := as.MMap(mem.AlignUp(elems.End+0x10000000, mem.PageBytes2M), alignedPart(ws/8, 1), kernel.VMAFile, "netlist")
+			if err != nil {
+				return nil, err
+			}
+			if err := smallVMAs(as, 114, 0x7f0000000000); err != nil {
+				return nil, err
+			}
+			return &Built{
+				Major: []*kernel.VMA{elems, nets},
+				NewGen: func(seed int64) Gen {
+					r := rng(seed)
+					n := int64(elems.Size() / 64)
+					m := int64(nets.Size() / 64)
+					phase := 0
+					var a, b int64
+					return func() (mem.VAddr, bool) {
+						switch phase {
+						case 0: // read element A
+							a, b = r.Int63n(n), r.Int63n(n)
+							phase = 1
+							return elems.Start + mem.VAddr(a*64), false
+						case 1: // read element B
+							phase = 2
+							return elems.Start + mem.VAddr(b*64), false
+						case 2: // read a net of A
+							phase = 3
+							return nets.Start + mem.VAddr((a%m)*64), false
+						case 3: // swap write A
+							phase = 4
+							return elems.Start + mem.VAddr(a*64), true
+						default: // swap write B
+							phase = 0
+							return elems.Start + mem.VAddr(b*64), true
+						}
+					}
+				},
+			}, nil
+		},
+	}
+}
+
+// XSBench is the Monte Carlo neutron-transport kernel: each particle
+// history binary-searches the unionized energy grid and then gathers
+// cross-sections from randomly-selected nuclide tables.
+func XSBench() Spec {
+	return Spec{
+		Name:        "XSBench",
+		Description: "Monte Carlo particle transport macro-kernel",
+		PaperWSGiB:  84,
+		DefaultWS:   88 * gib / 100, // 0.88 GiB
+		build: func(as *kernel.AddressSpace, ws uint64) (*Built, error) {
+			grid, err := as.MMap(heapBase, alignedPart(ws, 1), kernel.VMAHeap, "grid")
+			if err != nil {
+				return nil, err
+			}
+			if err := smallVMAs(as, 110, 0x7f0000000000); err != nil {
+				return nil, err
+			}
+			return &Built{
+				Major: []*kernel.VMA{grid},
+				NewGen: func(seed int64) Gen {
+					r := rng(seed)
+					entries := int64(grid.Size() / 16)
+					lo, hi := int64(0), entries
+					searching := false
+					gathers := 0
+					return func() (mem.VAddr, bool) {
+						if !searching && gathers == 0 {
+							// New particle: restart the binary search.
+							lo, hi = 0, entries
+							searching = true
+						}
+						if searching {
+							mid := (lo + hi) / 2
+							va := grid.Start + mem.VAddr(mid*16)
+							if hi-lo <= 1 {
+								searching = false
+								gathers = 5 // nuclide gathers follow
+							} else if r.Intn(2) == 0 {
+								hi = mid
+							} else {
+								lo = mid
+							}
+							return va, false
+						}
+						gathers--
+						return grid.Start + mem.VAddr(r.Int63n(entries)*16), false
+					}
+				},
+			}, nil
+		},
+	}
+}
+
+// Graph500 is BFS over a scale-free graph: a mostly-sequential edge scan
+// interleaved with uniformly random visited-bitmap and vertex updates.
+func Graph500() Spec {
+	return Spec{
+		Name:        "Graph500",
+		Description: "Breadth-first search graph benchmark",
+		PaperWSGiB:  123,
+		DefaultWS:   125 * gib / 100, // 1.25 GiB
+		build: func(as *kernel.AddressSpace, ws uint64) (*Built, error) {
+			graph, err := as.MMap(heapBase, alignedPart(ws, 1), kernel.VMAHeap, "graph")
+			if err != nil {
+				return nil, err
+			}
+			if err := smallVMAs(as, 104, 0x7f0000000000); err != nil {
+				return nil, err
+			}
+			// Edge array: first 3/4; vertex array: last 1/4.
+			edgeBytes := graph.Size() * 3 / 4
+			return &Built{
+				Major: []*kernel.VMA{graph},
+				NewGen: func(seed int64) Gen {
+					r := rng(seed)
+					cursor := uint64(0)
+					vtx := int64((graph.Size() - edgeBytes) / 8)
+					phase := 0
+					return func() (mem.VAddr, bool) {
+						if phase == 0 {
+							phase = 1
+							cursor = (cursor + 8) % edgeBytes
+							return graph.Start + mem.VAddr(cursor), false
+						}
+						phase = 0
+						return graph.Start + mem.VAddr(edgeBytes) + mem.VAddr(r.Int63n(vtx)*8), true
+					}
+				},
+			}, nil
+		},
+	}
+}
+
+// alignedPart divides total by parts and rounds the share up to a 2 MiB
+// multiple (so VMAs stay huge-page-friendly).
+func alignedPart(total uint64, parts int) uint64 {
+	return uint64(mem.AlignUp(mem.VAddr(total/uint64(parts)), mem.PageBytes2M))
+}

@@ -1,0 +1,20 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"dmt/internal/workload"
+)
+
+// Measuring the Table 1 VMA characteristics of an arbitrary layout.
+func ExampleComputeVMAStats() {
+	regions := []workload.Region{
+		{Start: 0x4000_0000, End: 0x5000_0000},           // 256 MiB heap
+		{Start: 0x5000_2000, End: 0x5040_2000},           // adjacent 4 MiB, 8 KiB bubble
+		{Start: 0x7f00_0000_0000, End: 0x7f00_0000_4000}, // tiny lib
+	}
+	st := workload.ComputeVMAStats(regions)
+	fmt.Printf("total=%d cov99=%d clusters=%d\n", st.Total, st.Cov99, st.Clusters)
+	// Output:
+	// total=3 cov99=2 clusters=1
+}

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dmt/internal/mem"
+)
+
+// Trace serialization: the paper's methodology drives the simulator with
+// recorded memory traces (§5, DynamoRIO). This file provides the same
+// decoupling for the synthetic generators — a trace can be recorded once
+// and replayed into any number of configurations, guaranteeing identical
+// reference streams across designs without re-running the generator.
+//
+// Format: an 8-byte magic, a version byte, a uvarint reference count, then
+// one uvarint per reference holding va<<1 | writeBit (canonical 48-bit VAs
+// fit comfortably).
+
+var traceMagic = [8]byte{'D', 'M', 'T', 'T', 'R', 'A', 'C', 'E'}
+
+const traceVersion = 1
+
+// ErrBadTrace is returned for malformed trace streams.
+var ErrBadTrace = errors.New("workload: malformed trace")
+
+// Record writes n references produced by gen to w.
+func Record(w io.Writer, gen Gen, n int) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(buf[:], uint64(n))
+	if _, err := bw.Write(buf[:k]); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		va, write := gen()
+		v := uint64(va) << 1
+		if write {
+			v |= 1
+		}
+		k := binary.PutUvarint(buf[:], v)
+		if _, err := bw.Write(buf[:k]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// TraceReader streams references from a recorded trace.
+type TraceReader struct {
+	br   *bufio.Reader
+	n    int
+	read int
+}
+
+// NewTraceReader validates the header and prepares streaming.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic[:])
+	}
+	ver, err := br.ReadByte()
+	if err != nil || ver != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, ver)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	return &TraceReader{br: br, n: int(n)}, nil
+}
+
+// Len returns the total number of references in the trace.
+func (t *TraceReader) Len() int { return t.n }
+
+// Next returns the next reference; ok is false at end of trace.
+func (t *TraceReader) Next() (va mem.VAddr, write, ok bool, err error) {
+	if t.read >= t.n {
+		return 0, false, false, nil
+	}
+	v, e := binary.ReadUvarint(t.br)
+	if e != nil {
+		return 0, false, false, fmt.Errorf("%w: truncated at ref %d: %v", ErrBadTrace, t.read, e)
+	}
+	t.read++
+	return mem.VAddr(v >> 1), v&1 == 1, true, nil
+}
+
+// GenFromRefs adapts decoded references to the Gen interface, wrapping
+// around at the end (finite traces are looped in simulation).
+func GenFromRefs(refs []TraceRef) Gen {
+	i := 0
+	return func() (mem.VAddr, bool) {
+		ref := refs[i%len(refs)]
+		i++
+		return ref.VA, ref.Write
+	}
+}
+
+// TraceRef is one decoded reference.
+type TraceRef struct {
+	VA    mem.VAddr
+	Write bool
+}
+
+// ReadAll decodes the remaining references.
+func (t *TraceReader) ReadAll() ([]TraceRef, error) {
+	out := make([]TraceRef, 0, t.n-t.read)
+	for {
+		va, w, ok, err := t.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, TraceRef{VA: va, Write: w})
+	}
+}

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	_, b := buildSmall(t, GUPS(), 64<<20)
+	var buf bytes.Buffer
+	const n = 5000
+	if err := Record(&buf, b.NewGen(9), n); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTraceReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	refs, err := tr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay must match a fresh generator exactly.
+	gen := b.NewGen(9)
+	for i, ref := range refs {
+		va, w := gen()
+		if ref.VA != va || ref.Write != w {
+			t.Fatalf("ref %d: (%#x,%v) != generator (%#x,%v)", i, uint64(ref.VA), ref.Write, uint64(va), w)
+		}
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	if _, err := NewTraceReader(bytes.NewReader([]byte("not a trace at all"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := NewTraceReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	// Truncated body.
+	_, b := buildSmall(t, GUPS(), 64<<20)
+	var buf bytes.Buffer
+	if err := Record(&buf, b.NewGen(1), 100); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	tr, err := NewTraceReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.ReadAll(); err == nil {
+		t.Fatal("truncated trace read without error")
+	}
+}
+
+func TestTraceCompactness(t *testing.T) {
+	_, b := buildSmall(t, GUPS(), 64<<20)
+	var buf bytes.Buffer
+	if err := Record(&buf, b.NewGen(2), 10000); err != nil {
+		t.Fatal(err)
+	}
+	// Uvarint of 48-bit VAs: at most 8 bytes per reference plus header.
+	if buf.Len() > 10000*8+32 {
+		t.Fatalf("trace too large: %d bytes for 10k refs", buf.Len())
+	}
+}

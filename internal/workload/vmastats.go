@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+
+	"dmt/internal/kernel"
+	"dmt/internal/mem"
+)
+
+// VMAStats are the three characteristics of Table 1: the Total number of
+// VMAs, the number of (largest) VMAs covering 99 % of the total mapped
+// bytes, and the number of VMA clusters — formed by merging adjacent VMAs
+// while keeping the bubbles below 2 % of the total — needed for the same
+// 99 % coverage.
+type VMAStats struct {
+	Total    int
+	Cov99    int
+	Clusters int
+}
+
+// Region is a bare address range, the unit the statistics operate on.
+type Region struct {
+	Start, End mem.VAddr
+}
+
+func (r Region) size() uint64 { return uint64(r.End - r.Start) }
+
+// RegionsOf extracts regions from an address space's VMAs.
+func RegionsOf(as *kernel.AddressSpace) []Region {
+	var out []Region
+	for _, v := range as.VMAs() {
+		out = append(out, Region{Start: v.Start, End: v.End})
+	}
+	return out
+}
+
+// ComputeVMAStats measures the Table 1 metrics on a VMA layout. The bubble
+// allowance is the paper's 2 % threshold.
+func ComputeVMAStats(regions []Region) VMAStats {
+	const bubbleAllowance = 0.02
+	if len(regions) == 0 {
+		return VMAStats{}
+	}
+	sorted := make([]Region, len(regions))
+	copy(sorted, regions)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+
+	var total uint64
+	for _, r := range sorted {
+		total += r.size()
+	}
+
+	// 99 % coverage by the largest VMAs.
+	bySize := make([]uint64, len(sorted))
+	for i, r := range sorted {
+		bySize[i] = r.size()
+	}
+	sort.Slice(bySize, func(i, j int) bool { return bySize[i] > bySize[j] })
+	cov99 := countToCover(bySize, total)
+
+	// Clustering: merge across the smallest gaps first while total
+	// bubbles stay within 2 % of the total mapped bytes, then count the
+	// largest clusters covering 99 %.
+	type gap struct {
+		idx   int // boundary between sorted[idx] and sorted[idx+1]
+		bytes uint64
+	}
+	gaps := make([]gap, 0, len(sorted)-1)
+	for i := 0; i+1 < len(sorted); i++ {
+		gaps = append(gaps, gap{idx: i, bytes: uint64(sorted[i+1].Start - sorted[i].End)})
+	}
+	sort.Slice(gaps, func(i, j int) bool {
+		if gaps[i].bytes != gaps[j].bytes {
+			return gaps[i].bytes < gaps[j].bytes
+		}
+		return gaps[i].idx < gaps[j].idx
+	})
+	merged := make([]bool, len(sorted)) // merged[i]: boundary i..i+1 merged
+	budget := uint64(float64(total) * bubbleAllowance)
+	var used uint64
+	for _, g := range gaps {
+		if used+g.bytes > budget {
+			break
+		}
+		used += g.bytes
+		merged[g.idx] = true
+	}
+	var clusterSizes []uint64
+	cur := sorted[0].size()
+	for i := 0; i+1 < len(sorted); i++ {
+		if merged[i] {
+			cur += sorted[i+1].size()
+		} else {
+			clusterSizes = append(clusterSizes, cur)
+			cur = sorted[i+1].size()
+		}
+	}
+	clusterSizes = append(clusterSizes, cur)
+	sort.Slice(clusterSizes, func(i, j int) bool { return clusterSizes[i] > clusterSizes[j] })
+	return VMAStats{
+		Total:    len(sorted),
+		Cov99:    cov99,
+		Clusters: countToCover(clusterSizes, total),
+	}
+}
+
+func countToCover(sizesDesc []uint64, total uint64) int {
+	target := uint64(float64(total) * 0.99)
+	var sum uint64
+	for i, s := range sizesDesc {
+		sum += s
+		if sum >= target {
+			return i + 1
+		}
+	}
+	return len(sizesDesc)
+}
+
+// SpecLayout is one synthetic SPEC CPU workload layout (no trace — Table 1
+// and Figure 5 only report VMA characteristics for SPEC).
+type SpecLayout struct {
+	Name    string
+	Regions []Region
+}
+
+// SpecCorpus generates the synthetic SPEC CPU 2006 (30 workloads) or 2017
+// (47 workloads) layout corpora. Layout parameters are drawn, under a fixed
+// seed, from the ranges the paper reports in Table 1: totals of 18–39
+// (2006) / 24–70 (2017), 99 %-coverage counts of 1–14 / 1–21, and cluster
+// counts of 1–8 / 1–12.
+func SpecCorpus(year int) []SpecLayout {
+	var n, minTotal, maxTotal, maxCov, maxClusters int
+	var seed int64
+	switch year {
+	case 2006:
+		n, minTotal, maxTotal, maxCov, maxClusters, seed = 30, 18, 39, 14, 8, 2006
+	case 2017:
+		n, minTotal, maxTotal, maxCov, maxClusters, seed = 47, 24, 70, 21, 12, 2017
+	default:
+		return nil
+	}
+	r := rand.New(rand.NewSource(seed))
+	out := make([]SpecLayout, 0, n)
+	for i := 0; i < n; i++ {
+		total := minTotal + r.Intn(maxTotal-minTotal+1)
+		big := 1 + r.Intn(maxCov)
+		if big >= total {
+			big = total - 1
+		}
+		maxCl := maxClusters
+		if big < maxCl {
+			maxCl = big
+		}
+		clusters := 1 + r.Intn(maxCl)
+		out = append(out, SpecLayout{
+			Name:    specName(year, i),
+			Regions: synthLayout(r, total, big, clusters),
+		})
+	}
+	return out
+}
+
+func specName(year, i int) string {
+	return map[int]string{2006: "spec06", 2017: "spec17"}[year] + "-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+}
+
+// synthLayout builds a layout with `total` VMAs where `big` large VMAs
+// dominate the footprint, grouped into `clusters` address-space clusters.
+func synthLayout(r *rand.Rand, total, big, clusters int) []Region {
+	var regions []Region
+	addr := mem.VAddr(0x40000000)
+	perCluster := (big + clusters - 1) / clusters
+	placed := 0
+	for c := 0; c < clusters && placed < big; c++ {
+		for j := 0; j < perCluster && placed < big; j++ {
+			size := uint64(256+r.Intn(768)) << 20 // 256 MiB – 1 GiB
+			regions = append(regions, Region{Start: addr, End: addr + mem.VAddr(size)})
+			addr += mem.VAddr(size) + mem.VAddr(uint64(4+r.Intn(3))<<12) // tiny bubble
+			placed++
+		}
+		addr = mem.AlignUp(addr+mem.VAddr(32<<30), mem.PageBytes2M) // inter-cluster gap
+	}
+	// The long tail of small mappings far away.
+	tail := mem.VAddr(0x7f0000000000)
+	for i := big; i < total; i++ {
+		size := uint64(8+r.Intn(24)) << 10
+		size = uint64(mem.AlignUp(mem.VAddr(size), mem.PageBytes4K))
+		regions = append(regions, Region{Start: tail, End: tail + mem.VAddr(size)})
+		tail += mem.VAddr(size) + 0x100000
+	}
+	return regions
+}

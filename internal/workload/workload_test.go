@@ -1,0 +1,225 @@
+package workload
+
+import (
+	"testing"
+
+	"dmt/internal/kernel"
+	"dmt/internal/mem"
+	"dmt/internal/phys"
+)
+
+// buildSmall instantiates a workload with a tiny working set for tests.
+func buildSmall(t *testing.T, s Spec, ws uint64) (*kernel.AddressSpace, *Built) {
+	t.Helper()
+	as, err := kernel.NewAddressSpace(phys.New(0, 1<<17), kernel.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Build(as, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as, b
+}
+
+func TestAllWorkloadsGenerateInBounds(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			as, b := buildSmall(t, s, 96<<20)
+			gen := b.NewGen(1)
+			for i := 0; i < 20000; i++ {
+				va, _ := gen()
+				if _, ok := as.FindVMA(va); !ok {
+					t.Fatalf("%s: access %d at %#x outside every VMA", s.Name, i, uint64(va))
+				}
+				if _, _, ok := as.PT.Lookup(va); !ok {
+					t.Fatalf("%s: access %d at %#x not populated", s.Name, i, uint64(va))
+				}
+			}
+		})
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, s := range All() {
+		_, b := buildSmall(t, s, 64<<20)
+		g1, g2 := b.NewGen(7), b.NewGen(7)
+		for i := 0; i < 1000; i++ {
+			va1, w1 := g1()
+			va2, w2 := g2()
+			if va1 != va2 || w1 != w2 {
+				t.Fatalf("%s: divergence at op %d", s.Name, i)
+			}
+		}
+		g3 := b.NewGen(8)
+		same := true
+		for i := 0; i < 100; i++ {
+			va1, _ := b.NewGen(7)()
+			va3, _ := g3()
+			if va1 != va3 {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced identical traces", s.Name)
+		}
+	}
+}
+
+func TestVMACountsMatchTable1(t *testing.T) {
+	want := map[string]int{
+		"Redis": 182, "Memcached": 1065, "GUPS": 103, "BTree": 109,
+		"Canneal": 116, "XSBench": 111, "Graph500": 105,
+	}
+	for _, s := range All() {
+		as, _ := buildSmall(t, s, 64<<20)
+		if got := len(as.VMAs()); got != want[s.Name] {
+			t.Errorf("%s: %d VMAs, want %d (Table 1)", s.Name, got, want[s.Name])
+		}
+	}
+}
+
+func TestVMAStatsMatchTable1(t *testing.T) {
+	// Expected Table 1 values. Cov99 is layout-derived so we check it
+	// against the paper's column with a tolerance of ±1 for workloads
+	// whose split between heap and secondary VMAs is a modelling choice.
+	type row struct{ cov, clusters int }
+	want := map[string]row{
+		"GUPS":      {1, 1},
+		"Graph500":  {1, 1},
+		"XSBench":   {1, 1},
+		"BTree":     {2, 2},
+		"Canneal":   {2, 2},
+		"Redis":     {6, 6},
+		"Memcached": {778, 2},
+	}
+	for _, s := range All() {
+		as, _ := buildSmall(t, s, 256<<20)
+		st := ComputeVMAStats(RegionsOf(as))
+		w := want[s.Name]
+		if s.Name == "Memcached" {
+			// At 1/100 scale the 1% residual absorbs a couple of slab
+			// VMAs, so the measured count sits just under the paper's
+			// 778; the shape (hundreds of covering VMAs, 2 clusters)
+			// is the reproduction target.
+			if st.Cov99 < w.cov-5 || st.Cov99 > w.cov {
+				t.Errorf("%s: Cov99 = %d, want within [%d,%d]", s.Name, st.Cov99, w.cov-5, w.cov)
+			}
+		} else if st.Cov99 != w.cov {
+			t.Errorf("%s: Cov99 = %d, want %d", s.Name, st.Cov99, w.cov)
+		}
+		if st.Clusters != w.clusters {
+			t.Errorf("%s: Clusters = %d, want %d", s.Name, st.Clusters, w.clusters)
+		}
+	}
+}
+
+func TestComputeVMAStatsEdgeCases(t *testing.T) {
+	if st := ComputeVMAStats(nil); st.Total != 0 {
+		t.Fatal("empty layout must yield zero stats")
+	}
+	one := []Region{{Start: 0x1000, End: 0x2000}}
+	st := ComputeVMAStats(one)
+	if st.Total != 1 || st.Cov99 != 1 || st.Clusters != 1 {
+		t.Fatalf("single region stats = %+v", st)
+	}
+	// Two equal regions with a huge gap: 2 covering VMAs, 2 clusters.
+	two := []Region{{0x1000, 0x10000000}, {0x40000000000, 0x4000FFFF000}}
+	st = ComputeVMAStats(two)
+	if st.Cov99 != 2 || st.Clusters != 2 {
+		t.Fatalf("two-region stats = %+v", st)
+	}
+	// Two adjacent regions with a tiny bubble cluster into 1.
+	adj := []Region{{0x1000, 0x10000000}, {0x10002000, 0x20000000}}
+	st = ComputeVMAStats(adj)
+	if st.Clusters != 1 {
+		t.Fatalf("adjacent regions did not cluster: %+v", st)
+	}
+}
+
+func TestSpecCorporaRanges(t *testing.T) {
+	for _, tc := range []struct {
+		year, n, minT, maxT, maxCov, maxCl int
+	}{
+		{2006, 30, 18, 39, 14, 8},
+		{2017, 47, 24, 70, 21, 12},
+	} {
+		corpus := SpecCorpus(tc.year)
+		if len(corpus) != tc.n {
+			t.Fatalf("SPEC %d corpus has %d workloads, want %d", tc.year, len(corpus), tc.n)
+		}
+		for _, wl := range corpus {
+			st := ComputeVMAStats(wl.Regions)
+			if st.Total < tc.minT || st.Total > tc.maxT {
+				t.Errorf("SPEC %d %s: total %d outside [%d,%d]", tc.year, wl.Name, st.Total, tc.minT, tc.maxT)
+			}
+			if st.Cov99 < 1 || st.Cov99 > tc.maxCov {
+				t.Errorf("SPEC %d %s: cov99 %d outside [1,%d]", tc.year, wl.Name, st.Cov99, tc.maxCov)
+			}
+			if st.Clusters < 1 || st.Clusters > tc.maxCl {
+				t.Errorf("SPEC %d %s: clusters %d outside [1,%d]", tc.year, wl.Name, st.Clusters, tc.maxCl)
+			}
+			if st.Clusters > st.Cov99 {
+				t.Errorf("SPEC %d %s: clusters %d > cov99 %d", tc.year, wl.Name, st.Clusters, st.Cov99)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("Redis"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestBTreeLocalityGradient(t *testing.T) {
+	// The B-tree generator must reuse upper-level nodes heavily: the
+	// root page should be touched far more often than any leaf page.
+	_, b := buildSmall(t, BTree(), 96<<20)
+	gen := b.NewGen(3)
+	counts := map[mem.VAddr]int{}
+	for i := 0; i < 50000; i++ {
+		va, _ := gen()
+		counts[mem.AlignDown(va, mem.PageBytes4K)]++
+	}
+	rootPage := b.Major[0].Start
+	rootCount := counts[rootPage]
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if rootCount != max {
+		t.Fatalf("root page count %d is not the maximum %d", rootCount, max)
+	}
+	if len(counts) < 100 {
+		t.Fatalf("only %d distinct pages touched; tree traversal too narrow", len(counts))
+	}
+}
+
+func TestGUPSUniformity(t *testing.T) {
+	_, b := buildSmall(t, GUPS(), 64<<20)
+	gen := b.NewGen(5)
+	half := b.Major[0].Start + mem.VAddr(b.Major[0].Size()/2)
+	lo := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		va, write := gen()
+		if !write {
+			t.Fatal("GUPS must be 100% updates")
+		}
+		if va < half {
+			lo++
+		}
+	}
+	frac := float64(lo) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("GUPS split %.3f not uniform", frac)
+	}
+}
