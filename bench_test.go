@@ -57,6 +57,42 @@ func mustRun(b *testing.B, cfg sim.Config) *sim.Result {
 	return r
 }
 
+func mustGeo(b *testing.B, xs []float64) float64 {
+	b.Helper()
+	g, err := stats.GeoMean(xs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func mustHier(b *testing.B, cfg cache.HierarchyConfig) *cache.Hierarchy {
+	b.Helper()
+	h, err := cache.NewHierarchy(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+func mustHyp(b *testing.B, frames int, cfg cache.HierarchyConfig) *virt.Hypervisor {
+	b.Helper()
+	h, err := virt.NewHypervisor(frames, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+func mustTLB(b *testing.B, cfg tlb.Config) *tlb.TLB {
+	b.Helper()
+	t, err := tlb.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
 // ---- Tables and figures ----
 
 // BenchmarkTable1_VMACharacteristics regenerates the Table 1 layout
@@ -122,7 +158,7 @@ func BenchmarkFig14_NativeSpeedup(b *testing.B) {
 			}
 			pw = append(pw, 1/ratio)
 		}
-		b.ReportMetric(stats.GeoMean(pw), "dmt-pw-speedup")
+		b.ReportMetric(mustGeo(b, pw), "dmt-pw-speedup")
 	}
 }
 
@@ -144,8 +180,8 @@ func BenchmarkFig15_VirtSpeedup(b *testing.B) {
 			pw = append(pw, 1/ratio)
 			app = append(app, calib.AppSpeedupVirt(ratio))
 		}
-		b.ReportMetric(stats.GeoMean(pw), "pvdmt-pw-speedup")
-		b.ReportMetric(stats.GeoMean(app), "pvdmt-app-speedup")
+		b.ReportMetric(mustGeo(b, pw), "pvdmt-pw-speedup")
+		b.ReportMetric(mustGeo(b, app), "pvdmt-app-speedup")
 	}
 }
 
@@ -183,7 +219,7 @@ func BenchmarkFig17_NestedSpeedup(b *testing.B) {
 			}
 			app = append(app, calib.AppSpeedupNested(ratio))
 		}
-		b.ReportMetric(stats.GeoMean(app), "pvdmt-nested-app-speedup")
+		b.ReportMetric(mustGeo(b, app), "pvdmt-nested-app-speedup")
 	}
 }
 
@@ -205,7 +241,7 @@ func BenchmarkTable5_SpeedupVsDesigns(b *testing.B) {
 				}
 				ratios = append(ratios, theirs.AvgWalkCycles()/ours.AvgWalkCycles())
 			}
-			b.ReportMetric(stats.GeoMean(ratios), "pvdmt-over-"+string(other))
+			b.ReportMetric(mustGeo(b, ratios), "pvdmt-over-"+string(other))
 		}
 	}
 }
@@ -235,7 +271,7 @@ func BenchmarkOverhead_TEAAllocation(b *testing.B) {
 	var hyp *virt.Hypervisor
 	var vm *virt.VM
 	remake := func() {
-		hyp = virt.NewHypervisor(1<<19, cache.DefaultConfig())
+		hyp = mustHyp(b, 1<<19, cache.DefaultConfig())
 		var err error
 		vm, err = hyp.NewVM(virt.VMConfig{Name: "vm", RAMBytes: 256 << 20, ASID: 1, PvTEAWindowBytes: 1 << 30})
 		if err != nil {
@@ -265,7 +301,7 @@ func BenchmarkOverhead_Hypercall(b *testing.B) {
 	var hyp *virt.Hypervisor
 	var vm *virt.VM
 	remake := func() {
-		hyp = virt.NewHypervisor(1<<19, cache.DefaultConfig())
+		hyp = mustHyp(b, 1<<19, cache.DefaultConfig())
 		var err error
 		vm, err = hyp.NewVM(virt.VMConfig{Name: "vm", RAMBytes: 128 << 20, ASID: 1, PvTEAWindowBytes: 1 << 30})
 		if err != nil {
@@ -418,7 +454,7 @@ func BenchmarkFetcher_DirectWalk(b *testing.B) {
 	if err := as.Populate(heap); err != nil {
 		b.Fatal(err)
 	}
-	hier := cache.NewHierarchy(cache.ScaledConfig(16))
+	hier := mustHier(b, cache.ScaledConfig(16))
 	radix := core.NewRadixWalker(as.PT, hier, tlb.NewPWCScaled(16), 1)
 	dmt := core.NewDMTWalker(mgr, as.Pool, hier, radix)
 	b.ResetTimer()
@@ -438,7 +474,7 @@ func BenchmarkAblation_FiveLevelTables(b *testing.B) {
 	for _, levels := range []int{mem.Levels4, mem.Levels5} {
 		levels := levels
 		b.Run(benchName("levels", levels), func(b *testing.B) {
-			hyp := virt.NewHypervisor(1<<17, cache.ScaledConfig(16))
+			hyp := mustHyp(b, 1<<17, cache.ScaledConfig(16))
 			vm, err := hyp.NewVM(virt.VMConfig{
 				Name: "vm", RAMBytes: 128 << 20, ASID: 7, PTLevels: levels,
 				HostDMT: true, PvTEAWindowBytes: 16 << 20,
@@ -531,10 +567,10 @@ func BenchmarkCtxSwitch_RegisterReload(b *testing.B) {
 	if err := as.Populate(heap); err != nil {
 		b.Fatal(err)
 	}
-	hier := cache.NewHierarchy(cache.ScaledConfig(16))
+	hier := mustHier(b, cache.ScaledConfig(16))
 	radix := core.NewRadixWalker(as.PT, hier, tlb.NewPWCScaled(16), 1)
 	d := core.NewDMTWalker(mgr, as.Pool, hier, radix)
-	mmu := core.NewMMU(tlb.New(tlb.DefaultConfig()), d, 1)
+	mmu := core.NewMMU(mustTLB(b, tlb.DefaultConfig()), d, 1)
 	sched := core.NewScheduler(mmu, &core.Task{Name: "p", Walker: d, ASID: 1, UsesDMT: true})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

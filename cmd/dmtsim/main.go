@@ -6,13 +6,21 @@
 //
 //	dmtsim -env native|virt|nested -design vanilla|shadow|dmt|pvdmt|ecpt|fpt|agile|asap
 //	       -workload GUPS [-thp] [-ops N] [-ws MiB] [-scale N] [-seed N] [-breakdown]
+//
+// With -faults, dmtsim instead runs the fault-injection campaign: every
+// (environment × design × fault schedule) cell for the selected workload,
+// with the differential oracle re-checking each translation against the
+// live page tables, and prints the graceful-degradation table. The output
+// is deterministic for a fixed -seed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
+	"dmt/internal/experiments"
 	"dmt/internal/sim"
 	"dmt/internal/workload"
 )
@@ -28,6 +36,8 @@ func main() {
 		scale     = flag.Int("scale", 16, "cache/TLB scaling divisor")
 		seed      = flag.Int64("seed", 42, "trace seed")
 		breakdown = flag.Bool("breakdown", false, "print the per-step walk breakdown")
+		faults    = flag.Bool("faults", false, "run the fault-injection campaign and print the degradation table")
+		quiet     = flag.Bool("q", false, "suppress progress output (with -faults)")
 	)
 	flag.Parse()
 
@@ -45,6 +55,36 @@ func main() {
 	wl, err := workload.ByName(*wlName)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *faults {
+		campaignOps := *ops
+		opsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "ops" {
+				opsSet = true
+			}
+		})
+		// The campaign runs ~100 simulations; default to a shorter trace
+		// than a single run unless -ops was given explicitly.
+		if !opsSet {
+			campaignOps = 40_000
+		}
+		opt := experiments.Options{
+			Ops: campaignOps, WSBytes: uint64(*wsMiB) << 20,
+			CacheScale: *scale, Seed: *seed,
+			Workloads: []workload.Spec{wl},
+		}
+		if !*quiet {
+			opt.Logf = func(format string, args ...interface{}) {
+				fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+			}
+		}
+		out, err := experiments.FaultCampaign(experiments.NewRunner(opt))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+		return
 	}
 	res, err := sim.Run(sim.Config{
 		Env: env, Design: sim.Design(*design), THP: *thp, Workload: wl,

@@ -27,6 +27,7 @@ func main() {
 		fig       = flag.Int("fig", 0, "figure to regenerate (4, 5, 14, 15, 16, 17)")
 		table     = flag.Int("table", 0, "table to regenerate (1, 5, 6)")
 		overheads = flag.Bool("overheads", false, "run the §6.3 overhead analyses")
+		faults    = flag.Bool("faults", false, "run the fault-injection degradation campaign")
 		all       = flag.Bool("all", false, "regenerate everything")
 		ops       = flag.Int("ops", 400_000, "trace length per configuration")
 		wsMiB     = flag.Int("ws", 0, "working-set override in MiB (0 = per-workload scaled defaults)")
@@ -59,7 +60,7 @@ func main() {
 	}
 	r := experiments.NewRunner(opt)
 
-	nothing := *fig == 0 && *table == 0 && !*overheads
+	nothing := *fig == 0 && *table == 0 && !*overheads && !*faults
 	want := func(selected bool) bool { return *all || nothing || selected }
 
 	type job struct {
@@ -80,6 +81,16 @@ func main() {
 		{"§6.3 overheads", func() (string, error) { return experiments.Overheads(r) }, *overheads},
 	}
 	ran := false
+	// The fault campaign runs only on explicit request: it spans every
+	// (env × design × schedule) cell per workload and is not part of -all.
+	if *faults {
+		out, err := experiments.FaultCampaign(r)
+		if err != nil {
+			log.Fatalf("fault campaign: %v", err)
+		}
+		fmt.Printf("==== Fault campaign ====\n%s\n", out)
+		ran = true
+	}
 	for _, j := range jobs {
 		if !want(j.sel) && !(nothing || *all) {
 			continue

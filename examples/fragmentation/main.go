@@ -46,7 +46,10 @@ func main() {
 	fmt.Printf("after mmap under fragmentation: %d mappings, %d splits, %d contig failures\n",
 		len(mgr.Mappings()), mgr.Stats.Splits, mgr.Stats.AllocFailures)
 
-	hier := cache.NewHierarchy(cache.DefaultConfig())
+	hier, err := cache.NewHierarchy(cache.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 	radix := core.NewRadixWalker(as.PT, hier, tlb.NewPWC(), as.ASID())
 	dmt := core.NewDMTWalker(mgr, as.Pool, hier, radix)
 	rng := rand.New(rand.NewSource(1))

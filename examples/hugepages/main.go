@@ -41,7 +41,10 @@ func main() {
 	}
 	fmt.Printf("THP-mapped regions: %d\n", as.THPMapped)
 
-	hier := cache.NewHierarchy(cache.DefaultConfig())
+	hier, err := cache.NewHierarchy(cache.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 	radix := core.NewRadixWalker(as.PT, hier, tlb.NewPWC(), as.ASID())
 	dmt := core.NewDMTWalker(mgr, as.Pool, hier, radix)
 

@@ -18,7 +18,10 @@ import (
 )
 
 func main() {
-	hyp := virt.NewHypervisor(1<<18 /* 1 GiB */, cache.DefaultConfig())
+	hyp, err := virt.NewHypervisor(1<<18 /* 1 GiB */, cache.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// L1: a VM that itself acts as a hypervisor.
 	l1, err := hyp.NewVM(virt.VMConfig{

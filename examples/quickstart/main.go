@@ -45,7 +45,10 @@ func main() {
 
 	// The memory hierarchy (Table 3 configuration) and the two walkers:
 	// the legacy x86 radix walker and the DMT fetcher.
-	hier := cache.NewHierarchy(cache.DefaultConfig())
+	hier, err := cache.NewHierarchy(cache.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 	radix := core.NewRadixWalker(as.PT, hier, tlb.NewPWC(), as.ASID())
 	dmt := core.NewDMTWalker(mgr, as.Pool, hier, radix)
 
@@ -62,7 +65,11 @@ func main() {
 	}
 
 	// Behind an MMU (TLB front-end), repeated translations are free.
-	mmu := core.NewMMU(tlb.New(tlb.DefaultConfig()), dmt, as.ASID())
+	dtlb, err := tlb.New(tlb.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mmu := core.NewMMU(dtlb, dmt, as.ASID())
 	if _, cycles, ok := mmu.Translate(va); !ok || cycles == 0 {
 		log.Fatal("first translation should walk")
 	}

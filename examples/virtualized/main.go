@@ -19,7 +19,10 @@ import (
 )
 
 func main() {
-	hyp := virt.NewHypervisor(1<<18 /* 1 GiB machine memory */, cache.DefaultConfig())
+	hyp, err := virt.NewHypervisor(1<<18 /* 1 GiB machine memory */, cache.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	vm, err := hyp.NewVM(virt.VMConfig{
 		Name:             "vm0",

@@ -12,7 +12,10 @@ import (
 
 func setup(t *testing.T, thp bool) (*virt.VM, *kernel.AddressSpace, *kernel.VMA, *virt.Hypervisor) {
 	t.Helper()
-	hyp := virt.NewHypervisor(1<<16, cache.DefaultConfig())
+	hyp, err := virt.NewHypervisor(1<<16, cache.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	vm, err := hyp.NewVM(virt.VMConfig{Name: "vm", RAMBytes: 64 << 20, HostTHP: thp, ASID: 9})
 	if err != nil {
 		t.Fatal(err)

@@ -22,7 +22,11 @@ func setup(t *testing.T) (*kernel.AddressSpace, *kernel.VMA, *cache.Hierarchy) {
 	if err := as.Populate(v); err != nil {
 		t.Fatal(err)
 	}
-	return as, v, cache.NewHierarchy(cache.DefaultConfig())
+	hier, err := cache.NewHierarchy(cache.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as, v, hier
 }
 
 func oracle(as *kernel.AddressSpace) AddrSource {

@@ -86,7 +86,11 @@ func TestNativeWalkerSingleStep(t *testing.T) {
 	if err := sys.Sync(as); err != nil {
 		t.Fatal(err)
 	}
-	w := &Walker{Sys: sys, Hier: cache.NewHierarchy(cache.DefaultConfig())}
+	hier, err := cache.NewHierarchy(cache.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &Walker{Sys: sys, Hier: hier}
 	va := v.Start + 0x5123
 	out := w.Walk(va)
 	if !out.OK {
@@ -124,7 +128,11 @@ func TestNativeWalkerTHPFanout(t *testing.T) {
 	if err := sys.Sync(as); err != nil {
 		t.Fatal(err)
 	}
-	w := &Walker{Sys: sys, Hier: cache.NewHierarchy(cache.DefaultConfig())}
+	hier, err := cache.NewHierarchy(cache.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &Walker{Sys: sys, Hier: hier}
 	out := w.Walk(v.Start + 0x212345)
 	if !out.OK || out.Size != mem.Size2M {
 		t.Fatalf("THP ECPT: ok=%v size=%v", out.OK, out.Size)

@@ -51,7 +51,11 @@ func TestNativeWalkerTwoSteps(t *testing.T) {
 	if err := tbl.Sync(as); err != nil {
 		t.Fatal(err)
 	}
-	w := &Walker{T: tbl, Hier: cache.NewHierarchy(cache.DefaultConfig())}
+	hier, err := cache.NewHierarchy(cache.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &Walker{T: tbl, Hier: hier}
 	va := v.Start + 0x7123
 	out := w.Walk(va)
 	if !out.OK {

@@ -62,11 +62,14 @@ type set struct {
 }
 
 // NewCache builds a cache array from cfg. Size, way count, and line size
-// must divide evenly.
-func NewCache(cfg Config) *Cache {
+// must divide evenly; misconfiguration is reported as an error.
+func NewCache(cfg Config) (*Cache, error) {
+	if cfg.Ways <= 0 {
+		return nil, fmt.Errorf("cache: bad geometry %+v", cfg)
+	}
 	n := cfg.Sets()
 	if n <= 0 || cfg.SizeBytes%(cfg.Ways*mem.CacheLineBytes) != 0 {
-		panic(fmt.Sprintf("cache: bad geometry %+v", cfg))
+		return nil, fmt.Errorf("cache: bad geometry %+v", cfg)
 	}
 	c := &Cache{cfg: cfg, sets: make([]set, n)}
 	for i := range c.sets {
@@ -75,7 +78,7 @@ func NewCache(cfg Config) *Cache {
 			stamp: make([]uint64, cfg.Ways),
 		}
 	}
-	return c
+	return c, nil
 }
 
 // Config returns the cache geometry.
@@ -179,13 +182,20 @@ type Hierarchy struct {
 }
 
 // NewHierarchy builds the memory system.
-func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
-	return &Hierarchy{
-		cfg: cfg,
-		L1D: NewCache(cfg.L1D),
-		L2:  NewCache(cfg.L2),
-		LLC: NewCache(cfg.LLC),
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	l1d, err := NewCache(cfg.L1D)
+	if err != nil {
+		return nil, fmt.Errorf("L1D: %w", err)
 	}
+	l2, err := NewCache(cfg.L2)
+	if err != nil {
+		return nil, fmt.Errorf("L2: %w", err)
+	}
+	llc, err := NewCache(cfg.LLC)
+	if err != nil {
+		return nil, fmt.Errorf("LLC: %w", err)
+	}
+	return &Hierarchy{cfg: cfg, L1D: l1d, L2: l2, LLC: llc}, nil
 }
 
 // AccessResult describes one access.

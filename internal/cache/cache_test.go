@@ -7,8 +7,26 @@ import (
 	"dmt/internal/mem"
 )
 
+func mustCache(t testing.TB, cfg Config) *Cache {
+	t.Helper()
+	c, err := NewCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustHierarchy(t testing.TB, cfg HierarchyConfig) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
 func TestHitAfterMiss(t *testing.T) {
-	h := NewHierarchy(DefaultConfig())
+	h := mustHierarchy(t, DefaultConfig())
 	r := h.Access(0x1000)
 	if r.Served != LevelMem || r.Cycles != 200 {
 		t.Fatalf("cold access served from %v (%d cycles), want Mem/200", r.Served, r.Cycles)
@@ -20,7 +38,7 @@ func TestHitAfterMiss(t *testing.T) {
 }
 
 func TestSameLineSharing(t *testing.T) {
-	h := NewHierarchy(DefaultConfig())
+	h := mustHierarchy(t, DefaultConfig())
 	h.Access(0x2000)
 	// A different address on the same 64-byte line must hit.
 	if r := h.Access(0x2038); r.Served != LevelL1 {
@@ -34,7 +52,7 @@ func TestSameLineSharing(t *testing.T) {
 
 func TestL1EvictionFallsToL2(t *testing.T) {
 	cfg := DefaultConfig()
-	h := NewHierarchy(cfg)
+	h := mustHierarchy(t, cfg)
 	sets := cfg.L1D.Sets()
 	ways := cfg.L1D.Ways
 	// Fill one L1 set beyond capacity; conflicting lines map to the same
@@ -51,7 +69,7 @@ func TestL1EvictionFallsToL2(t *testing.T) {
 }
 
 func TestLRUVictimSelection(t *testing.T) {
-	c := NewCache(Config{SizeBytes: 4 * mem.CacheLineBytes, Ways: 4, LatencyRT: 1})
+	c := mustCache(t, Config{SizeBytes: 4 * mem.CacheLineBytes, Ways: 4, LatencyRT: 1})
 	// Single set, 4 ways. Touch lines A,B,C,D then re-touch A; inserting E
 	// must evict B (the LRU), not A.
 	addrs := []mem.PAddr{0, 0x40 * 1, 0x40 * 2, 0x40 * 3}
@@ -77,7 +95,7 @@ func TestLRUVictimSelection(t *testing.T) {
 }
 
 func TestPrefetchLandsInL2NotL1(t *testing.T) {
-	h := NewHierarchy(DefaultConfig())
+	h := mustHierarchy(t, DefaultConfig())
 	h.Prefetch(0x9000)
 	if !h.Contains(0x9000) {
 		t.Fatal("prefetched line absent from hierarchy")
@@ -92,7 +110,7 @@ func TestPrefetchLandsInL2NotL1(t *testing.T) {
 }
 
 func TestFlush(t *testing.T) {
-	h := NewHierarchy(DefaultConfig())
+	h := mustHierarchy(t, DefaultConfig())
 	h.Access(0x3000)
 	h.Flush()
 	if r := h.Access(0x3000); r.Served != LevelMem {
@@ -110,13 +128,13 @@ func TestScaledConfigPreservesLatencies(t *testing.T) {
 		t.Error("LLC not scaled")
 	}
 	// Must still construct.
-	NewHierarchy(c)
+	mustHierarchy(t, c)
 }
 
 // Property: immediately re-accessing any address always hits in L1 with the
 // L1 latency, regardless of address.
 func TestRepeatAccessAlwaysL1(t *testing.T) {
-	h := NewHierarchy(DefaultConfig())
+	h := mustHierarchy(t, DefaultConfig())
 	f := func(raw uint64) bool {
 		pa := mem.PAddr(raw % (1 << 40))
 		h.Access(pa)
@@ -130,7 +148,7 @@ func TestRepeatAccessAlwaysL1(t *testing.T) {
 
 // Property: hit+miss counters equal total accesses at the L1.
 func TestCounterConservation(t *testing.T) {
-	h := NewHierarchy(DefaultConfig())
+	h := mustHierarchy(t, DefaultConfig())
 	for i := 0; i < 1000; i++ {
 		h.Access(mem.PAddr(i * 13 * mem.CacheLineBytes))
 	}

@@ -30,7 +30,10 @@ func newRig(t *testing.T, thp bool) *rig {
 	}
 	mg := tea.NewManager(as, tea.NewPhysBackend(pa), tea.DefaultConfig(thp))
 	as.SetHooks(mg)
-	hier := cache.NewHierarchy(cache.DefaultConfig())
+	hier, err := cache.NewHierarchy(cache.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	radix := NewRadixWalker(as.PT, hier, tlb.NewPWC(), as.ASID())
 	dmt := NewDMTWalker(mg, as.Pool, hier, radix)
 	return &rig{as: as, mg: mg, hier: hier, radix: radix, dmt: dmt}
@@ -182,7 +185,11 @@ func TestDMTFasterThanRadixCold(t *testing.T) {
 func TestMMUCachesTranslations(t *testing.T) {
 	r := newRig(t, false)
 	v := r.heap(t, 16<<20)
-	mmu := NewMMU(tlb.New(tlb.DefaultConfig()), r.dmt, r.as.ASID())
+	dtlb, err := tlb.New(tlb.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmu := NewMMU(dtlb, r.dmt, r.as.ASID())
 	pa1, cyc1, ok := mmu.Translate(v.Start + 0x1234)
 	if !ok || cyc1 == 0 {
 		t.Fatalf("first translate: ok=%v cycles=%d (want a walk)", ok, cyc1)

@@ -43,7 +43,11 @@ func twoProcessRig(t *testing.T) (*Scheduler, []*kernel.VMA) {
 	radix2 := NewRadixWalker(as2.PT, ra.hier, tlb.NewPWC(), as2.ASID())
 	dmt2 := NewDMTWalker(mg2, as2.Pool, ra.hier, radix2)
 
-	mmu := NewMMU(tlb.New(tlb.DefaultConfig()), ra.dmt, ra.as.ASID())
+	dtlb, err := tlb.New(tlb.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmu := NewMMU(dtlb, ra.dmt, ra.as.ASID())
 	sched := NewScheduler(mmu,
 		&Task{Name: "p1", Walker: ra.dmt, ASID: ra.as.ASID(), UsesDMT: true},
 		&Task{Name: "p2", Walker: dmt2, ASID: as2.ASID(), UsesDMT: true},

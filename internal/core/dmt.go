@@ -94,7 +94,12 @@ func (w *DMTWalker) Walk(va mem.VAddr) WalkOutcome {
 		w.FallbackWalks++
 		fb := w.Fallback.Walk(va)
 		fb.Cycles += out.Cycles
-		fb.Refs = append(out.Refs, fb.Refs...)
+		// Merge into a fresh slice: appending to out.Refs could hand the
+		// caller a view into a backing array later clobbered by another
+		// fallback reusing the same prefix capacity.
+		merged := make([]MemRef, 0, len(out.Refs)+len(fb.Refs))
+		merged = append(merged, out.Refs...)
+		fb.Refs = append(merged, fb.Refs...)
 		fb.SeqSteps += out.SeqSteps
 		fb.Fallback = true
 		return fb
@@ -114,6 +119,26 @@ func leafValid(pte mem.PTE, s mem.PageSize) bool {
 		return !pte.Huge()
 	}
 	return pte.Huge()
+}
+
+// Probe reports whether the DMT fast path would serve va — a register
+// matches and one of its TEAs holds a valid leaf — without touching the
+// cache hierarchy or any statistics. The differential checker uses it to
+// assert that Walk falls back exactly when the fast path cannot serve.
+func (w *DMTWalker) Probe(va mem.VAddr) bool {
+	reg := w.Mgr.Lookup(va)
+	if reg == nil {
+		return false
+	}
+	for _, s := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+		if !reg.Covered[s] {
+			continue
+		}
+		if pte, ok := w.Pool.ReadPTE(reg.PTEAddr(s)(va)); ok && leafValid(pte, s) {
+			return true
+		}
+	}
+	return false
 }
 
 // Coverage returns the fraction of walks served by the DMT fetcher without

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"dmt/internal/cache"
+	"dmt/internal/kernel"
+	"dmt/internal/mem"
+	"dmt/internal/phys"
+	"dmt/internal/tea"
+	"dmt/internal/tlb"
+)
+
+// newGradualRig builds a native rig whose TEA manager leaves migrations
+// in flight until PumpMigration is called, so tests can hold the
+// migration window open (P-bit clear, §4.3) across walks.
+func newGradualRig(t *testing.T, thp bool) *rig {
+	t.Helper()
+	pa := phys.New(0, 1<<16)
+	as, err := kernel.NewAddressSpace(pa, kernel.Config{THP: thp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tea.DefaultConfig(thp)
+	cfg.GradualMigration = true
+	mg := tea.NewManager(as, tea.NewPhysBackend(pa), cfg)
+	as.SetHooks(mg)
+	hier, err := cache.NewHierarchy(cache.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	radix := NewRadixWalker(as.PT, hier, tlb.NewPWC(), as.ASID())
+	dmt := NewDMTWalker(mg, as.Pool, hier, radix)
+	return &rig{as: as, mg: mg, hier: hier, radix: radix, dmt: dmt}
+}
+
+// TestDMTFallbackMergeRefs pins the merge semantics of the no-valid-leaf
+// fallback: the outcome must carry the TEA probe refs followed by the
+// radix walk refs, and the refs of one outcome must stay intact after a
+// later fallback walk (the merge must not hand out a slice whose backing
+// array a subsequent walk can clobber).
+func TestDMTFallbackMergeRefs(t *testing.T) {
+	r := newRig(t, false)
+	v := r.heap(t, 32<<20)
+
+	// Two pages whose leaves we remove: the register still covers them,
+	// so the walk probes the 4K TEA (1 ref) and then merges the radix
+	// walk's refs behind it.
+	vaA := v.Start + 3*mem.PageBytes4K
+	vaB := v.Start + 9*mem.PageBytes4K
+	for _, va := range []mem.VAddr{vaA, vaB} {
+		if err := r.as.UnmapPage(v, va); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	outA := r.dmt.Walk(vaA)
+	if !outA.Fallback || outA.OK {
+		t.Fatalf("walk of unmapped covered page: fallback=%v ok=%v, want fallback miss", outA.Fallback, outA.OK)
+	}
+	radixRefs := len(r.radix.Walk(vaA).Refs)
+	if want := 1 + radixRefs; len(outA.Refs) != want {
+		t.Fatalf("merged outcome has %d refs, want %d (1 TEA probe + %d radix)", len(outA.Refs), want, radixRefs)
+	}
+	if outA.Refs[0].Dim != "n" || outA.Refs[0].Level != mem.Size4K.LeafLevel() {
+		t.Fatalf("first merged ref is not the TEA probe: %+v", outA.Refs[0])
+	}
+
+	snapshot := make([]MemRef, len(outA.Refs))
+	copy(snapshot, outA.Refs)
+	outB := r.dmt.Walk(vaB) // second fallback: must not clobber outA's refs
+	if !outB.Fallback {
+		t.Fatal("second walk did not fall back")
+	}
+	for i := range snapshot {
+		if snapshot[i] != outA.Refs[i] {
+			t.Fatalf("ref %d of the first outcome changed after a later fallback walk:\n  was %+v\n  now %+v",
+				i, snapshot[i], outA.Refs[i])
+		}
+	}
+}
+
+// TestDMTMigrationWindowFallback drives the §4.3 migration window: while a
+// TEA migration is in flight the register's P-bit is clear, every walk
+// must take the legacy path with Fallback=true and the correct PA, and
+// cycle accounting must stay monotone (fallback at least as expensive as
+// the radix walk alone). Draining the migration restores the fast path.
+func TestDMTMigrationWindowFallback(t *testing.T) {
+	r := newGradualRig(t, true)
+	v := r.heap(t, 32<<20)
+
+	va := v.Start + 5*mem.PageBytes2M + 0x1234
+	pre := r.dmt.Walk(va)
+	if !pre.OK || pre.Fallback {
+		t.Fatalf("pre-migration walk: ok=%v fallback=%v", pre.OK, pre.Fallback)
+	}
+
+	if !r.mg.StartMigration(v.Start) {
+		t.Fatal("StartMigration did not begin a migration")
+	}
+	wantPA, _, ok := r.as.PT.Lookup(va)
+	if !ok {
+		t.Fatal("page not mapped")
+	}
+	fbBefore := r.dmt.FallbackWalks
+	out := r.dmt.Walk(va)
+	if !out.OK || !out.Fallback {
+		t.Fatalf("mid-migration walk: ok=%v fallback=%v, want fallback hit", out.OK, out.Fallback)
+	}
+	if out.PA != wantPA {
+		t.Fatalf("mid-migration PA %#x, want %#x", uint64(out.PA), uint64(wantPA))
+	}
+	if r.dmt.FallbackWalks != fbBefore+1 {
+		t.Fatalf("FallbackWalks %d, want %d", r.dmt.FallbackWalks, fbBefore+1)
+	}
+	radix := r.radix.Walk(va)
+	if out.Cycles < radix.Cycles {
+		t.Fatalf("fallback outcome cheaper than the radix walk it contains: %d < %d", out.Cycles, radix.Cycles)
+	}
+
+	for r.mg.MigrationsPending() {
+		if r.mg.PumpMigration(1<<30) == 0 {
+			t.Fatal("migration pump made no progress")
+		}
+	}
+	post := r.dmt.Walk(va)
+	if !post.OK || post.Fallback {
+		t.Fatalf("post-migration walk: ok=%v fallback=%v, want fast path", post.OK, post.Fallback)
+	}
+	if post.PA != wantPA {
+		t.Fatalf("post-migration PA %#x, want %#x", uint64(post.PA), uint64(wantPA))
+	}
+}

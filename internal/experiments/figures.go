@@ -53,7 +53,15 @@ func Figure4(r *Runner) (string, error) {
 		geo[3] = append(geo[3], fr.Nested)
 		_ = c
 	}
-	t.Add("Geo. Mean", stats.GeoMean(geo[0]), "", stats.GeoMean(geo[1]), "", stats.GeoMean(geo[2]), "", stats.GeoMean(geo[3]), "", "", "", "")
+	var gm [4]float64
+	for i := range geo {
+		g, err := stats.GeoMean(geo[i])
+		if err != nil {
+			return "", err
+		}
+		gm[i] = g
+	}
+	t.Add("Geo. Mean", gm[0], "", gm[1], "", gm[2], "", gm[3], "", "", "", "")
 	return t.String(), nil
 }
 

@@ -62,7 +62,10 @@ func teaAllocLatency() (string, error) {
 		Title:  "§6.3: TEA allocation latency (KVM_HC_ALLOC_TEA, wall clock of the simulated kernel work)",
 		Header: []string{"TEA size", "Virtualized", "Nested virt.", "Hypercalls (virt/nested)"},
 	}
-	hyp := virt.NewHypervisor(1<<19 /* 2 GiB */, cache.DefaultConfig())
+	hyp, err := virt.NewHypervisor(1<<19 /* 2 GiB */, cache.DefaultConfig())
+	if err != nil {
+		return "", err
+	}
 	l1, err := hyp.NewVM(virt.VMConfig{Name: "L1", RAMBytes: 512 << 20, ASID: 1, PvTEAWindowBytes: 768 << 20})
 	if err != nil {
 		return "", err

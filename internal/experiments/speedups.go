@@ -66,7 +66,7 @@ func speedups(r *Runner, env sim.Environment, designs []sim.Design, thp bool) ([
 	return out, nil
 }
 
-func renderSpeedups(title string, designs []sim.Design, cells []SpeedupCell, workloads []workload.Spec) string {
+func renderSpeedups(title string, designs []sim.Design, cells []SpeedupCell, workloads []workload.Spec) (string, error) {
 	var b strings.Builder
 	for _, metric := range []string{"Page walk speedup", "Application speedup"} {
 		t := &stats.Table{Title: fmt.Sprintf("%s — %s", title, metric)}
@@ -84,7 +84,10 @@ func renderSpeedups(title string, designs []sim.Design, cells []SpeedupCell, wor
 		row := []interface{}{"Geo. Mean"}
 		var chartVals []float64
 		for _, d := range designs {
-			g := stats.GeoMean(geo[d])
+			g, err := stats.GeoMean(geo[d])
+			if err != nil {
+				return "", err
+			}
 			row = append(row, g)
 			chartVals = append(chartVals, g)
 		}
@@ -93,7 +96,7 @@ func renderSpeedups(title string, designs []sim.Design, cells []SpeedupCell, wor
 		b.WriteString(stats.BarChart("geomean "+strings.ToLower(metric), designNames(designs), chartVals, 40))
 		b.WriteString("\n")
 	}
-	return b.String()
+	return b.String(), nil
 }
 
 func designNames(ds []sim.Design) []string {
@@ -141,7 +144,11 @@ func pagedFigure(r *Runner, title string, env sim.Environment, designs []sim.Des
 		if err != nil {
 			return "", err
 		}
-		b.WriteString(renderSpeedups(title+" "+label, designs, cells, r.Options().Workloads))
+		s, err := renderSpeedups(title+" "+label, designs, cells, r.Options().Workloads)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(s)
 	}
 	return b.String(), nil
 }
@@ -191,7 +198,11 @@ func Table5(r *Runner) (string, error) {
 				}
 				ratios = append(ratios, theirs.AvgWalkCycles()/ours.AvgWalkCycles())
 			}
-			cells = append(cells, fmt.Sprintf("%.2fx", stats.GeoMean(ratios)))
+			g, err := stats.GeoMean(ratios)
+			if err != nil {
+				return "", err
+			}
+			cells = append(cells, fmt.Sprintf("%.2fx", g))
 		}
 		t.Add(cells...)
 	}

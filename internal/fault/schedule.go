@@ -1,0 +1,108 @@
+package fault
+
+// Named fault schedules. Each builder scales its event times to the run's
+// operation count so the same schedule stresses short unit-test runs and
+// long simulation campaigns alike. Suite returns the standard set used by
+// the differential-correctness tests and the dmtsim -faults campaign.
+
+// MigrationStorm opens the §4.6.1 migration window early and drains it in
+// small pumps, keeping walkers in the P-bit-clear fallback regime for most
+// of the run; a second storm near the end is drained synchronously.
+func MigrationStorm(ops int) Plan {
+	q := ops / 8
+	ev := []Event{{At: q, Kind: StartMigration}}
+	for i := 1; i <= 16; i++ {
+		ev = append(ev, Event{At: q + i*(ops/4)/16, Kind: PumpMigration, Arg: 2})
+	}
+	ev = append(ev,
+		Event{At: 3 * q, Kind: PumpMigration}, // drain
+		Event{At: 5 * q, Kind: StartMigration},
+		Event{At: 6 * q, Kind: PumpMigration}, // drain
+	)
+	return Plan{Name: "migration-storm", Seed: 1, Events: ev}
+}
+
+// RegisterSpill spills the register file with decoy VMAs mid-run, then
+// releases them, forcing spill/reload transitions in both directions.
+func RegisterSpill(ops int) Plan {
+	q := ops / 8
+	return Plan{Name: "register-pressure", Seed: 2, Events: []Event{
+		{At: q, Kind: RegisterPressure, Arg: 20},
+		{At: 5 * q, Kind: DropDecoys},
+		{At: 6 * q, Kind: RegisterPressure, Arg: 8},
+		{At: 7 * q, Kind: DropDecoys},
+	}}
+}
+
+// AllocFailure arms backend allocation failures around VMA churn and a
+// forced migration, exercising split-and-retry, the no-TEA mapping path,
+// and migration-start failure.
+func AllocFailure(ops int) Plan {
+	q := ops / 8
+	return Plan{Name: "alloc-pressure", Seed: 3, Events: []Event{
+		{At: q, Kind: AllocPressure, Arg: 6},
+		{At: q, Kind: RegisterPressure, Arg: 4},
+		{At: 3 * q, Kind: AllocPressure, Arg: 2},
+		{At: 3 * q, Kind: StartMigration},
+		{At: 4 * q, Kind: PumpMigration},
+		{At: 5 * q, Kind: DropDecoys},
+	}}
+}
+
+// PageChurn transiently unmaps hot pages in waves (with cold caches in the
+// middle), relying on demand faulting to bring them back.
+func PageChurn(ops int) Plan {
+	q := ops / 8
+	return Plan{Name: "page-churn", Seed: 4, Events: []Event{
+		{At: q, Kind: UnmapHot, Arg: 16},
+		{At: 2 * q, Kind: TouchUnmapped},
+		{At: 3 * q, Kind: FlushCaches},
+		{At: 4 * q, Kind: UnmapHot, Arg: 32},
+		{At: 6 * q, Kind: TouchUnmapped},
+	}}
+}
+
+// HugeFlip splits 2M leaves into 4K pages and collapses them back,
+// exercising the §4.4 multi-TEA fan-out under size churn. A no-op for
+// runs without THP.
+func HugeFlip(ops int) Plan {
+	q := ops / 8
+	return Plan{Name: "huge-flip", Seed: 5, Events: []Event{
+		{At: q, Kind: SplitHuge, Arg: 8},
+		{At: 3 * q, Kind: PromoteHuge},
+		{At: 5 * q, Kind: SplitHuge, Arg: 16},
+		{At: 7 * q, Kind: PromoteHuge},
+	}}
+}
+
+// Chaos mixes every fault class in one run.
+func Chaos(ops int) Plan {
+	q := ops / 16
+	return Plan{Name: "chaos", Seed: 6, Events: []Event{
+		{At: q, Kind: UnmapHot, Arg: 8},
+		{At: 2 * q, Kind: RegisterPressure, Arg: 20},
+		{At: 3 * q, Kind: StartMigration},
+		{At: 4 * q, Kind: SplitHuge, Arg: 4},
+		{At: 5 * q, Kind: PumpMigration, Arg: 8},
+		{At: 6 * q, Kind: TouchUnmapped},
+		{At: 7 * q, Kind: AllocPressure, Arg: 4},
+		{At: 8 * q, Kind: DropDecoys},
+		{At: 9 * q, Kind: FlushCaches},
+		{At: 10 * q, Kind: PumpMigration},
+		{At: 11 * q, Kind: UnmapHot, Arg: 16},
+		{At: 12 * q, Kind: PromoteHuge},
+		{At: 13 * q, Kind: TouchUnmapped},
+	}}
+}
+
+// Suite returns the standard fault schedules for an ops-long run.
+func Suite(ops int) []Plan {
+	return []Plan{
+		MigrationStorm(ops),
+		RegisterSpill(ops),
+		AllocFailure(ops),
+		PageChurn(ops),
+		HugeFlip(ops),
+		Chaos(ops),
+	}
+}

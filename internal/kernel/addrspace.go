@@ -252,7 +252,7 @@ func (as *AddressSpace) Touch(va mem.VAddr, write bool) (bool, error) {
 func (as *AddressSpace) faultIn(v *VMA, va mem.VAddr) error {
 	if as.cfg.THP {
 		base := mem.AlignDown(va, mem.PageBytes2M)
-		if base >= v.Start && base+mem.PageBytes2M <= v.End {
+		if base >= v.Start && base+mem.PageBytes2M <= v.End && as.rangeUnmapped(base, mem.PageBytes2M) {
 			if pa, err := as.Phys.Alloc(9, phys.KindMovable); err == nil { // 2^9 frames = 2 MiB
 				if err := as.PT.Map(base, pa, mem.Size2M, mem.PTEWritable); err != nil {
 					as.Phys.Free(pa, 9)
@@ -278,6 +278,20 @@ func (as *AddressSpace) faultIn(v *VMA, va mem.VAddr) error {
 	v.present[base] = mem.Size4K
 	as.rmap[pa] = rmapEntry{va: base, size: mem.Size4K}
 	return nil
+}
+
+// rangeUnmapped reports whether no leaf is installed anywhere inside
+// [base, base+bytes). A THP must not overlay live 4K mappings: a 2 MiB
+// region that was split and then partially unmapped still holds base
+// pages, and mapping a huge leaf over them would fail (or worse, shadow
+// them).
+func (as *AddressSpace) rangeUnmapped(base mem.VAddr, bytes uint64) bool {
+	for off := uint64(0); off < bytes; off += mem.PageBytes4K {
+		if _, _, ok := as.PT.Lookup(base + mem.VAddr(off)); ok {
+			return false
+		}
+	}
+	return true
 }
 
 func (as *AddressSpace) unmapPage(v *VMA, page mem.VAddr, size mem.PageSize) {
@@ -384,6 +398,41 @@ func (as *AddressSpace) Relocate(old, new mem.PAddr) bool {
 	as.rmap[new] = e
 	as.notifyInvalidate(e.va)
 	return true
+}
+
+// SplitHugePage shatters the 2 MiB mapping covering va into 512 base-page
+// mappings over the same frames (the THP split path taken under memory
+// pressure, partial munmap, or mprotect). Data keeps its physical
+// placement; only the leaf level changes — the 4K/2M flip that the DMT
+// fetcher's parallel-fetch disambiguation (§4.4) must survive.
+func (as *AddressSpace) SplitHugePage(v *VMA, va mem.VAddr) error {
+	base := mem.AlignDown(va, mem.PageBytes2M)
+	if v.present[base] != mem.Size2M {
+		return ErrNotPopulated
+	}
+	if _, external := v.resident[base]; external {
+		return fmt.Errorf("kernel: cannot split caller-owned mapping at %#x", uint64(base))
+	}
+	pte, ok := as.PT.LeafPTE(base)
+	if !ok {
+		return ErrNotPopulated
+	}
+	frame := pte.Frame()
+	if err := as.PT.Unmap(base, mem.Size2M); err != nil {
+		return err
+	}
+	delete(as.rmap, frame)
+	delete(v.present, base)
+	as.notifyInvalidate(base)
+	for off := mem.VAddr(0); off < mem.PageBytes2M; off += mem.PageBytes4K {
+		pa := frame + mem.PAddr(uint64(off))
+		if err := as.PT.Map(base+off, pa, mem.Size4K, mem.PTEWritable); err != nil {
+			return err
+		}
+		v.present[base+off] = mem.Size4K
+		as.rmap[pa] = rmapEntry{va: base + off, size: mem.Size4K}
+	}
+	return nil
 }
 
 // PromoteTHP collapses fully-populated, physically-contiguous... — in this

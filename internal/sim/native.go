@@ -9,7 +9,9 @@ import (
 	"dmt/internal/baseline/ecpt"
 	"dmt/internal/baseline/fpt"
 	"dmt/internal/cache"
+	"dmt/internal/check"
 	"dmt/internal/core"
+	"dmt/internal/fault"
 	"dmt/internal/kernel"
 	"dmt/internal/mem"
 	"dmt/internal/phys"
@@ -58,10 +60,13 @@ func buildNative(cfg Config) (*machine, error) {
 	}
 
 	// DMT's TEA hooks must observe VMA creation, so install them before
-	// the workload lays out its VMAs.
+	// the workload lays out its VMAs. The flaky wrapper stays transparent
+	// until a fault schedule arms it.
 	var mgr *tea.Manager
+	var flaky *fault.FlakyBackend
 	if cfg.Design == DesignDMT {
-		mgr = tea.NewManager(as, tea.NewPhysBackend(pa), teaConfig(cfg))
+		flaky = fault.NewFlakyBackend(tea.NewPhysBackend(pa))
+		mgr = tea.NewManager(as, flaky, teaConfig(cfg))
 		as.SetHooks(mgr)
 	}
 
@@ -70,10 +75,19 @@ func buildNative(cfg Config) (*machine, error) {
 		return nil, err
 	}
 
-	hier := cache.NewHierarchy(cache.ScaledConfig(cfg.CacheScale))
+	hier, err := cache.NewHierarchy(cache.ScaledConfig(cfg.CacheScale))
+	if err != nil {
+		return nil, err
+	}
 	radix := core.NewRadixWalker(as.PT, hier, tlb.NewPWCScaled(cfg.CacheScale), as.ASID())
 
 	m := &machine{hier: hier, gen: built.NewGen(cfg.Seed)}
+	m.target = fault.Target{AS: as, Mgr: mgr, Backend: flaky}
+	if len(built.Major) > 0 {
+		m.target.Hot = built.Major[0]
+	}
+	m.ref = as.PT.Lookup
+	m.sizeExact = true
 	switch cfg.Design {
 	case DesignVanilla:
 		m.walker = radix
@@ -82,30 +96,65 @@ func buildNative(cfg Config) (*machine, error) {
 		d := core.NewDMTWalker(mgr, as.Pool, hier, radix)
 		m.walker = d
 		m.coverage = d.Coverage
+		m.fastPath = d.Probe
+		m.invariants = check.TEAInvariants(mgr, as)
 		m.footer = func(r *Result) {
 			r.PTEBytes = as.Pool.NodeCount() * mem.PageBytes4K
 		}
 	case DesignECPT:
-		sys, err := ecpt.NewSystem(pa, ecptSizes(cfg.THP), int(cfg.WSBytes>>mem.PageShift4K)/ecpt.GroupPages)
-		if err != nil {
-			return nil, err
+		buildSys := func() (*ecpt.System, error) {
+			sys, err := ecpt.NewSystem(pa, ecptSizes(cfg.THP), int(cfg.WSBytes>>mem.PageShift4K)/ecpt.GroupPages)
+			if err != nil {
+				return nil, err
+			}
+			if err := sys.Sync(as); err != nil {
+				return nil, err
+			}
+			return sys, nil
 		}
-		if err := sys.Sync(as); err != nil {
+		sys, err := buildSys()
+		if err != nil {
 			return nil, err
 		}
 		w := &ecpt.Walker{Sys: sys, Hier: hier}
 		m.walker = w
-		m.footer = func(r *Result) { r.PTEBytes = sys.Table(mem.Size4K).FootprintBytes() }
+		// The hash tables are a one-shot sync of the page tables; mapping
+		// mutations must rebuild them or stale entries would mistranslate.
+		m.target.Resync = func() error {
+			sys, err := buildSys()
+			if err != nil {
+				return err
+			}
+			w.Sys = sys
+			return nil
+		}
+		m.footer = func(r *Result) { r.PTEBytes = w.Sys.Table(mem.Size4K).FootprintBytes() }
 	case DesignFPT:
-		t, err := fpt.New(pa)
+		buildTable := func() (*fpt.Table, error) {
+			t, err := fpt.New(pa)
+			if err != nil {
+				return nil, err
+			}
+			if err := t.Sync(as); err != nil {
+				return nil, err
+			}
+			return t, nil
+		}
+		t, err := buildTable()
 		if err != nil {
 			return nil, err
 		}
-		if err := t.Sync(as); err != nil {
-			return nil, err
+		w := &fpt.Walker{T: t, Hier: hier}
+		m.walker = w
+		m.target.Resync = func() error {
+			t, err := buildTable()
+			if err != nil {
+				return err
+			}
+			w.T = t
+			return nil
 		}
-		m.walker = &fpt.Walker{T: t, Hier: hier}
-		m.footer = func(r *Result) { r.PTEBytes = t.FootprintBytes() }
+		m.footer = func(r *Result) { r.PTEBytes = w.T.FootprintBytes() }
 	case DesignASAP:
 		src := asap.LastTwoLevelSource(func(va mem.VAddr) []core.MemRef {
 			var refs []core.MemRef

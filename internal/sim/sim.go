@@ -11,7 +11,9 @@ import (
 	"sort"
 
 	"dmt/internal/cache"
+	"dmt/internal/check"
 	"dmt/internal/core"
+	"dmt/internal/fault"
 	"dmt/internal/mem"
 	"dmt/internal/tlb"
 	"dmt/internal/workload"
@@ -83,6 +85,14 @@ type Config struct {
 	// the given order-4 fragmentation index before the workload is laid
 	// out (the §6.3 methodology).
 	FragmentTarget float64
+	// FaultPlan, when non-nil, injects the schedule's faults (TEA
+	// migrations, register spills, allocation failures, page churn, huge
+	// flips — internal/fault) as the trace advances.
+	FaultPlan *fault.Plan
+	// Verify re-translates every reference through the live page tables
+	// (internal/check), asserting PA/size agreement, fallback-iff-miss
+	// for DMT designs, and TEA structural invariants after fault events.
+	Verify bool
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +142,14 @@ type Result struct {
 	// PTEBytes is the design's translation-structure footprint.
 	PTEBytes int
 
+	// Fault-injection and verification outcome (zero unless enabled).
+	FaultsApplied int
+	FaultsSkipped int
+	FaultLog      []string
+	DemandFaults  uint64
+	Checked       uint64
+	Mismatches    uint64
+
 	breakdown map[string]*StepAgg
 }
 
@@ -170,17 +188,21 @@ func (r *Result) Breakdown() []StepAgg {
 	return out
 }
 
-// recordingWalker decorates a walker with per-step aggregation and
-// fall-back counting.
+// recordingWalker decorates a walker with per-step aggregation, fall-back
+// counting, and (when verifying) the differential oracle.
 type recordingWalker struct {
 	inner core.Walker
 	res   *Result
+	chk   *check.Checker
 }
 
 func (w *recordingWalker) Name() string { return w.inner.Name() }
 
 func (w *recordingWalker) Walk(va mem.VAddr) core.WalkOutcome {
 	out := w.inner.Walk(va)
+	if w.chk != nil {
+		w.chk.CheckWalk(va, out)
+	}
 	w.res.Walks++
 	w.res.WalkCycles += uint64(out.Cycles)
 	w.res.SeqRefs += uint64(out.SeqSteps)
@@ -218,6 +240,13 @@ type machine struct {
 	gen      workload.Gen
 	coverage func() float64
 	footer   func(*Result) // copies counters (exits, footprints) at the end
+
+	// Fault/verification harness, filled by the builders.
+	target     fault.Target           // handles the injector perturbs
+	ref        check.Ref              // ground-truth translation (live PTs)
+	fastPath   func(mem.VAddr) bool   // side-effect-free DMT fast-path probe
+	sizeExact  bool                   // outcome size must equal reference size
+	invariants func() []string        // TEA structural invariants
 }
 
 // Run executes one configuration and returns its measurements.
@@ -242,14 +271,81 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	rec := &recordingWalker{inner: m.walker, res: res}
-	mmu := core.NewMMU(tlb.New(scaledTLB(cfg.CacheScale)), rec, 1)
+	dtlb, err := tlb.New(scaledTLB(cfg.CacheScale))
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	mmu := core.NewMMU(dtlb, rec, 1)
+	// Injected unmaps must shoot down stale TLB entries, as the kernel's
+	// MMU-notifier path would.
+	if m.target.AS != nil {
+		m.target.AS.OnInvalidate(func(va mem.VAddr) { dtlb.Invalidate(va, 1) })
+	}
+
+	var chk *check.Checker
+	if cfg.Verify {
+		if m.ref == nil {
+			return nil, fmt.Errorf("sim: verification not supported for %v/%v", cfg.Env, cfg.Design)
+		}
+		chk = check.New(check.Config{
+			Ref:        m.ref,
+			FastPath:   m.fastPath,
+			SizeExact:  m.sizeExact,
+			Invariants: m.invariants,
+		})
+		rec.chk = chk
+	}
+	var inj *fault.Injector
+	if cfg.FaultPlan != nil {
+		m.target.Hier = m.hier
+		m.target.FlushTLB = dtlb.Flush
+		inj = fault.New(*cfg.FaultPlan, m.target)
+	}
+
 	for i := 0; i < cfg.Ops; i++ {
+		if inj != nil {
+			before := inj.Applied + inj.Skipped
+			if err := inj.Tick(i); err != nil {
+				return nil, fmt.Errorf("sim: %w", err)
+			}
+			if chk != nil && inj.Applied+inj.Skipped != before {
+				chk.CheckInvariants()
+			}
+		}
 		va, _ := m.gen()
 		pa, _, ok := mmu.Translate(va)
+		if !ok && inj != nil && inj.Unmapped() > 0 {
+			// Demand paging: the workload tripped over an injected unmap;
+			// fault the pages back in and retry once.
+			if err := inj.Refault(); err != nil {
+				return nil, fmt.Errorf("sim: refault at %#x (op %d): %w", uint64(va), i, err)
+			}
+			res.DemandFaults++
+			pa, _, ok = mmu.Translate(va)
+		}
 		if !ok {
 			return nil, fmt.Errorf("sim: translation fault at %#x (op %d, %v/%v)", uint64(va), i, cfg.Env, cfg.Design)
 		}
+		if chk != nil {
+			chk.CheckTranslate(va, pa)
+		}
 		res.DataCycles += uint64(m.hier.Access(pa).Cycles)
+	}
+	if inj != nil {
+		if err := inj.Drain(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		res.FaultsApplied = inj.Applied
+		res.FaultsSkipped = inj.Skipped
+		res.FaultLog = inj.Log
+	}
+	if chk != nil {
+		chk.CheckInvariants()
+		res.Checked = chk.Checked
+		res.Mismatches = chk.Mismatched
+		if err := chk.Err(); err != nil {
+			return nil, fmt.Errorf("sim: %v/%v/%s: %w", cfg.Env, cfg.Design, cfg.Workload.Name, err)
+		}
 	}
 	res.TLBMisses = mmu.Misses
 	if m.coverage != nil {

@@ -8,7 +8,9 @@ import (
 	"dmt/internal/baseline/ecpt"
 	"dmt/internal/baseline/fpt"
 	"dmt/internal/cache"
+	"dmt/internal/check"
 	"dmt/internal/core"
+	"dmt/internal/fault"
 	"dmt/internal/kernel"
 	"dmt/internal/mem"
 	"dmt/internal/tea"
@@ -31,13 +33,28 @@ type virtEnv struct {
 	vm    *virt.VM
 	guest *kernel.AddressSpace
 	gmgr  *tea.Manager
+	flaky *fault.FlakyBackend
 	built *workload.Built
+}
+
+// ref is the ground-truth translation for guest VAs: the live guest page
+// table composed with the host (and, under nesting, parent) tables.
+func (e *virtEnv) ref(gva mem.VAddr) (mem.PAddr, mem.PageSize, bool) {
+	gpa, gsize, ok := e.guest.PT.Lookup(gva)
+	if !ok {
+		return 0, 0, false
+	}
+	ma, ok := e.vm.MachineAddr(gpa)
+	return ma, gsize, ok
 }
 
 func setupVirt(cfg Config) (*virtEnv, error) {
 	guestRAM := mem.AlignUp(mem.VAddr(uint64(float64(cfg.WSBytes)*1.3)+256<<20), mem.PageBytes2M)
 	machineFrames := frames(uint64(guestRAM), 1.25, 384<<20)
-	hyp := virt.NewHypervisor(machineFrames, cache.ScaledConfig(cfg.CacheScale))
+	hyp, err := virt.NewHypervisor(machineFrames, cache.ScaledConfig(cfg.CacheScale))
+	if err != nil {
+		return nil, err
+	}
 
 	needHostDMT := cfg.Design == DesignDMT || cfg.Design == DesignPvDMT
 	vm, err := hyp.NewVM(virt.VMConfig{
@@ -56,19 +73,22 @@ func setupVirt(cfg Config) (*virtEnv, error) {
 		return nil, err
 	}
 	var gmgr *tea.Manager
+	var flaky *fault.FlakyBackend
 	switch cfg.Design {
 	case DesignDMT:
-		gmgr = tea.NewManager(guest, tea.NewPhysBackend(vm.GuestPhys), teaConfig(cfg))
+		flaky = fault.NewFlakyBackend(tea.NewPhysBackend(vm.GuestPhys))
+		gmgr = tea.NewManager(guest, flaky, teaConfig(cfg))
 		guest.SetHooks(gmgr)
 	case DesignPvDMT:
-		gmgr = tea.NewManager(guest, virt.NewHypercallBackend(vm), teaConfig(cfg))
+		flaky = fault.NewFlakyBackend(virt.NewHypercallBackend(vm))
+		gmgr = tea.NewManager(guest, flaky, teaConfig(cfg))
 		guest.SetHooks(gmgr)
 	}
 	built, err := cfg.Workload.Build(guest, cfg.WSBytes)
 	if err != nil {
 		return nil, err
 	}
-	return &virtEnv{hyp: hyp, vm: vm, guest: guest, gmgr: gmgr, built: built}, nil
+	return &virtEnv{hyp: hyp, vm: vm, guest: guest, gmgr: gmgr, flaky: flaky, built: built}, nil
 }
 
 func (e *virtEnv) counters(r *Result) {
@@ -90,6 +110,12 @@ func buildVirt(cfg Config) (*machine, error) {
 	scaleWalkerCaches(nested, cfg.CacheScale)
 
 	m := &machine{hier: hier, gen: e.built.NewGen(cfg.Seed), footer: e.counters}
+	m.target = fault.Target{AS: e.guest, Mgr: e.gmgr, Backend: e.flaky}
+	if len(e.built.Major) > 0 {
+		m.target.Hot = e.built.Major[0]
+	}
+	m.ref = e.ref
+	m.sizeExact = true
 	switch cfg.Design {
 	case DesignVanilla:
 		m.walker = nested
@@ -98,7 +124,21 @@ func buildVirt(cfg Config) (*machine, error) {
 		if err != nil {
 			return nil, err
 		}
-		m.walker = core.NewRadixWalker(spt, hier, tlb.NewPWCScaled(cfg.CacheScale), 1)
+		rw := core.NewRadixWalker(spt, hier, tlb.NewPWCScaled(cfg.CacheScale), 1)
+		m.walker = rw
+		// The shadow table splinters guest huge pages into host-sized
+		// leaves, so only the physical address is asserted exactly; and
+		// as a one-shot VA→machine sync it must be rebuilt after every
+		// guest mapping mutation.
+		m.sizeExact = false
+		m.target.Resync = func() error {
+			spt, err := virt.BuildShadowVA(e.vm, e.guest)
+			if err != nil {
+				return err
+			}
+			rw.PT = spt
+			return nil
+		}
 	case DesignDMT:
 		w := &virt.DMTVirtWalker{
 			Guest: e.gmgr, GuestPool: e.guest.Pool,
@@ -106,6 +146,8 @@ func buildVirt(cfg Config) (*machine, error) {
 			Hier: hier, Fallback: nested,
 		}
 		m.walker = w
+		m.fastPath = w.Probe
+		m.invariants = check.TEAInvariants(e.gmgr, e.guest)
 		m.coverage = func() float64 {
 			total := w.RegisterHits + w.FallbackWalks
 			if total == 0 {
@@ -117,12 +159,21 @@ func buildVirt(cfg Config) (*machine, error) {
 		w := virt.NewPvDMTWalker(e.vm, e.gmgr, e.guest.Pool, hier, nested)
 		m.walker = w
 		m.coverage = w.Coverage
+		m.fastPath = w.Probe
+		m.invariants = check.TEAInvariants(e.gmgr, e.guest)
 	case DesignECPT:
-		gsys, err := ecpt.NewSystem(e.vm.GuestPhys, ecptSizes(cfg.THP), int(cfg.WSBytes>>mem.PageShift4K)/ecpt.GroupPages)
-		if err != nil {
-			return nil, err
+		buildGuestSys := func() (*ecpt.System, error) {
+			gsys, err := ecpt.NewSystem(e.vm.GuestPhys, ecptSizes(cfg.THP), int(cfg.WSBytes>>mem.PageShift4K)/ecpt.GroupPages)
+			if err != nil {
+				return nil, err
+			}
+			if err := gsys.Sync(e.guest); err != nil {
+				return nil, err
+			}
+			return gsys, nil
 		}
-		if err := gsys.Sync(e.guest); err != nil {
+		gsys, err := buildGuestSys()
+		if err != nil {
 			return nil, err
 		}
 		hsys, err := ecpt.NewSystem(e.hyp.MachinePhys, ecptSizes(cfg.THP), e.vm.HostAS.Pool.NodeCount()*mem.EntriesPerNode/ecpt.GroupPages)
@@ -132,13 +183,30 @@ func buildVirt(cfg Config) (*machine, error) {
 		if err := hsys.Sync(e.vm.HostAS); err != nil {
 			return nil, err
 		}
-		m.walker = &ecpt.VirtWalker{Guest: gsys, Host: hsys, Hier: hier}
-	case DesignFPT:
-		gt, err := fpt.New(e.vm.GuestPhys)
-		if err != nil {
-			return nil, err
+		w := &ecpt.VirtWalker{Guest: gsys, Host: hsys, Hier: hier}
+		m.walker = w
+		// Guest mutations only: the host tables are not perturbed.
+		m.target.Resync = func() error {
+			gsys, err := buildGuestSys()
+			if err != nil {
+				return err
+			}
+			w.Guest = gsys
+			return nil
 		}
-		if err := gt.Sync(e.guest); err != nil {
+	case DesignFPT:
+		buildGuestTable := func() (*fpt.Table, error) {
+			gt, err := fpt.New(e.vm.GuestPhys)
+			if err != nil {
+				return nil, err
+			}
+			if err := gt.Sync(e.guest); err != nil {
+				return nil, err
+			}
+			return gt, nil
+		}
+		gt, err := buildGuestTable()
+		if err != nil {
 			return nil, err
 		}
 		ht, err := fpt.New(e.hyp.MachinePhys)
@@ -148,7 +216,16 @@ func buildVirt(cfg Config) (*machine, error) {
 		if err := ht.Sync(e.vm.HostAS); err != nil {
 			return nil, err
 		}
-		m.walker = &fpt.VirtWalker{Guest: gt, Host: ht, Hier: hier}
+		w := &fpt.VirtWalker{Guest: gt, Host: ht, Hier: hier}
+		m.walker = w
+		m.target.Resync = func() error {
+			gt, err := buildGuestTable()
+			if err != nil {
+				return err
+			}
+			w.Guest = gt
+			return nil
+		}
 	case DesignAgile:
 		mirror, err := agile.BuildMirror(e.vm, e.guest)
 		if err != nil {
@@ -158,6 +235,15 @@ func buildVirt(cfg Config) (*machine, error) {
 		aw.HostPWC = tlb.NewPWCScaled(cfg.CacheScale)
 		aw.NestedC = tlb.NewNestedCacheSized(38 / cfg.CacheScale)
 		m.walker = aw
+		m.sizeExact = false
+		m.target.Resync = func() error {
+			mirror, err := agile.BuildMirror(e.vm, e.guest)
+			if err != nil {
+				return err
+			}
+			aw.Mirror = mirror
+			return nil
+		}
 	case DesignASAP:
 		// Only the guest-dimension PTE lines are prefetchable in a
 		// virtualized setup: ASAP's contiguity arithmetic can compute
@@ -190,7 +276,10 @@ func buildNested(cfg Config) (*machine, error) {
 	l2RAM := mem.AlignUp(mem.VAddr(uint64(float64(cfg.WSBytes)*1.3)+192<<20), mem.PageBytes2M)
 	l1RAM := mem.AlignUp(l2RAM+mem.VAddr(uint64(float64(l2RAM)*0.25)+256<<20), mem.PageBytes2M)
 	machineFrames := frames(uint64(l1RAM), 1.2, 384<<20)
-	hyp := virt.NewHypervisor(machineFrames, cache.ScaledConfig(cfg.CacheScale))
+	hyp, err := virt.NewHypervisor(machineFrames, cache.ScaledConfig(cfg.CacheScale))
+	if err != nil {
+		return nil, err
+	}
 
 	needDMT := cfg.Design == DesignPvDMT
 	l1, err := hyp.NewVM(virt.VMConfig{
@@ -212,8 +301,10 @@ func buildNested(cfg Config) (*machine, error) {
 		return nil, err
 	}
 	var gmgr *tea.Manager
+	var flaky *fault.FlakyBackend
 	if needDMT {
-		gmgr = tea.NewManager(guest, virt.NewHypercallBackend(l2), tea.DefaultConfig(cfg.THP))
+		flaky = fault.NewFlakyBackend(virt.NewHypercallBackend(l2))
+		gmgr = tea.NewManager(guest, flaky, tea.DefaultConfig(cfg.THP))
 		guest.SetHooks(gmgr)
 	}
 	built, err := cfg.Workload.Build(guest, cfg.WSBytes)
@@ -236,6 +327,33 @@ func buildNested(cfg Config) (*machine, error) {
 		r.IsolationFaults = hyp.IsolationFaults
 		r.PTEBytes = (guest.Pool.NodeCount() + l2.HostAS.Pool.NodeCount() + l1.HostAS.Pool.NodeCount()) * mem.PageBytes4K
 	}
+	m.target = fault.Target{AS: guest, Mgr: gmgr, Backend: flaky}
+	if len(built.Major) > 0 {
+		m.target.Hot = built.Major[0]
+	}
+	// The compressed shadow covers all of L2's RAM, but TEA regions
+	// allocated after build time (migration targets, decoys) map fresh
+	// pv-TEA window pages that the one-shot spt has never seen — a guest
+	// PT node placed or relocated there would be unresolvable by the
+	// fallback walker. Resync rebuilds the L2PA→L0PA composition.
+	m.target.Resync = func() error {
+		nspt, err := virt.BuildNestedShadow(l2)
+		if err != nil {
+			return err
+		}
+		baseline.HostPT = nspt
+		return nil
+	}
+	// Ground truth: the live guest table composed down through L1 and L0.
+	m.ref = func(gva mem.VAddr) (mem.PAddr, mem.PageSize, bool) {
+		gpa, gsize, ok := guest.PT.Lookup(gva)
+		if !ok {
+			return 0, 0, false
+		}
+		ma, ok := l2.MachineAddr(gpa)
+		return ma, gsize, ok
+	}
+	m.sizeExact = true
 	switch cfg.Design {
 	case DesignVanilla:
 		m.walker = baseline
@@ -243,6 +361,8 @@ func buildNested(cfg Config) (*machine, error) {
 		w := virt.NewPvDMTNestedWalker(l2, gmgr, guest.Pool, hier, baseline)
 		m.walker = w
 		m.coverage = w.Coverage
+		m.fastPath = w.Probe
+		m.invariants = check.TEAInvariants(gmgr, guest)
 	default:
 		return nil, fmt.Errorf("design %q not available under nested virtualization", cfg.Design)
 	}

@@ -8,7 +8,12 @@ import (
 
 func ExampleGeoMean() {
 	// The paper reports speedups as geometric means across workloads.
-	fmt.Printf("%.2f\n", stats.GeoMean([]float64{1.2, 1.5, 2.0}))
+	g, err := stats.GeoMean([]float64{1.2, 1.5, 2.0})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%.2f\n", g)
 	// Output:
 	// 1.53
 }

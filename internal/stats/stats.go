@@ -10,20 +10,21 @@ import (
 	"strings"
 )
 
-// GeoMean returns the geometric mean of xs (0 for empty input; panics on
-// non-positive values, which would indicate a broken measurement).
-func GeoMean(xs []float64) float64 {
+// GeoMean returns the geometric mean of xs (0 for empty input). A
+// non-positive value indicates a broken measurement and is reported as an
+// error rather than a crash.
+func GeoMean(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		return 0
+		return 0, nil
 	}
 	sum := 0.0
 	for _, x := range xs {
 		if x <= 0 {
-			panic(fmt.Sprintf("stats: non-positive value %v in GeoMean", x))
+			return 0, fmt.Errorf("stats: non-positive value %v in geometric mean", x)
 		}
 		sum += math.Log(x)
 	}
-	return math.Exp(sum / float64(len(xs)))
+	return math.Exp(sum / float64(len(xs))), nil
 }
 
 // Mean returns the arithmetic mean.

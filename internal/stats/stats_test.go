@@ -8,18 +8,19 @@ import (
 )
 
 func TestGeoMean(t *testing.T) {
-	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+	g, err := GeoMean([]float64{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-4) > 1e-9 {
 		t.Fatalf("GeoMean(2,8) = %v, want 4", g)
 	}
-	if g := GeoMean(nil); g != 0 {
-		t.Fatalf("GeoMean(nil) = %v, want 0", g)
+	if g, err := GeoMean(nil); err != nil || g != 0 {
+		t.Fatalf("GeoMean(nil) = %v, %v, want 0", g, err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("GeoMean of non-positive value must panic")
-		}
-	}()
-	GeoMean([]float64{1, 0})
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("GeoMean of non-positive value must report an error")
+	}
 }
 
 func TestGeoMeanBetweenMinAndMax(t *testing.T) {
@@ -34,8 +35,8 @@ func TestGeoMeanBetweenMinAndMax(t *testing.T) {
 			min = math.Min(min, xs[i])
 			max = math.Max(max, xs[i])
 		}
-		g := GeoMean(xs)
-		return g >= min-1e-9 && g <= max+1e-9
+		g, err := GeoMean(xs)
+		return err == nil && g >= min-1e-9 && g <= max+1e-9
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -1,0 +1,190 @@
+package tea
+
+import (
+	"testing"
+
+	"dmt/internal/kernel"
+	"dmt/internal/mem"
+	"dmt/internal/phys"
+)
+
+// fuzzMachine drives a manager through the byte-encoded op stream: each op
+// consumes three bytes (opcode, two args) and exercises VMA create, grow,
+// shrink, delete, touch, THP churn, and migration. It returns the manager
+// and address space for invariant checks.
+func fuzzMachine(t *testing.T, data []byte, thp bool) (*Manager, *kernel.AddressSpace) {
+	t.Helper()
+	pa := phys.New(0, 1<<16)
+	as, err := kernel.NewAddressSpace(pa, kernel.Config{THP: thp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(thp)
+	cfg.GradualMigration = true // keep migration windows open across ops
+	mgr := NewManager(as, NewPhysBackend(pa), cfg)
+	as.SetHooks(mgr)
+
+	const base = mem.VAddr(0x4000_0000)
+	const slotSpan = mem.VAddr(64 << 20)
+	for i := 0; i+2 < len(data); i += 3 {
+		op, a, b := data[i], uint64(data[i+1]), uint64(data[i+2])
+		slot := mem.VAddr(a%24) * slotSpan
+		switch op % 8 {
+		case 0: // create
+			length := (b%16 + 1) << 21 // 2..32 MiB, 2M aligned
+			_, _ = as.MMap(base+slot, length, kernel.VMAHeap, "fuzz")
+		case 1: // delete
+			if v, ok := as.FindVMA(base + slot); ok {
+				_ = as.MUnmap(v)
+			}
+		case 2: // grow
+			if v, ok := as.FindVMA(base + slot); ok {
+				_ = as.Grow(v, v.End+mem.VAddr((b%8+1)<<21))
+			}
+		case 3: // shrink
+			if v, ok := as.FindVMA(base + slot); ok {
+				newEnd := v.Start + mem.VAddr((b%4+1)<<21)
+				if newEnd < v.End {
+					_ = as.Shrink(v, newEnd)
+				}
+			}
+		case 4: // touch pages
+			if v, ok := as.FindVMA(base + slot); ok {
+				off := mem.VAddr(b<<12) % mem.VAddr(v.Size())
+				_, _ = as.Touch(v.Start+off, true)
+			}
+		case 5: // THP churn
+			if v, ok := as.FindVMA(base + slot); ok {
+				if b%2 == 0 {
+					as.PromoteTHP(v)
+				} else {
+					_ = as.SplitHugePage(v, v.Start+mem.VAddr(b<<12)%mem.VAddr(v.Size()))
+				}
+			}
+		case 6: // migration churn
+			if b%2 == 0 {
+				mgr.StartMigration(base + slot)
+			} else {
+				mgr.PumpMigration(int(b%7) + 1)
+			}
+		case 7: // unmap a single page
+			if v, ok := as.FindVMA(base + slot); ok {
+				off := mem.VAddr(b<<12) % mem.VAddr(v.Size())
+				_ = as.UnmapPage(v, v.Start+off)
+			}
+		}
+	}
+	return mgr, as
+}
+
+// checkRegisterContainment asserts every loaded register only ever
+// computes PTE addresses inside the TEA region that owns its VMA's nodes —
+// the isolation property the DMT fetcher's bounds check relies on (§4.5.2).
+func checkRegisterContainment(t *testing.T, mgr *Manager) {
+	t.Helper()
+	for _, reg := range mgr.Registers() {
+		if !reg.Present {
+			continue
+		}
+		for _, s := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+			if !reg.Covered[s] {
+				continue
+			}
+			lo, hi := pteAddrBounds(t, mgr, reg, s)
+			span := mem.VAddr(s.Bytes() / 8 * mem.PageBytes4K) // VA per TEA frame
+			for va := reg.Base; va < reg.Limit; va += span / 2 {
+				addr := reg.PTEAddr(s)(va)
+				if addr < lo || addr >= hi {
+					t.Fatalf("PTEAddr(%v)(%#x) = %#x outside owning region [%#x, %#x)",
+						s, uint64(va), uint64(addr), uint64(lo), uint64(hi))
+				}
+				if !mgr.OwnsNode(addr) {
+					t.Fatalf("PTEAddr(%v)(%#x) = %#x not owned by any TEA region",
+						s, uint64(va), uint64(addr))
+				}
+			}
+		}
+	}
+}
+
+// pteAddrBounds returns the physical bounds of the TEA region serving
+// (reg, size), located through the introspection API.
+func pteAddrBounds(t *testing.T, mgr *Manager, reg Register, s mem.PageSize) (mem.PAddr, mem.PAddr) {
+	t.Helper()
+	for _, mp := range mgr.Mappings() {
+		if mp.Start != reg.Base {
+			continue
+		}
+		for _, ri := range mp.SizeRegions() {
+			if ri.Size != s {
+				continue
+			}
+			lo := ri.Region.NodeBase
+			return lo, lo + mem.PAddr(uint64(ri.Region.Frames)<<mem.PageShift4K)
+		}
+	}
+	t.Fatalf("register with base %#x has no backing mapping region for %v", uint64(reg.Base), s)
+	return 0, 0
+}
+
+// FuzzManagerLookup drives random VMA lifecycles and asserts that Lookup
+// answers are always consistent: a hit must come from the mapping that
+// contains the address, and its covered sizes must have live TEA regions.
+func FuzzManagerLookup(f *testing.F) {
+	f.Add([]byte{0, 0, 4, 4, 0, 9, 0, 1, 8, 2, 0, 3, 6, 0, 0, 6, 0, 1}, true)
+	f.Add([]byte{0, 1, 15, 0, 2, 2, 3, 1, 0, 1, 1, 0, 5, 0, 2, 7, 0, 7}, false)
+	f.Add([]byte{0, 0, 1, 2, 0, 7, 6, 0, 2, 6, 0, 3, 1, 0, 0, 0, 0, 0}, true)
+	f.Fuzz(func(t *testing.T, data []byte, thp bool) {
+		mgr, as := fuzzMachine(t, data, thp)
+		for _, v := range as.VMAs() {
+			for _, va := range []mem.VAddr{v.Start, v.Start + mem.VAddr(v.Size()/2), v.End - 1} {
+				reg := mgr.Lookup(va)
+				if reg == nil {
+					continue // spilled or migrating: legal, falls back
+				}
+				if va < reg.Base || va >= reg.Limit {
+					t.Fatalf("Lookup(%#x) returned register covering [%#x, %#x)",
+						uint64(va), uint64(reg.Base), uint64(reg.Limit))
+				}
+			}
+		}
+		// Addresses no VMA covers must miss.
+		for _, va := range []mem.VAddr{0x1000, 0x7fff_ffff_f000} {
+			if _, ok := as.FindVMA(va); !ok && mgr.Lookup(va) != nil {
+				t.Fatalf("Lookup(%#x) hit outside any VMA", uint64(va))
+			}
+		}
+		checkRegisterContainment(t, mgr)
+	})
+}
+
+// FuzzRegisterPTEAddr hammers the arithmetic PTE-address computation of
+// every loaded register across its whole covered span (including the very
+// last byte) and asserts it never addresses outside the owning TEA region.
+func FuzzRegisterPTEAddr(f *testing.F) {
+	f.Add([]byte{0, 0, 9, 0, 1, 3, 2, 0, 5, 4, 0, 40}, uint64(0x3fff), true)
+	f.Add([]byte{0, 2, 2, 6, 0, 0, 6, 0, 1, 5, 0, 4}, uint64(1<<21), false)
+	f.Fuzz(func(t *testing.T, data []byte, off uint64, thp bool) {
+		mgr, _ := fuzzMachine(t, data, thp)
+		for _, reg := range mgr.Registers() {
+			if !reg.Present {
+				continue
+			}
+			span := uint64(reg.Limit - reg.Base)
+			va := reg.Base + mem.VAddr(off%span)
+			for _, s := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+				if !reg.Covered[s] {
+					continue
+				}
+				lo, hi := pteAddrBounds(t, mgr, reg, s)
+				for _, probe := range []mem.VAddr{va, reg.Base, reg.Limit - 1} {
+					addr := reg.PTEAddr(s)(probe)
+					if addr < lo || addr >= hi {
+						t.Fatalf("PTEAddr(%v)(%#x) = %#x outside owning region [%#x, %#x)",
+							s, uint64(probe), uint64(addr), uint64(lo), uint64(hi))
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package tea
+
+import (
+	"dmt/internal/mem"
+)
+
+// Introspection and fault-injection entry points. The differential checker
+// (internal/check) uses the read-only snapshots to verify structural
+// invariants — every mapped leaf reachable through exactly one TEA slot per
+// size, registers consistent with mappings — and the fault injector
+// (internal/fault) uses StartMigration to open the §4.3 migration window
+// (register P-bit clear) at arbitrary points of a run.
+
+// RegionInfo is a read-only snapshot of one size-region of a mapping.
+type RegionInfo struct {
+	Size       mem.PageSize
+	CoverVA    mem.VAddr // first VA covered by the region's frames
+	CoveredEnd mem.VAddr // one past the last VA covered (on-demand growth)
+	Region     Region
+	Migrating  bool
+	MigrateTo  Region // valid only when Migrating
+	SharedRefs int    // mappings referencing the backing region (>=1)
+}
+
+// SizeRegions returns snapshots of the mapping's size-regions,
+// smallest page size first.
+func (m *Mapping) SizeRegions() []RegionInfo {
+	out := make([]RegionInfo, 0, len(m.regions))
+	for _, s := range m.sizesInOrder() {
+		sr := m.regions[s]
+		ri := RegionInfo{
+			Size:       s,
+			CoverVA:    sr.coverVA,
+			CoveredEnd: sr.coveredEnd(),
+			Region:     sr.region,
+			Migrating:  sr.migrate != nil,
+			SharedRefs: 1,
+		}
+		if sr.migrate != nil {
+			ri.MigrateTo = sr.migrate.to
+		}
+		if sr.shared != nil {
+			ri.SharedRefs = sr.shared.refs
+		}
+		out = append(out, ri)
+	}
+	return out
+}
+
+// Config returns the manager's configuration (post-default resolution).
+func (m *Manager) Config() Config { return m.cfg }
+
+// StartMigration forces a gradual TEA migration of the mapping covering va:
+// same-sized destination regions are allocated and each size-region enters
+// the migration window — register P-bit clear per §4.6.1, so translations
+// fall back to the legacy walker until PumpMigration completes the move.
+// Regions already migrating, and regions shared with other mappings (whose
+// fetch addresses a relocation would silently strand), are skipped. It
+// returns whether at least one migration started.
+func (m *Manager) StartMigration(va mem.VAddr) bool {
+	mp := m.mappingAt(va)
+	if mp == nil {
+		return false
+	}
+	started := false
+	for _, s := range mp.sizesInOrder() {
+		sr := mp.regions[s]
+		if sr.migrate != nil {
+			continue
+		}
+		if sr.shared != nil && sr.shared.refs > 1 {
+			continue
+		}
+		to, err := m.backend.AllocTEA(sr.region.Frames)
+		if err != nil {
+			m.Stats.AllocFailures++
+			continue
+		}
+		m.Stats.FramesLive += int64(to.Frames)
+		sr.migrate = &migration{to: to}
+		m.Stats.Migrations++
+		started = true
+	}
+	if started {
+		m.reloadRegisters()
+	}
+	return started
+}

@@ -144,6 +144,18 @@ type Mapping struct {
 // Span returns the number of bytes covered.
 func (m *Mapping) Span() uint64 { return uint64(m.End - m.Start) }
 
+// sizesInOrder returns the mapping's maintained page sizes smallest-first.
+// Iterating the regions map directly would randomize backend-allocation and
+// stats ordering between runs, breaking run-to-run determinism.
+func (m *Mapping) sizesInOrder() []mem.PageSize {
+	sizes := make([]mem.PageSize, 0, len(m.regions))
+	for s := range m.regions {
+		sizes = append(sizes, s)
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	return sizes
+}
+
 // Contains reports whether va falls in the covered span.
 func (m *Mapping) Contains(va mem.VAddr) bool { return va >= m.Start && va < m.End }
 
@@ -476,7 +488,8 @@ func (m *Manager) releaseRegion(sr *sizeRegion) {
 }
 
 func (m *Manager) dropMapping(mp *Mapping) {
-	for _, sr := range mp.regions {
+	for _, s := range mp.sizesInOrder() {
+		sr := mp.regions[s]
 		m.releaseRegion(sr)
 		if sr.migrate != nil {
 			m.backend.FreeTEA(sr.migrate.to)
@@ -600,7 +613,8 @@ func (m *Manager) tryMergeNeighbours() bool {
 // migrateMappingInto relocates every live node of old's TEAs into the
 // corresponding slots of the freshly-allocated regions of merged.
 func (m *Manager) migrateMappingInto(old, merged *Mapping) {
-	for s, osr := range old.regions {
+	for _, s := range old.sizesInOrder() {
+		osr := old.regions[s]
 		nsr, ok := merged.regions[s]
 		if !ok {
 			m.backend.FreeTEA(osr.region)
@@ -645,7 +659,8 @@ func (m *Manager) relocateNode(s mem.PageSize, va mem.VAddr, target mem.PAddr) b
 // expandMapping grows the mapping's TEAs to cover newEnd (§4.2.3), first
 // in place, then by migration to a larger region (§4.3).
 func (m *Manager) expandMapping(mp *Mapping, newEnd mem.VAddr) {
-	for s, sr := range mp.regions {
+	for _, s := range mp.sizesInOrder() {
+		sr := mp.regions[s]
 		_, needFrames := framesFor(mp.Start, newEnd, s)
 		extra := needFrames - sr.region.Frames
 		if extra <= 0 {
@@ -696,7 +711,8 @@ func (m *Manager) shrinkMapping(mp *Mapping, newEnd mem.VAddr) {
 func (m *Manager) PumpMigration(batch int) int {
 	moved := 0
 	for _, mp := range m.mappings {
-		for s, sr := range mp.regions {
+		for _, s := range mp.sizesInOrder() {
+			sr := mp.regions[s]
 			if sr.migrate == nil {
 				continue
 			}
@@ -764,7 +780,8 @@ func (m *Manager) reloadRegisters() {
 			break
 		}
 		r := Register{Present: true, Base: mp.Start, Limit: mp.End}
-		for s, sr := range mp.regions {
+		for _, s := range mp.sizesInOrder() {
+			sr := mp.regions[s]
 			if sr.migrate != nil {
 				// P-bit clear during migration: skip this size; if no
 				// size remains the register is not loaded.

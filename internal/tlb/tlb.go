@@ -5,7 +5,11 @@
 // walks in virtualized environments.
 package tlb
 
-import "dmt/internal/mem"
+import (
+	"fmt"
+
+	"dmt/internal/mem"
+)
 
 // assoc is a small set-associative map from uint64 keys to uint64 values
 // with LRU replacement; it backs TLBs, PWCs, and nested walk caches.
@@ -24,9 +28,9 @@ type assocSet struct {
 	stamp []uint64
 }
 
-func newAssoc(entries, ways int) *assoc {
-	if entries%ways != 0 {
-		panic("tlb: entries not divisible by ways")
+func newAssoc(entries, ways int) (*assoc, error) {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		return nil, fmt.Errorf("tlb: bad geometry: %d entries / %d ways", entries, ways)
 	}
 	n := entries / ways
 	a := &assoc{sets: make([]assocSet, n), ways: ways}
@@ -37,6 +41,24 @@ func newAssoc(entries, ways int) *assoc {
 			stamp: make([]uint64, ways),
 		}
 	}
+	return a, nil
+}
+
+// normAssoc builds an assoc after clamping the geometry to the nearest valid
+// shape (at least one way, entries a multiple of ways); the resulting
+// construction cannot fail.
+func normAssoc(entries, ways int) *assoc {
+	if ways < 1 {
+		ways = 1
+	}
+	if entries < ways {
+		ways = entries
+	}
+	if ways < 1 {
+		entries, ways = 1, 1
+	}
+	entries -= entries % ways
+	a, _ := newAssoc(entries, ways)
 	return a
 }
 
@@ -120,12 +142,18 @@ type TLB struct {
 	L1Hits, L2Hits, Misses uint64
 }
 
-// New builds a TLB from cfg.
-func New(cfg Config) *TLB {
-	return &TLB{
-		l1: newAssoc(cfg.L1Entries, cfg.L1Ways),
-		l2: newAssoc(cfg.L2Entries, cfg.L2Ways),
+// New builds a TLB from cfg. Invalid geometry (non-positive sizes or an
+// entry count not divisible by the way count) is reported as an error.
+func New(cfg Config) (*TLB, error) {
+	l1, err := newAssoc(cfg.L1Entries, cfg.L1Ways)
+	if err != nil {
+		return nil, fmt.Errorf("L1 TLB: %w", err)
 	}
+	l2, err := newAssoc(cfg.L2Entries, cfg.L2Ways)
+	if err != nil {
+		return nil, fmt.Errorf("L2 TLB: %w", err)
+	}
+	return &TLB{l1: l1, l2: l2}, nil
 }
 
 func key(va mem.VAddr, size mem.PageSize, asid uint16) uint64 {
@@ -203,17 +231,10 @@ func NewPWC() *PWC { return NewPWCSized(2, 4, 32) }
 // skip levels; used when structures are scaled with the working set
 // (DESIGN.md §6).
 func NewPWCSized(l4, l3, l2 int) *PWC {
-	mk := func(entries, ways int) *assoc {
-		if entries < ways {
-			ways = entries
-		}
-		entries -= entries % ways
-		return newAssoc(entries, ways)
-	}
 	return &PWC{byLevel: map[int]*assoc{
-		4: mk(l4, 2),
-		3: mk(l3, 4),
-		2: mk(l2, 4),
+		4: normAssoc(l4, 2),
+		3: normAssoc(l3, 4),
+		2: normAssoc(l2, 4),
 	}}
 }
 
@@ -287,8 +308,7 @@ func NewNestedCacheSized(entries int) *NestedCache {
 	if entries < 2 {
 		entries = 2
 	}
-	entries -= entries % 2
-	return &NestedCache{a: newAssoc(entries, 2)}
+	return &NestedCache{a: normAssoc(entries, 2)}
 }
 
 // Lookup returns the cached host frame for a guest-physical page.

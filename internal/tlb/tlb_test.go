@@ -7,8 +7,17 @@ import (
 	"dmt/internal/mem"
 )
 
+func mustTLB(t testing.TB, cfg Config) *TLB {
+	t.Helper()
+	tl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
 func TestLookupMissThenHit(t *testing.T) {
-	tl := New(DefaultConfig())
+	tl := mustTLB(t, DefaultConfig())
 	va := mem.VAddr(0x7f00_0000_1234)
 	if _, _, ok := tl.Lookup(va, 1); ok {
 		t.Fatal("cold TLB must miss")
@@ -24,7 +33,7 @@ func TestLookupMissThenHit(t *testing.T) {
 }
 
 func TestASIDIsolation(t *testing.T) {
-	tl := New(DefaultConfig())
+	tl := mustTLB(t, DefaultConfig())
 	va := mem.VAddr(0x4000_0000)
 	tl.Insert(va, 0x111000, mem.Size4K, 1)
 	if _, _, ok := tl.Lookup(va, 2); ok {
@@ -33,7 +42,7 @@ func TestASIDIsolation(t *testing.T) {
 }
 
 func TestHugePageHit(t *testing.T) {
-	tl := New(DefaultConfig())
+	tl := mustTLB(t, DefaultConfig())
 	base := mem.VAddr(0x4020_0000) // 2 MiB aligned
 	tl.Insert(base, 0x8000_0000, mem.Size2M, 3)
 	// Any address in the same 2 MiB page must hit, with the offset carried.
@@ -48,7 +57,7 @@ func TestHugePageHit(t *testing.T) {
 }
 
 func TestInvalidate(t *testing.T) {
-	tl := New(DefaultConfig())
+	tl := mustTLB(t, DefaultConfig())
 	va := mem.VAddr(0x1000)
 	tl.Insert(va, 0x2000, mem.Size4K, 0)
 	tl.Invalidate(va, 0)
@@ -58,7 +67,7 @@ func TestInvalidate(t *testing.T) {
 }
 
 func TestFlush(t *testing.T) {
-	tl := New(DefaultConfig())
+	tl := mustTLB(t, DefaultConfig())
 	for i := 0; i < 16; i++ {
 		tl.Insert(mem.VAddr(i)<<12, mem.PAddr(i)<<12, mem.Size4K, 0)
 	}
@@ -71,7 +80,7 @@ func TestFlush(t *testing.T) {
 }
 
 func TestSTLBPromotion(t *testing.T) {
-	tl := New(Config{L1Entries: 4, L1Ways: 4, L2Entries: 64, L2Ways: 4})
+	tl := mustTLB(t, Config{L1Entries: 4, L1Ways: 4, L2Entries: 64, L2Ways: 4})
 	// Insert 16 entries; the tiny L1 retains at most 4, the rest only in L2.
 	for i := 0; i < 16; i++ {
 		tl.Insert(mem.VAddr(i)<<12, mem.PAddr(0x100+i)<<12, mem.Size4K, 0)
@@ -93,7 +102,7 @@ func TestSTLBPromotion(t *testing.T) {
 
 func TestCapacityEviction(t *testing.T) {
 	cfg := DefaultConfig()
-	tl := New(cfg)
+	tl := mustTLB(t, cfg)
 	n := cfg.L2Entries * 4
 	for i := 0; i < n; i++ {
 		tl.Insert(mem.VAddr(i)<<12, mem.PAddr(i)<<12, mem.Size4K, 0)
@@ -112,7 +121,7 @@ func TestCapacityEviction(t *testing.T) {
 // Property: after inserting any translation, an immediate lookup returns
 // exactly the inserted frame with the page offset preserved.
 func TestInsertLookupProperty(t *testing.T) {
-	tl := New(DefaultConfig())
+	tl := mustTLB(t, DefaultConfig())
 	f := func(rawVA, rawPA uint64, sizeSel uint8, asid uint16) bool {
 		size := mem.PageSize(sizeSel % 3)
 		va := mem.VAddr(rawVA & ((1 << 48) - 1))

@@ -139,6 +139,51 @@ func (w *DMTVirtWalker) Walk(gva mem.VAddr) core.WalkOutcome {
 	return out
 }
 
+// Probe reports whether the three-fetch fast path would serve gva, without
+// touching the cache hierarchy or any statistics.
+func (w *DMTVirtWalker) Probe(gva mem.VAddr) bool {
+	greg := w.Guest.Lookup(gva)
+	if greg == nil {
+		return false
+	}
+	for _, s := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+		if !greg.Covered[s] {
+			continue
+		}
+		gpteGPA := greg.PTEAddr(s)(gva)
+		if _, ok := w.hostProbe(gpteGPA); !ok {
+			continue
+		}
+		pte, ok := w.GuestPool.ReadPTE(gpteGPA)
+		if !ok || !pteLeafValid(pte, s) {
+			continue
+		}
+		dataGPA := pte.Frame() + mem.PAddr(mem.PageOffset(gva, s))
+		if _, ok := w.hostProbe(dataGPA); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// hostProbe is hostFetch without cache accesses or ref accounting.
+func (w *DMTVirtWalker) hostProbe(gpa mem.PAddr) (mem.PAddr, bool) {
+	hreg := w.Host.Lookup(mem.VAddr(gpa))
+	if hreg == nil {
+		return 0, false
+	}
+	for _, s := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+		if !hreg.Covered[s] {
+			continue
+		}
+		pte, ok := w.HostPool.ReadPTE(hreg.PTEAddr(s)(mem.VAddr(gpa)))
+		if ok && pteLeafValid(pte, s) {
+			return pte.Frame() + mem.PAddr(mem.PageOffset(mem.VAddr(gpa), s)), true
+		}
+	}
+	return 0, false
+}
+
 // hostFetch performs one host-side DMT fetch: locate the hPTE of gpa via
 // the hVMA-to-hTEA register, access it, and return the machine address the
 // hPTE maps gpa to. Refs are added to g (the caller's parallel group).
@@ -167,10 +212,20 @@ func (w *DMTVirtWalker) fallback(gva mem.VAddr, partial core.WalkOutcome) core.W
 	w.FallbackWalks++
 	fb := w.Fallback.Walk(gva)
 	fb.Cycles += partial.Cycles
-	fb.Refs = append(partial.Refs, fb.Refs...)
+	fb.Refs = mergeRefs(partial.Refs, fb.Refs)
 	fb.SeqSteps += partial.SeqSteps
 	fb.Fallback = true
 	return fb
+}
+
+// mergeRefs concatenates the fast-path prefix and fallback refs into a
+// fresh slice: appending to the prefix in place could hand the caller a
+// view into a backing array later clobbered by another fallback reusing
+// the same prefix capacity.
+func mergeRefs(prefix, fb []core.MemRef) []core.MemRef {
+	merged := make([]core.MemRef, 0, len(prefix)+len(fb))
+	merged = append(merged, prefix...)
+	return append(merged, fb...)
 }
 
 func pteLeafValid(pte mem.PTE, s mem.PageSize) bool {

@@ -3,7 +3,6 @@ package virt
 import (
 	"testing"
 
-	"dmt/internal/cache"
 	"dmt/internal/kernel"
 	"dmt/internal/mem"
 	"dmt/internal/phys"
@@ -15,7 +14,7 @@ import (
 // deployment): walk depth shortens on the host side only and the combined
 // translation stays correct at 4K granularity.
 func TestMixedPageSizesAcrossDimensions(t *testing.T) {
-	hyp := NewHypervisor(1<<16, cache.DefaultConfig())
+	hyp := mustHyp(t, 1<<16)
 	vm, err := hyp.NewVM(VMConfig{Name: "vm", RAMBytes: 64 << 20, HostTHP: true, ASID: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -54,7 +53,7 @@ func TestMixedPageSizesAcrossDimensions(t *testing.T) {
 // TestPvDMTGuest4KHost2M checks pvDMT with asymmetric page sizes: guest 4K
 // TEAs, host 2M TEAs — still exactly two references.
 func TestPvDMTGuest4KHost2M(t *testing.T) {
-	hyp := NewHypervisor(1<<16, cache.DefaultConfig())
+	hyp := mustHyp(t, 1<<16)
 	vm, err := hyp.NewVM(VMConfig{
 		Name: "vm", RAMBytes: 64 << 20, HostTHP: true, HostDMT: true,
 		ASID: 3, PvTEAWindowBytes: 16 << 20,
@@ -96,7 +95,7 @@ func TestPvDMTGuest4KHost2M(t *testing.T) {
 // mapping creation degrades to the fallback path instead of corrupting
 // state.
 func TestHypercallWindowExhaustion(t *testing.T) {
-	hyp := NewHypervisor(1<<16, cache.DefaultConfig())
+	hyp := mustHyp(t, 1<<16)
 	vm, err := hyp.NewVM(VMConfig{
 		Name: "vm", RAMBytes: 64 << 20, HostDMT: true,
 		ASID: 3, PvTEAWindowBytes: 2 << 20, // tiny window: 512 TEA frames
@@ -146,7 +145,7 @@ func TestHypercallWindowExhaustion(t *testing.T) {
 // TestMapResident verifies the vm_insert_pages analogue: resident frames
 // are not returned to the address space's allocator on unmap.
 func TestMapResident(t *testing.T) {
-	hyp := NewHypervisor(1<<16, cache.DefaultConfig())
+	hyp := mustHyp(t, 1<<16)
 	vm, err := hyp.NewVM(VMConfig{Name: "vm", RAMBytes: 32 << 20, ASID: 3, PvTEAWindowBytes: 8 << 20})
 	if err != nil {
 		t.Fatal(err)
@@ -175,7 +174,7 @@ func TestMapResident(t *testing.T) {
 // owning VM's table (per-VM gTEA tables, §4.5.2), and out-of-table IDs
 // fault.
 func TestCrossVMGTEAIsolation(t *testing.T) {
-	hyp := NewHypervisor(1<<17, cache.DefaultConfig())
+	hyp := mustHyp(t, 1<<17)
 	mkVM := func(name string, asid uint16) (*VM, *kernel.AddressSpace, *tea.Manager, *kernel.VMA) {
 		vm, err := hyp.NewVM(VMConfig{Name: name, RAMBytes: 64 << 20, HostDMT: true, ASID: asid, PvTEAWindowBytes: 16 << 20})
 		if err != nil {
@@ -224,7 +223,7 @@ func TestCrossVMGTEAIsolation(t *testing.T) {
 // (rewriting the hPTE in place), the very next pvDMT walk observes the new
 // frame — there is no stale TEA-side copy to invalidate.
 func TestNoCopyCoherenceThroughMigration(t *testing.T) {
-	hyp := NewHypervisor(1<<16, cache.DefaultConfig())
+	hyp := mustHyp(t, 1<<16)
 	vm, err := hyp.NewVM(VMConfig{
 		Name: "vm", RAMBytes: 64 << 20, HostDMT: true,
 		ASID: 5, PvTEAWindowBytes: 16 << 20,

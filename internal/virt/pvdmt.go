@@ -106,10 +106,50 @@ func (w *PvDMTWalker) fallback(va mem.VAddr, partial core.WalkOutcome) core.Walk
 	w.FallbackWalks++
 	fb := w.Fallback.Walk(va)
 	fb.Cycles += partial.Cycles
-	fb.Refs = append(partial.Refs, fb.Refs...)
+	fb.Refs = mergeRefs(partial.Refs, fb.Refs)
 	fb.SeqSteps += partial.SeqSteps
 	fb.Fallback = true
 	return fb
+}
+
+// Probe reports whether the pvDMT chain would serve va end to end — every
+// level's register matches, gTEA resolution succeeds, and a valid leaf is
+// found — without touching the cache hierarchy or any statistics.
+func (w *PvDMTWalker) Probe(va mem.VAddr) bool {
+	addr := uint64(va)
+	for li := range w.Levels {
+		lv := &w.Levels[li]
+		reg := lv.Mgr.Lookup(mem.VAddr(addr))
+		if reg == nil {
+			return false
+		}
+		next := uint64(0)
+		found := false
+		for _, s := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+			if !reg.Covered[s] {
+				continue
+			}
+			fetchAddr := reg.PTEAddr(s)(mem.VAddr(addr))
+			nodeAddr := fetchAddr
+			if lv.Table != nil {
+				var err error
+				nodeAddr, err = lv.Table.Resolve(reg.GTEAID[s], fetchAddr)
+				if err != nil {
+					return false
+				}
+			}
+			pte, ok := lv.Pool.ReadPTE(nodeAddr)
+			if ok && pteLeafValid(pte, s) {
+				next = uint64(pte.Frame()) + mem.PageOffset(mem.VAddr(addr), s)
+				found = true
+			}
+		}
+		if !found {
+			return false
+		}
+		addr = next
+	}
+	return true
 }
 
 // Coverage returns the fraction of walks served without fallback.

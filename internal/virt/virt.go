@@ -37,11 +37,15 @@ type Hypervisor struct {
 
 // NewHypervisor creates the machine: the L0 physical memory and the cache
 // hierarchy.
-func NewHypervisor(machineFrames int, hcfg cache.HierarchyConfig) *Hypervisor {
+func NewHypervisor(machineFrames int, hcfg cache.HierarchyConfig) (*Hypervisor, error) {
+	hier, err := cache.NewHierarchy(hcfg)
+	if err != nil {
+		return nil, fmt.Errorf("virt: %w", err)
+	}
 	return &Hypervisor{
 		MachinePhys: phys.New(0, machineFrames),
-		Hier:        cache.NewHierarchy(hcfg),
-	}
+		Hier:        hier,
+	}, nil
 }
 
 // VMConfig controls VM creation.

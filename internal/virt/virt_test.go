@@ -26,11 +26,21 @@ type venv struct {
 	heap  *kernel.VMA
 }
 
+// mustHyp builds a hypervisor with the default cache configuration.
+func mustHyp(t testing.TB, frames int) *Hypervisor {
+	t.Helper()
+	hyp, err := NewHypervisor(frames, cache.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hyp
+}
+
 // newVEnv builds a single-level virtualized environment with a populated
 // guest heap. pv selects the hypercall TEA backend for the guest.
 func newVEnv(t *testing.T, thp, pv bool) *venv {
 	t.Helper()
-	hyp := NewHypervisor(testMachineFrames, cache.DefaultConfig())
+	hyp := mustHyp(t, testMachineFrames)
 	vm, err := hyp.NewVM(VMConfig{
 		Name: "vm0", RAMBytes: testRAMBytes, HostTHP: thp, HostDMT: true,
 		ASID: 100, PvTEAWindowBytes: testWindowBytes,
@@ -315,7 +325,7 @@ type nenv struct {
 
 func newNestedEnv(t *testing.T, thp bool) *nenv {
 	t.Helper()
-	hyp := NewHypervisor(1<<17, cache.DefaultConfig())
+	hyp := mustHyp(t, 1<<17)
 	l1, err := hyp.NewVM(VMConfig{Name: "L1", RAMBytes: 256 << 20, HostTHP: thp, HostDMT: true, ASID: 100, PvTEAWindowBytes: testWindowBytes})
 	if err != nil {
 		t.Fatal(err)
@@ -476,7 +486,7 @@ func TestPoolNodesAtMachineAddrs(t *testing.T) {
 // page tables, a cold two-dimensional walk takes up to 35 sequential
 // memory references (5 guest levels × (5 host + 1) + 5 final host).
 func TestFiveLevelNested35Refs(t *testing.T) {
-	hyp := NewHypervisor(1<<16, cache.DefaultConfig())
+	hyp := mustHyp(t, 1<<16)
 	vm, err := hyp.NewVM(VMConfig{Name: "vm5", RAMBytes: 64 << 20, ASID: 7, PTLevels: mem.Levels5})
 	if err != nil {
 		t.Fatal(err)
@@ -514,7 +524,7 @@ func TestFiveLevelNested35Refs(t *testing.T) {
 // still takes exactly two references under five-level page tables, because
 // the direct mapping never touches the radix structure.
 func TestPvDMTDepthIndependent(t *testing.T) {
-	hyp := NewHypervisor(1<<16, cache.DefaultConfig())
+	hyp := mustHyp(t, 1<<16)
 	vm, err := hyp.NewVM(VMConfig{
 		Name: "vm5", RAMBytes: 64 << 20, ASID: 7, PTLevels: mem.Levels5,
 		HostDMT: true, PvTEAWindowBytes: 8 << 20,
