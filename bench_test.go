@@ -417,16 +417,25 @@ func itoa(v int) string {
 
 // ---- walk-throughput microbenchmarks ----
 
-// walkBench drives b.N translations through a fresh machine, measuring the
-// simulator's walk throughput per design.
+// walkBench drives b.N translations through a pre-built machine via the
+// sim.Instance API: construction stays outside the timed region, so ns/op
+// and allocs/op measure the walk hot path alone.
 func walkBench(b *testing.B, env sim.Environment, d sim.Design) {
-	// Build once via sim by running zero ops is not exposed; instead
-	// construct a native rig directly for the native case and lean on
-	// sim.Run for the rest with Ops = b.N (single iteration pattern).
 	cfg := benchCfg(env, d, false, workload.GUPS())
 	cfg.Ops = b.N
+	in, err := sim.NewInstance(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
-	if _, err := sim.Run(cfg); err != nil {
+	for i := 0; i < b.N; i++ {
+		if err := in.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, err := in.Finish(); err != nil {
 		b.Fatal(err)
 	}
 }

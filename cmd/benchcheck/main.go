@@ -1,0 +1,134 @@
+// Command benchcheck is the benchmark-regression gate: it compares a freshly
+// emitted benchmark record (go test -run EmitBenchJSON -benchjson fresh.json .)
+// against the committed BENCH_sim.json and exits non-zero when a tracked
+// metric regressed beyond the tolerance.
+//
+// Time-based metrics (ns/walk, matrix seconds) are never compared raw —
+// the CI runner and the machine that produced the committed baseline differ
+// in clock speed, cache size, and load. Instead benchcheck computes the
+// per-metric current/baseline ratio, takes the geometric mean across all
+// time metrics as the host-speed factor, and flags only metrics whose ratio
+// exceeds that common factor by more than the tolerance. A change that slows
+// one walk path sticks out against the others; a uniform shift is absorbed
+// as host speed. (The known blind spot: a perfectly uniform slowdown of
+// every path is indistinguishable from a slower host.) Allocation counts are
+// machine-independent and compared strictly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+)
+
+type walkRecord struct {
+	NsPerWalk     float64 `json:"ns_per_walk"`
+	AllocsPerWalk float64 `json:"allocs_per_walk"`
+	BytesPerWalk  float64 `json:"bytes_per_walk"`
+}
+
+type benchDoc struct {
+	Schema string                `json:"schema"`
+	Walks  map[string]walkRecord `json:"walks"`
+	Matrix struct {
+		SerialSeconds   float64 `json:"serial_seconds"`
+		Workers8Seconds float64 `json:"workers8_seconds"`
+	} `json:"matrix"`
+}
+
+func load(path string) (*benchDoc, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d benchDoc
+	if err := json.Unmarshal(buf, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if d.Schema != "dmt-bench/v1" {
+		return nil, fmt.Errorf("%s: unsupported schema %q", path, d.Schema)
+	}
+	return &d, nil
+}
+
+// timeMetric is one time-based measurement present in both records.
+type timeMetric struct {
+	name      string
+	base, cur float64
+}
+
+// compare returns a human-readable violation per regressed metric, empty if
+// the current record is within tolerance of the baseline.
+func compare(base, cur *benchDoc, tol float64) []string {
+	var bad []string
+	var times []timeMetric
+	for name, b := range base.Walks {
+		c, ok := cur.Walks[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("walk %s: missing from current record", name))
+			continue
+		}
+		if c.AllocsPerWalk > b.AllocsPerWalk+0.5 {
+			bad = append(bad, fmt.Sprintf("walk %s: allocs/walk %.1f, baseline %.1f (machine-independent; no tolerance)",
+				name, c.AllocsPerWalk, b.AllocsPerWalk))
+		}
+		if b.NsPerWalk > 0 && c.NsPerWalk > 0 {
+			times = append(times, timeMetric{"walk " + name + " ns/walk", b.NsPerWalk, c.NsPerWalk})
+		}
+	}
+	if base.Matrix.SerialSeconds > 0 && cur.Matrix.SerialSeconds > 0 {
+		times = append(times, timeMetric{"matrix serial seconds", base.Matrix.SerialSeconds, cur.Matrix.SerialSeconds})
+	}
+	if len(times) < 2 {
+		// With fewer than two time metrics there is no cross-metric signal
+		// to separate host speed from regression; skip the time comparison.
+		return bad
+	}
+	logSum := 0.0
+	ratios := make([]float64, len(times))
+	for i, t := range times {
+		ratios[i] = t.cur / t.base
+		logSum += math.Log(ratios[i])
+	}
+	host := math.Exp(logSum / float64(len(times)))
+	for i, t := range times {
+		if ratios[i] > host*(1+tol) {
+			bad = append(bad, fmt.Sprintf("%s: %.1f vs baseline %.1f (%.2fx, host factor %.2fx, tolerance %d%%)",
+				t.name, t.cur, t.base, ratios[i], host, int(tol*100)))
+		}
+	}
+	return bad
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_sim.json", "committed benchmark record")
+	current := flag.String("current", "", "freshly emitted benchmark record (required)")
+	tol := flag.Float64("tolerance", 0.15, "allowed per-metric slowdown beyond the common host factor")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -current is required")
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	bad := compare(base, cur, *tol)
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d regression(s) vs %s:\n", len(bad), *baseline)
+		for _, v := range bad {
+			fmt.Fprintln(os.Stderr, "  "+v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d walk metrics and matrix wall clock within %d%% of %s\n",
+		len(base.Walks), int(*tol*100), *baseline)
+}

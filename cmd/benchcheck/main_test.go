@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func doc(nsScale float64, allocs float64, extra map[string]float64) *benchDoc {
+	d := &benchDoc{Schema: "dmt-bench/v1", Walks: map[string]walkRecord{}}
+	base := map[string]float64{
+		"NativeVanilla": 700, "NativeDMT": 550, "VirtVanilla": 1500,
+		"VirtPvDMT": 800, "NestedPvDMT": 1050,
+	}
+	for name, ns := range base {
+		scale := nsScale
+		if s, ok := extra[name]; ok {
+			scale = s
+		}
+		d.Walks[name] = walkRecord{NsPerWalk: ns * scale, AllocsPerWalk: allocs}
+	}
+	d.Matrix.SerialSeconds = 3.0 * nsScale
+	d.Matrix.Workers8Seconds = 8.5 * nsScale
+	return d
+}
+
+func TestCompareIdentical(t *testing.T) {
+	base := doc(1, 0, nil)
+	if bad := compare(base, doc(1, 0, nil), 0.15); len(bad) != 0 {
+		t.Fatalf("identical records flagged: %v", bad)
+	}
+}
+
+func TestCompareUniformSlowdownIsHostSpeed(t *testing.T) {
+	// A 2x-slower host shifts every time metric equally; the common-factor
+	// normalization must absorb it.
+	base := doc(1, 0, nil)
+	if bad := compare(base, doc(2, 0, nil), 0.15); len(bad) != 0 {
+		t.Fatalf("uniform 2x slowdown flagged: %v", bad)
+	}
+}
+
+func TestCompareSinglePathRegression(t *testing.T) {
+	// One walk path 60% slower on an otherwise identical host must stick
+	// out against the common factor.
+	base := doc(1, 0, nil)
+	bad := compare(base, doc(1, 0, map[string]float64{"NativeDMT": 1.6}), 0.15)
+	if len(bad) != 1 || !strings.Contains(bad[0], "NativeDMT") {
+		t.Fatalf("want one NativeDMT violation, got %v", bad)
+	}
+}
+
+func TestCompareAllocRegressionIsStrict(t *testing.T) {
+	// Allocations are machine-independent: any growth past rounding fails
+	// even on a much faster host.
+	base := doc(1, 0, nil)
+	bad := compare(base, doc(0.5, 1, nil), 0.15)
+	if len(bad) != len(base.Walks) {
+		t.Fatalf("want %d alloc violations, got %v", len(base.Walks), bad)
+	}
+	for _, v := range bad {
+		if !strings.Contains(v, "allocs/walk") {
+			t.Fatalf("unexpected violation %q", v)
+		}
+	}
+}
+
+func TestCompareMissingWalk(t *testing.T) {
+	base := doc(1, 0, nil)
+	cur := doc(1, 0, nil)
+	delete(cur.Walks, "VirtPvDMT")
+	bad := compare(base, cur, 0.15)
+	if len(bad) != 1 || !strings.Contains(bad[0], "missing") {
+		t.Fatalf("want one missing-walk violation, got %v", bad)
+	}
+}
+
+func TestCompareMatrixRegression(t *testing.T) {
+	base := doc(1, 0, nil)
+	cur := doc(1, 0, nil)
+	cur.Matrix.SerialSeconds *= 1.5
+	bad := compare(base, cur, 0.15)
+	if len(bad) != 1 || !strings.Contains(bad[0], "matrix serial") {
+		t.Fatalf("want one matrix violation, got %v", bad)
+	}
+}

@@ -6,6 +6,11 @@
 //
 //	dmtsim -env native|virt|nested -design vanilla|shadow|dmt|pvdmt|ecpt|fpt|agile|asap
 //	       -workload GUPS [-thp] [-ops N] [-ws MiB] [-scale N] [-seed N] [-breakdown]
+//	       [-workers N] [-shards N]
+//
+// -workers shards the trace across goroutines; a run's results are
+// bit-identical for any worker count (they depend on -shards only, which
+// defaults to the worker count — pin -shards to compare worker counts).
 //
 // With -faults, dmtsim instead runs the fault-injection campaign: every
 // (environment × design × fault schedule) cell for the selected workload,
@@ -38,6 +43,8 @@ func main() {
 		breakdown = flag.Bool("breakdown", false, "print the per-step walk breakdown")
 		faults    = flag.Bool("faults", false, "run the fault-injection campaign and print the degradation table")
 		quiet     = flag.Bool("q", false, "suppress progress output (with -faults)")
+		workers   = flag.Int("workers", 1, "goroutines simulating trace shards (results are identical for any value)")
+		shards    = flag.Int("shards", 0, "trace shards (0 = workers); results depend on shards, not workers")
 	)
 	flag.Parse()
 
@@ -73,6 +80,7 @@ func main() {
 			Ops: campaignOps, WSBytes: uint64(*wsMiB) << 20,
 			CacheScale: *scale, Seed: *seed,
 			Workloads: []workload.Spec{wl},
+			Workers:   *workers,
 		}
 		if !*quiet {
 			opt.Logf = func(format string, args ...interface{}) {
@@ -89,6 +97,7 @@ func main() {
 	res, err := sim.Run(sim.Config{
 		Env: env, Design: sim.Design(*design), THP: *thp, Workload: wl,
 		WSBytes: uint64(*wsMiB) << 20, Ops: *ops, Seed: *seed, CacheScale: *scale,
+		Workers: *workers, Shards: *shards,
 	})
 	if err != nil {
 		log.Fatal(err)

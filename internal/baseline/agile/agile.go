@@ -121,15 +121,25 @@ func (m *Mirror) syncPath(guest *kernel.AddressSpace, va mem.VAddr) error {
 	return nil
 }
 
+// emitRef streams one PTE fetch into the sink when one is installed, or
+// appends it to the outcome's own Refs slice (legacy standalone use).
+func emitRef(sink *core.RefSink, out *core.WalkOutcome, r core.MemRef) {
+	if sink != nil {
+		sink.Append(r)
+	} else {
+		out.Refs = append(out.Refs, r)
+	}
+}
+
 // walkUpper fetches the shadowed levels, returning the switch-point guest
 // node gPA and the level the nested walk resumes at.
-func (m *Mirror) walkUpper(va mem.VAddr, hier *cache.Hierarchy, out *core.WalkOutcome) (mem.PAddr, int, bool) {
+func (m *Mirror) walkUpper(va mem.VAddr, hier *cache.Hierarchy, sink *core.RefSink, out *core.WalkOutcome) (mem.PAddr, int, bool) {
 	node := m.root
 	for level := node.level; level > SwitchLevel; level-- {
 		idx := mem.Index(va, level)
 		addr := node.base + mem.PAddr(idx*mem.PTEBytes)
 		r := hier.Access(addr)
-		out.Refs = append(out.Refs, core.MemRef{Addr: addr, Cycles: r.Cycles, Served: r.Served, Level: level, Dim: "s"})
+		emitRef(sink, out, core.MemRef{Addr: addr, Cycles: r.Cycles, Served: r.Served, Level: level, Dim: "s"})
 		out.Cycles += r.Cycles
 		out.SeqSteps++
 		if !node.present[idx] {
@@ -153,8 +163,16 @@ type Walker struct {
 	HostPWC *tlb.PWC
 	NestedC *tlb.NestedCache
 	ASID    uint16
+	// Sink, when set, receives the walk's PTE fetches instead of per-walk
+	// Refs allocations; outcomes then alias the sink (see core.RefSink).
+	Sink *core.RefSink
 
 	Walks uint64
+
+	// Per-walk scratch, reused across walks: guest-dimension steps from
+	// WalkFrom and host-dimension steps inside hostResolve.
+	gSteps []pagetable.Step
+	hSteps []pagetable.Step
 }
 
 // NewWalker builds the agile walker.
@@ -168,40 +186,49 @@ func NewWalker(m *Mirror, guestPT, hostPT *pagetable.Table, hier *cache.Hierarch
 // Name implements core.Walker.
 func (w *Walker) Name() string { return "AgilePaging" }
 
+// seal fixes up the outcome's Refs for sink mode at every return point.
+func (w *Walker) seal(out core.WalkOutcome) core.WalkOutcome {
+	if w.Sink != nil {
+		out.Refs = w.Sink.Refs()
+	}
+	return out
+}
+
 // Walk implements core.Walker.
 func (w *Walker) Walk(gva mem.VAddr) core.WalkOutcome {
 	w.Walks++
 	out := core.WalkOutcome{}
-	switchGPA, nestedAt, ok := w.Mirror.walkUpper(gva, w.Hier, &out)
+	switchGPA, nestedAt, ok := w.Mirror.walkUpper(gva, w.Hier, w.Sink, &out)
 	if !ok {
-		return out
+		return w.seal(out)
 	}
 	// Nested portion: walk the remaining guest level(s) from the switch-
 	// point node, host-resolving every guest PTE fetch.
 	gnode, ok := w.GuestPT.Pool().NodeAt(switchGPA)
 	if !ok {
-		return out
+		return w.seal(out)
 	}
-	walk := w.GuestPT.WalkFrom(gnode, nestedAt, gva, nil)
+	walk := w.GuestPT.WalkFrom(gnode, nestedAt, gva, w.gSteps[:0])
+	w.gSteps = walk.Steps
 	for _, s := range walk.Steps {
 		mAddr, ok := w.hostResolve(s.Addr, &out)
 		if !ok {
-			return out
+			return w.seal(out)
 		}
 		r := w.Hier.Access(mAddr)
-		out.Refs = append(out.Refs, core.MemRef{Addr: mAddr, Cycles: r.Cycles, Served: r.Served, Level: s.Level, Dim: "g"})
+		emitRef(w.Sink, &out, core.MemRef{Addr: mAddr, Cycles: r.Cycles, Served: r.Served, Level: s.Level, Dim: "g"})
 		out.Cycles += r.Cycles
 		out.SeqSteps++
 	}
 	if !walk.OK {
-		return out
+		return w.seal(out)
 	}
 	mData, ok := w.hostResolve(walk.PA, &out)
 	if !ok {
-		return out
+		return w.seal(out)
 	}
 	out.PA, out.Size, out.OK = mData, walk.Size, true
-	return out
+	return w.seal(out)
 }
 
 func (w *Walker) hostResolve(gpa mem.PAddr, out *core.WalkOutcome) (mem.PAddr, bool) {
@@ -209,7 +236,8 @@ func (w *Walker) hostResolve(gpa mem.PAddr, out *core.WalkOutcome) (mem.PAddr, b
 		out.Cycles += tlb.PWCLatency
 		return m, true
 	}
-	full := w.HostPT.Walk(mem.VAddr(gpa))
+	full := w.HostPT.WalkInto(mem.VAddr(gpa), w.hSteps[:0])
+	w.hSteps = full.Steps
 	steps := full.Steps
 	out.Cycles += tlb.PWCLatency
 	if _, nextLevel, ok := w.HostPWC.Lookup(mem.VAddr(gpa), w.ASID); ok {
@@ -222,7 +250,7 @@ func (w *Walker) hostResolve(gpa mem.PAddr, out *core.WalkOutcome) (mem.PAddr, b
 	}
 	for _, s := range steps {
 		r := w.Hier.Access(s.Addr)
-		out.Refs = append(out.Refs, core.MemRef{Addr: s.Addr, Cycles: r.Cycles, Served: r.Served, Level: s.Level, Dim: "h"})
+		emitRef(w.Sink, out, core.MemRef{Addr: s.Addr, Cycles: r.Cycles, Served: r.Served, Level: s.Level, Dim: "h"})
 		out.Cycles += r.Cycles
 		out.SeqSteps++
 	}

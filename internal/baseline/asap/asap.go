@@ -56,6 +56,8 @@ type Walker struct {
 	ColdPrefetches uint64
 	LatePrefetches uint64
 	Walks          uint64
+
+	late []mem.PAddr // per-walk scratch, reused across walks
 }
 
 // Name implements core.Walker.
@@ -74,7 +76,7 @@ func (w *Walker) Walk(va mem.VAddr) core.WalkOutcome {
 	// stage's fill latency (memory or LLC round trip for its slowest
 	// line) is a floor the walk cannot finish before.
 	penalty := 0
-	var late []mem.PAddr
+	late := w.late[:0]
 	llcLatency := w.Hier.Config().LLC.LatencyRT
 	for stage, addrs := range w.Source(va) {
 		stageFill := 0
@@ -115,6 +117,7 @@ func (w *Walker) Walk(va mem.VAddr) core.WalkOutcome {
 			w.ColdPrefetches++
 		}
 	}
+	w.late = late
 	return out
 }
 
@@ -133,24 +136,31 @@ func hit(va mem.VAddr, i int) bool {
 var _ core.Walker = (*Walker)(nil)
 
 // LastTwoLevelSource builds a single-stage AddrSource from a walk-step
-// oracle: the level-2 and level-1 PTE lines (native ASAP).
+// oracle: the level-2 and level-1 PTE lines (native ASAP). The returned
+// source reuses its buffers: each call invalidates the previous result.
 func LastTwoLevelSource(steps func(va mem.VAddr) []core.MemRef) AddrSource {
+	var out []mem.PAddr
+	var stages [1][]mem.PAddr
 	return func(va mem.VAddr) [][]mem.PAddr {
-		var out []mem.PAddr
+		out = out[:0]
 		for _, s := range steps(va) {
 			if s.Level <= 2 {
 				out = append(out, s.Addr)
 			}
 		}
-		return [][]mem.PAddr{out}
+		stages[0] = out
+		return stages[:]
 	}
 }
 
 // TwoStageSource builds the virtualized AddrSource: the guest-dimension
 // lines form stage one and the final host-dimension lines stage two,
-// reflecting the dependency chain of the 2D walk.
+// reflecting the dependency chain of the 2D walk. The returned source
+// reuses its stage array: each call invalidates the previous result.
 func TwoStageSource(guest, host func(va mem.VAddr) []mem.PAddr) AddrSource {
+	var stages [2][]mem.PAddr
 	return func(va mem.VAddr) [][]mem.PAddr {
-		return [][]mem.PAddr{guest(va), host(va)}
+		stages[0], stages[1] = guest(va), host(va)
+		return stages[:]
 	}
 }

@@ -111,14 +111,19 @@ func (t *Table) matchingWay(vpn uint64) int {
 }
 
 type groupRecorder struct {
-	cycles   int // critical-path latency: the matching probes
-	maxAll   int // slowest probe overall (fallback when nothing matches)
+	sink     *core.RefSink // when set, refs stream here instead of refs
+	cycles   int           // critical-path latency: the matching probes
+	maxAll   int           // slowest probe overall (fallback when nothing matches)
 	refs     []core.MemRef
 	anyMatch bool
 }
 
 func (g *groupRecorder) addMatch(r core.MemRef, matches bool) {
-	g.refs = append(g.refs, r)
+	if g.sink != nil {
+		g.sink.Append(r)
+	} else {
+		g.refs = append(g.refs, r)
+	}
 	if r.Cycles > g.maxAll {
 		g.maxAll = r.Cycles
 	}
@@ -131,7 +136,9 @@ func (g *groupRecorder) addMatch(r core.MemRef, matches bool) {
 }
 
 func (g *groupRecorder) commit(out *core.WalkOutcome) {
-	out.Refs = append(out.Refs, g.refs...)
+	if g.sink == nil {
+		out.Refs = append(out.Refs, g.refs...)
+	}
 	if g.anyMatch {
 		out.Cycles += g.cycles
 	} else {
@@ -149,6 +156,9 @@ func identity(pa mem.PAddr) (mem.PAddr, bool) { return pa, true }
 type Walker struct {
 	Sys  *System
 	Hier *cache.Hierarchy
+	// Sink, when set, receives the walk's PTE fetches instead of per-walk
+	// Refs allocations; outcomes then alias the sink (see core.RefSink).
+	Sink *core.RefSink
 
 	Walks uint64
 }
@@ -160,9 +170,12 @@ func (w *Walker) Name() string { return "ECPT" }
 func (w *Walker) Walk(va mem.VAddr) core.WalkOutcome {
 	w.Walks++
 	out := core.WalkOutcome{Cycles: HashCycles}
-	g := groupRecorder{}
+	g := groupRecorder{sink: w.Sink}
 	w.Sys.probe(va, &g, w.Hier, "n", identity)
 	g.commit(&out)
+	if w.Sink != nil {
+		out.Refs = w.Sink.Refs()
+	}
 	pa, sz, ok := w.Sys.Lookup(va)
 	if !ok {
 		return out
@@ -180,12 +193,33 @@ type VirtWalker struct {
 	Guest *System // gVA → gPA, slots at guest-physical addresses
 	Host  *System // gPA → machine, slots at machine addresses
 	Hier  *cache.Hierarchy
+	// Sink, when set, receives the walk's PTE fetches instead of per-walk
+	// Refs allocations; outcomes then alias the sink (see core.RefSink).
+	Sink *core.RefSink
 
 	Walks uint64
+
+	cands []cand // per-walk scratch, reused across walks
+}
+
+// cand is one guest candidate slot of the step-1 fan-out.
+type cand struct {
+	slot    mem.PAddr // guest-physical slot address
+	isMatch bool
+	machine mem.PAddr
+	ok      bool
 }
 
 // Name implements core.Walker.
 func (w *VirtWalker) Name() string { return "NestedECPT" }
+
+// seal fixes up the outcome's Refs for sink mode at every return point.
+func (w *VirtWalker) seal(out core.WalkOutcome) core.WalkOutcome {
+	if w.Sink != nil {
+		out.Refs = w.Sink.Refs()
+	}
+	return out
+}
 
 // Walk implements core.Walker.
 func (w *VirtWalker) Walk(gva mem.VAddr) core.WalkOutcome {
@@ -196,13 +230,7 @@ func (w *VirtWalker) Walk(gva mem.VAddr) core.WalkOutcome {
 	// slot (fan-out: guest ways × host ways, the "up to 81 parallel" of
 	// §3.1). Only the chain of the eventually-matching guest way is on
 	// the critical path.
-	type cand struct {
-		slot    mem.PAddr // guest-physical slot address
-		isMatch bool
-		machine mem.PAddr
-		ok      bool
-	}
-	var cands []cand
+	cands := w.cands[:0]
 	for _, sz := range w.Guest.sizes {
 		t := w.Guest.tables[sz]
 		vpn := mem.PageNumber(gva, sz)
@@ -211,13 +239,16 @@ func (w *VirtWalker) Walk(gva mem.VAddr) core.WalkOutcome {
 			cands = append(cands, cand{slot: t.SlotAddr(vpn, way), isMatch: way == mw})
 		}
 	}
-	g1 := groupRecorder{}
+	w.cands = cands
+	g1 := groupRecorder{sink: w.Sink}
 	for i := range cands {
-		sub := groupRecorder{}
+		sub := groupRecorder{sink: w.Sink}
 		m, _, ok := w.Host.Lookup(mem.VAddr(cands[i].slot))
 		w.Host.probe(mem.VAddr(cands[i].slot), &sub, w.Hier, "h", identity)
 		cands[i].machine, cands[i].ok = m, ok
-		g1.refs = append(g1.refs, sub.refs...)
+		if g1.sink == nil {
+			g1.refs = append(g1.refs, sub.refs...)
+		}
 		if sub.maxAll > g1.maxAll {
 			g1.maxAll = sub.maxAll
 		}
@@ -232,7 +263,7 @@ func (w *VirtWalker) Walk(gva mem.VAddr) core.WalkOutcome {
 
 	// Step 2: fetch the guest candidate entries; the matching way's line
 	// latency is the critical path.
-	g2 := groupRecorder{}
+	g2 := groupRecorder{sink: w.Sink}
 	for _, c := range cands {
 		if !c.ok {
 			continue
@@ -243,19 +274,19 @@ func (w *VirtWalker) Walk(gva mem.VAddr) core.WalkOutcome {
 	g2.commit(&out)
 	dataGPA, gsz, ok := w.Guest.Lookup(gva)
 	if !ok {
-		return out
+		return w.seal(out)
 	}
 
 	// Step 3: host-resolve the data gPA.
-	g3 := groupRecorder{}
+	g3 := groupRecorder{sink: w.Sink}
 	m, _, ok := w.Host.Lookup(mem.VAddr(dataGPA))
 	w.Host.probe(mem.VAddr(dataGPA), &g3, w.Hier, "h", identity)
 	g3.commit(&out)
 	if !ok {
-		return out
+		return w.seal(out)
 	}
 	out.PA, out.Size, out.OK = m, gsz, true
-	return out
+	return w.seal(out)
 }
 
 var _ core.Walker = (*VirtWalker)(nil)

@@ -169,11 +169,32 @@ func (t *Table) FootprintBytes() int {
 	return flatEntries*mem.PTEBytes + len(t.leaves)*leafFrames*mem.PageBytes4K
 }
 
+// emitRef streams one PTE fetch into the sink when one is installed, or
+// appends it to the outcome's own Refs slice (legacy standalone use).
+func emitRef(sink *core.RefSink, out *core.WalkOutcome, r core.MemRef) {
+	if sink != nil {
+		sink.Append(r)
+	} else {
+		out.Refs = append(out.Refs, r)
+	}
+}
+
+// sealRefs points the outcome at the sink's buffer; call at every return.
+func sealRefs(sink *core.RefSink, out core.WalkOutcome) core.WalkOutcome {
+	if sink != nil {
+		out.Refs = sink.Refs()
+	}
+	return out
+}
+
 // Walker is native FPT: two sequential references (root, then the leaf
 // probes in parallel).
 type Walker struct {
 	T    *Table
 	Hier *cache.Hierarchy
+	// Sink, when set, receives the walk's PTE fetches instead of per-walk
+	// Refs allocations; outcomes then alias the sink (see core.RefSink).
+	Sink *core.RefSink
 
 	Walks uint64
 }
@@ -186,20 +207,20 @@ func (w *Walker) Walk(va mem.VAddr) core.WalkOutcome {
 	w.Walks++
 	out := core.WalkOutcome{}
 	r := w.Hier.Access(w.T.RootSlot(va))
-	out.Refs = append(out.Refs, core.MemRef{Addr: w.T.RootSlot(va), Cycles: r.Cycles, Served: r.Served, Level: 3, Dim: "n"})
+	emitRef(w.Sink, &out, core.MemRef{Addr: w.T.RootSlot(va), Cycles: r.Cycles, Served: r.Served, Level: 3, Dim: "n"})
 	out.Cycles += r.Cycles
 	out.SeqSteps++
 	s4, s2, ok := w.T.LeafSlots(va)
 	if !ok {
-		return out
+		return sealRefs(w.Sink, out)
 	}
 	// The parallel 4K/2M probes resolve on the valid entry's return; the
 	// other probe never gates the walk.
 	match := w.T.leafMatch(va)
 	g, slowest := 0, 0
-	for i, slot := range []mem.PAddr{s4, s2} {
+	for i, slot := range [2]mem.PAddr{s4, s2} {
 		rr := w.Hier.Access(slot)
-		out.Refs = append(out.Refs, core.MemRef{Addr: slot, Cycles: rr.Cycles, Served: rr.Served, Level: 1, Dim: "n"})
+		emitRef(w.Sink, &out, core.MemRef{Addr: slot, Cycles: rr.Cycles, Served: rr.Served, Level: 1, Dim: "n"})
 		if rr.Cycles > slowest {
 			slowest = rr.Cycles
 		}
@@ -214,10 +235,10 @@ func (w *Walker) Walk(va mem.VAddr) core.WalkOutcome {
 	out.SeqSteps++
 	pa, size, ok := w.T.Lookup(va)
 	if !ok {
-		return out
+		return sealRefs(w.Sink, out)
 	}
 	out.PA, out.Size, out.OK = pa, size, true
-	return out
+	return sealRefs(w.Sink, out)
 }
 
 var _ core.Walker = (*Walker)(nil)
@@ -229,6 +250,9 @@ type VirtWalker struct {
 	Guest *Table // gVA → gPA, slots at guest-physical addresses
 	Host  *Table // gPA → machine, slots at machine addresses
 	Hier  *cache.Hierarchy
+	// Sink, when set, receives the walk's PTE fetches instead of per-walk
+	// Refs allocations; outcomes then alias the sink (see core.RefSink).
+	Sink *core.RefSink
 
 	Walks uint64
 }
@@ -241,45 +265,42 @@ func (w *VirtWalker) Walk(gva mem.VAddr) core.WalkOutcome {
 	w.Walks++
 	out := core.WalkOutcome{}
 	// Guest root fetch (host-resolved first).
-	if !w.guestFetch(gva, w.T2slots(w.Guest.RootSlot(gva)), &out) {
-		return out
+	if !w.guestFetch(gva, [2]mem.PAddr{w.Guest.RootSlot(gva)}, 1, &out) {
+		return sealRefs(w.Sink, out)
 	}
 	// Guest leaf fetch: parallel 4K/2M probes, each host-resolved.
 	s4, s2, ok := w.Guest.LeafSlots(gva)
 	if !ok {
-		return out
+		return sealRefs(w.Sink, out)
 	}
-	if !w.guestFetch(gva, []mem.PAddr{s4, s2}, &out) {
-		return out
+	if !w.guestFetch(gva, [2]mem.PAddr{s4, s2}, 2, &out) {
+		return sealRefs(w.Sink, out)
 	}
 	dataGPA, size, ok := w.Guest.Lookup(gva)
 	if !ok {
-		return out
+		return sealRefs(w.Sink, out)
 	}
 	// Final host resolution of the data gPA.
 	m, ok := w.hostResolve(dataGPA, &out)
 	if !ok {
-		return out
+		return sealRefs(w.Sink, out)
 	}
 	out.PA, out.Size, out.OK = m, size, true
-	return out
+	return sealRefs(w.Sink, out)
 }
 
-// T2slots wraps a single slot for guestFetch.
-func (w *VirtWalker) T2slots(s mem.PAddr) []mem.PAddr { return []mem.PAddr{s} }
-
-// guestFetch host-resolves the guest slots and fetches the guest entries.
-// The host resolutions of parallel guest probes overlap: one host-root
-// group, one host-leaf group, one guest-fetch group — three sequential
-// steps regardless of the probe fan-out, so a full virtualized walk costs
-// 3+3+2 = 8 sequential references as the paper reports (Table 6).
-func (w *VirtWalker) guestFetch(guestVA mem.VAddr, slots []mem.PAddr, out *core.WalkOutcome) bool {
+// guestFetch host-resolves the first n guest slots and fetches the guest
+// entries. The host resolutions of parallel guest probes overlap: one
+// host-root group, one host-leaf group, one guest-fetch group — three
+// sequential steps regardless of the probe fan-out, so a full virtualized
+// walk costs 3+3+2 = 8 sequential references as the paper reports (Table 6).
+func (w *VirtWalker) guestFetch(guestVA mem.VAddr, slots [2]mem.PAddr, n int, out *core.WalkOutcome) bool {
 	// Host root probes for every slot (parallel).
 	g := 0
-	for _, s := range slots {
+	for _, s := range slots[:n] {
 		root := w.Host.RootSlot(mem.VAddr(s))
 		r := w.Hier.Access(root)
-		out.Refs = append(out.Refs, core.MemRef{Addr: root, Cycles: r.Cycles, Served: r.Served, Level: 3, Dim: "h"})
+		emitRef(w.Sink, out, core.MemRef{Addr: root, Cycles: r.Cycles, Served: r.Served, Level: 3, Dim: "h"})
 		if r.Cycles > g {
 			g = r.Cycles
 		}
@@ -290,17 +311,17 @@ func (w *VirtWalker) guestFetch(guestVA mem.VAddr, slots []mem.PAddr, out *core.
 	// is the critical path per slot, the slowest valid chain gates the
 	// group).
 	g = 0
-	machines := make([]mem.PAddr, 0, len(slots))
-	for _, s := range slots {
+	var machines [2]mem.PAddr
+	for mi, s := range slots[:n] {
 		s4, s2, ok := w.Host.LeafSlots(mem.VAddr(s))
 		if !ok {
 			return false
 		}
 		match := w.Host.leafMatch(mem.VAddr(s))
 		slotCritical, slowest := 0, 0
-		for i, slot := range []mem.PAddr{s4, s2} {
+		for i, slot := range [2]mem.PAddr{s4, s2} {
 			rr := w.Hier.Access(slot)
-			out.Refs = append(out.Refs, core.MemRef{Addr: slot, Cycles: rr.Cycles, Served: rr.Served, Level: 1, Dim: "h"})
+			emitRef(w.Sink, out, core.MemRef{Addr: slot, Cycles: rr.Cycles, Served: rr.Served, Level: 1, Dim: "h"})
 			if rr.Cycles > slowest {
 				slowest = rr.Cycles
 			}
@@ -318,7 +339,7 @@ func (w *VirtWalker) guestFetch(guestVA mem.VAddr, slots []mem.PAddr, out *core.
 		if !ok {
 			return false
 		}
-		machines = append(machines, m)
+		machines[mi] = m
 	}
 	out.Cycles += g
 	out.SeqSteps++
@@ -326,15 +347,15 @@ func (w *VirtWalker) guestFetch(guestVA mem.VAddr, slots []mem.PAddr, out *core.
 	// group).
 	g = 0
 	slowest := 0
-	for i, m := range machines {
+	for i, m := range machines[:n] {
 		r := w.Hier.Access(m)
-		out.Refs = append(out.Refs, core.MemRef{Addr: m, Cycles: r.Cycles, Served: r.Served, Dim: "g"})
+		emitRef(w.Sink, out, core.MemRef{Addr: m, Cycles: r.Cycles, Served: r.Served, Dim: "g"})
 		if r.Cycles > slowest {
 			slowest = r.Cycles
 		}
 		// For the root call there is one slot (always the match); for
 		// the leaf call slot 0 is the 4K probe and slot 1 the 2M probe.
-		if len(machines) == 1 || i == w.Guest.leafMatch(guestVA) {
+		if n == 1 || i == w.Guest.leafMatch(guestVA) {
 			g = r.Cycles
 		}
 	}
@@ -350,7 +371,7 @@ func (w *VirtWalker) guestFetch(guestVA mem.VAddr, slots []mem.PAddr, out *core.
 func (w *VirtWalker) hostResolve(gpa mem.PAddr, out *core.WalkOutcome) (mem.PAddr, bool) {
 	root := w.Host.RootSlot(mem.VAddr(gpa))
 	r := w.Hier.Access(root)
-	out.Refs = append(out.Refs, core.MemRef{Addr: root, Cycles: r.Cycles, Served: r.Served, Level: 3, Dim: "h"})
+	emitRef(w.Sink, out, core.MemRef{Addr: root, Cycles: r.Cycles, Served: r.Served, Level: 3, Dim: "h"})
 	out.Cycles += r.Cycles
 	out.SeqSteps++
 	s4, s2, ok := w.Host.LeafSlots(mem.VAddr(gpa))
@@ -359,9 +380,9 @@ func (w *VirtWalker) hostResolve(gpa mem.PAddr, out *core.WalkOutcome) (mem.PAdd
 	}
 	match := w.Host.leafMatch(mem.VAddr(gpa))
 	g, slowest := 0, 0
-	for i, slot := range []mem.PAddr{s4, s2} {
+	for i, slot := range [2]mem.PAddr{s4, s2} {
 		rr := w.Hier.Access(slot)
-		out.Refs = append(out.Refs, core.MemRef{Addr: slot, Cycles: rr.Cycles, Served: rr.Served, Level: 1, Dim: "h"})
+		emitRef(w.Sink, out, core.MemRef{Addr: slot, Cycles: rr.Cycles, Served: rr.Served, Level: 1, Dim: "h"})
 		if rr.Cycles > slowest {
 			slowest = rr.Cycles
 		}

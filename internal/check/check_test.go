@@ -27,13 +27,13 @@ func matrixConfig(env sim.Environment, d sim.Design, thp bool, plan fault.Plan) 
 		panic(err)
 	}
 	return sim.Config{
-		Env:      env,
-		Design:   d,
-		THP:      thp,
-		Workload: wl,
-		WSBytes:  matrixWS,
-		Ops:      matrixOps,
-		Seed:     7,
+		Env:       env,
+		Design:    d,
+		THP:       thp,
+		Workload:  wl,
+		WSBytes:   matrixWS,
+		Ops:       matrixOps,
+		Seed:      7,
 		FaultPlan: &plan,
 		Verify:    true,
 	}

@@ -1,0 +1,28 @@
+package core
+
+// RefSink is a reusable MemRef buffer shared by every walker along one
+// machine's fallback chain. With a sink installed, walkers append their
+// PTE fetches to it instead of allocating per-walk Refs slices, and each
+// WalkOutcome's Refs alias the sink's buffer — valid only until the next
+// Reset. The simulation loop resets the sink at the start of every walk
+// and consumes the refs before the next translation, so the walk hot path
+// stays allocation-free. A nil sink preserves the legacy allocate-per-walk
+// behavior for standalone walker use.
+//
+// Sharing one sink across a chain (e.g. DMTWalker and its radix fallback)
+// also removes the old merge-copy on the fallback path: the fast-path
+// prefix refs are already in the buffer when the fallback walker appends
+// its own, so the final Refs slice is simply the whole sink.
+type RefSink struct {
+	buf []MemRef
+}
+
+// Reset empties the sink, retaining capacity.
+func (s *RefSink) Reset() { s.buf = s.buf[:0] }
+
+// Append records one memory reference.
+func (s *RefSink) Append(r MemRef) { s.buf = append(s.buf, r) }
+
+// Refs returns the references recorded since the last Reset. The slice
+// aliases the sink's buffer.
+func (s *RefSink) Refs() []MemRef { return s.buf }

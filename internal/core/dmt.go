@@ -25,12 +25,18 @@ type DMTWalker struct {
 	Fallback Walker
 	// Dim labels refs in breakdowns.
 	Dim string
+	// Sink, when set, collects refs for the whole fetch+fallback chain
+	// (share it with Fallback); outcomes then alias the sink's buffer.
+	Sink *RefSink
 
 	// Stats
 	RegisterHits   uint64
 	FallbackWalks  uint64
 	ParallelFetch2 uint64 // walks that fanned out to two TEAs (§4.4)
 }
+
+// fetchSizes is the §4.4 fan-out probe order.
+var fetchSizes = [...]mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G}
 
 // NewDMTWalker builds the native DMT design over the TEA manager's
 // register file, with the given fallback walker (normally a RadixWalker on
@@ -60,14 +66,19 @@ func (w *DMTWalker) Walk(va mem.VAddr) WalkOutcome {
 	groupCycles := 0 // latency of the valid leaf (fallback: slowest probe)
 	slowest := 0
 	fanout := 0
-	for _, s := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+	for _, s := range fetchSizes {
 		if !reg.Covered[s] {
 			continue
 		}
 		fanout++
-		pteAddr := reg.PTEAddr(s)(va)
+		pteAddr := reg.PTEAddrAt(s, va)
 		r := w.Hier.Access(pteAddr)
-		out.Refs = append(out.Refs, MemRef{Addr: pteAddr, Cycles: r.Cycles, Served: r.Served, Level: s.LeafLevel(), Dim: w.Dim})
+		ref := MemRef{Addr: pteAddr, Cycles: r.Cycles, Served: r.Served, Level: s.LeafLevel(), Dim: w.Dim}
+		if w.Sink != nil {
+			w.Sink.Append(ref)
+		} else {
+			out.Refs = append(out.Refs, ref)
+		}
 		if r.Cycles > slowest {
 			slowest = r.Cycles
 		}
@@ -94,17 +105,25 @@ func (w *DMTWalker) Walk(va mem.VAddr) WalkOutcome {
 		w.FallbackWalks++
 		fb := w.Fallback.Walk(va)
 		fb.Cycles += out.Cycles
-		// Merge into a fresh slice: appending to out.Refs could hand the
-		// caller a view into a backing array later clobbered by another
-		// fallback reusing the same prefix capacity.
-		merged := make([]MemRef, 0, len(out.Refs)+len(fb.Refs))
-		merged = append(merged, out.Refs...)
-		fb.Refs = append(merged, fb.Refs...)
+		if w.Sink != nil {
+			// The shared sink already holds prefix + fallback refs in order.
+			fb.Refs = w.Sink.Refs()
+		} else {
+			// Merge into a fresh slice: appending to out.Refs could hand the
+			// caller a view into a backing array later clobbered by another
+			// fallback reusing the same prefix capacity.
+			merged := make([]MemRef, 0, len(out.Refs)+len(fb.Refs))
+			merged = append(merged, out.Refs...)
+			fb.Refs = append(merged, fb.Refs...)
+		}
 		fb.SeqSteps += out.SeqSteps
 		fb.Fallback = true
 		return fb
 	}
 	w.RegisterHits++
+	if w.Sink != nil {
+		out.Refs = w.Sink.Refs()
+	}
 	return out
 }
 
@@ -130,11 +149,11 @@ func (w *DMTWalker) Probe(va mem.VAddr) bool {
 	if reg == nil {
 		return false
 	}
-	for _, s := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+	for _, s := range fetchSizes {
 		if !reg.Covered[s] {
 			continue
 		}
-		if pte, ok := w.Pool.ReadPTE(reg.PTEAddr(s)(va)); ok && leafValid(pte, s) {
+		if pte, ok := w.Pool.ReadPTE(reg.PTEAddrAt(s, va)); ok && leafValid(pte, s) {
 			return true
 		}
 	}
@@ -149,6 +168,13 @@ func (w *DMTWalker) Coverage() float64 {
 		return 0
 	}
 	return float64(w.RegisterHits) / float64(total)
+}
+
+// CoverageCounts returns the raw hit/total counters behind Coverage; shard
+// results merge these integers so parallel runs reproduce serial coverage
+// bit-exactly.
+func (w *DMTWalker) CoverageCounts() (hits, total uint64) {
+	return w.RegisterHits, w.RegisterHits + w.FallbackWalks
 }
 
 var _ Walker = (*DMTWalker)(nil)

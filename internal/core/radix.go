@@ -18,8 +18,13 @@ type RadixWalker struct {
 	ASID uint16
 	// Dim labels this walker's refs in breakdowns ("n" by default).
 	Dim string
+	// Sink, when set, receives this walker's refs instead of per-walk
+	// slices (see RefSink); the outcome's Refs then alias the sink.
+	Sink *RefSink
 
 	Walks uint64
+
+	steps []pagetable.Step // per-walker scratch, reused across walks
 }
 
 // NewRadixWalker builds the baseline walker.
@@ -33,7 +38,8 @@ func (w *RadixWalker) Name() string { return "x86-radix" }
 // Walk implements Walker.
 func (w *RadixWalker) Walk(va mem.VAddr) WalkOutcome {
 	w.Walks++
-	full := w.PT.Walk(va)
+	full := w.PT.WalkInto(va, w.steps[:0])
+	w.steps = full.Steps[:0]
 	out := WalkOutcome{PA: full.PA, Size: full.Size, OK: full.OK}
 
 	steps := full.Steps
@@ -52,12 +58,20 @@ func (w *RadixWalker) Walk(va mem.VAddr) WalkOutcome {
 	}
 	for _, s := range steps {
 		r := w.Hier.Access(s.Addr)
-		out.Refs = append(out.Refs, MemRef{Addr: s.Addr, Cycles: r.Cycles, Served: r.Served, Level: s.Level, Dim: w.Dim})
+		ref := MemRef{Addr: s.Addr, Cycles: r.Cycles, Served: r.Served, Level: s.Level, Dim: w.Dim}
+		if w.Sink != nil {
+			w.Sink.Append(ref)
+		} else {
+			out.Refs = append(out.Refs, ref)
+		}
 		out.Cycles += r.Cycles
 		out.SeqSteps++
 	}
 	if w.PWC != nil && full.OK {
 		w.refillPWC(va, full.Steps)
+	}
+	if w.Sink != nil {
+		out.Refs = w.Sink.Refs()
 	}
 	return out
 }

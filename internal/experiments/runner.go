@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -32,6 +33,10 @@ type Options struct {
 	// in-flight simulation holds its machine in memory, so size this to
 	// available RAM.
 	Parallel int
+	// Workers is passed through to sim.Config.Workers: each simulation
+	// shards its trace and runs the shards on this many goroutines.
+	// Results are identical for any value (sharded determinism).
+	Workers int
 	// Verbose emits progress lines via Logf.
 	Logf func(format string, args ...interface{})
 }
@@ -102,42 +107,46 @@ func (r *Runner) Run(env sim.Environment, design sim.Design, thp bool, wl worklo
 		f.res, f.err = sim.Run(sim.Config{
 			Env: env, Design: design, THP: thp, Workload: wl,
 			WSBytes: r.opt.WSBytes, Ops: r.opt.Ops, Seed: r.opt.Seed,
-			CacheScale: r.opt.CacheScale,
+			CacheScale: r.opt.CacheScale, Workers: r.opt.Workers,
 		})
 	})
 	return f.res, f.err
 }
 
 // Warm runs the given configuration matrix concurrently (bounded by
-// Options.Parallel), so subsequent Run calls return memoized results. The
-// first error is reported; all configurations are attempted regardless.
+// Options.Parallel), so subsequent Run calls return memoized results. All
+// configurations are attempted; every failure is reported, joined in matrix
+// order and annotated with its cell.
 func (r *Runner) Warm(env sim.Environment, designs []sim.Design, thps []bool, wls []workload.Spec) error {
 	if r.opt.Parallel <= 1 {
 		return nil // nothing to gain; let callers run lazily
 	}
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
+	type cell struct {
+		d   sim.Design
+		thp bool
+		wl  workload.Spec
+	}
+	var cells []cell
 	for _, d := range designs {
 		for _, thp := range thps {
 			for _, wl := range wls {
-				d, thp, wl := d, thp, wl
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					if _, err := r.Run(env, d, thp, wl); err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						mu.Unlock()
-					}
-				}()
+				cells = append(cells, cell{d, thp, wl})
 			}
 		}
 	}
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	for i, c := range cells {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.Run(env, c.d, c.thp, c.wl); err != nil {
+				errs[i] = fmt.Errorf("warm %v/%s thp=%v %s: %w", env, c.d, c.thp, c.wl.Name, err)
+			}
+		}()
+	}
 	wg.Wait()
-	return firstErr
+	return errors.Join(errs...)
 }
 
 // WalkRatio returns O_sim_target / O_sim_vanilla for a configuration: the

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dmt/internal/sim"
+	"dmt/internal/workload"
+)
+
+// TestWarmCollectsAllErrors injects failing cells into a Warm matrix —
+// designs that don't exist under nested virtualization — and asserts that
+// every failure is reported (joined, annotated with its cell) while the
+// valid cells still complete and memoize.
+func TestWarmCollectsAllErrors(t *testing.T) {
+	wl := workload.GUPS()
+	r := NewRunner(Options{
+		Ops: 2_000, WSBytes: 24 << 20, CacheScale: 16, Seed: 3,
+		Workloads: []workload.Spec{wl},
+		Parallel:  3,
+	})
+	err := r.Warm(sim.EnvNested,
+		[]sim.Design{sim.DesignVanilla, sim.DesignECPT, sim.DesignFPT},
+		[]bool{false}, []workload.Spec{wl})
+	if err == nil {
+		t.Fatal("Warm swallowed the failing cells")
+	}
+	msg := err.Error()
+	for _, frag := range []string{"ecpt", "fpt"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("joined error missing failing cell %q: %v", frag, msg)
+		}
+	}
+	if strings.Contains(msg, "vanilla") {
+		t.Errorf("joined error blames a healthy cell: %v", msg)
+	}
+	// The healthy cell must have been attempted and memoized despite the
+	// failures.
+	if _, err := r.Run(sim.EnvNested, sim.DesignVanilla, false, wl); err != nil {
+		t.Errorf("healthy cell failed after Warm: %v", err)
+	}
+}
+
+// TestWarmSequentialSkips pins the lazy path: with Parallel <= 1 Warm is a
+// no-op and never surfaces errors early.
+func TestWarmSequentialSkips(t *testing.T) {
+	wl := workload.GUPS()
+	r := NewRunner(Options{
+		Ops: 1_000, WSBytes: 24 << 20, Seed: 3,
+		Workloads: []workload.Spec{wl},
+	})
+	if err := r.Warm(sim.EnvNested, []sim.Design{sim.DesignECPT}, []bool{false}, []workload.Spec{wl}); err != nil {
+		t.Fatalf("sequential Warm should defer errors to Run, got %v", err)
+	}
+}

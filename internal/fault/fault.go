@@ -128,11 +128,11 @@ type Target struct {
 // advances. All randomness derives from the plan seed, so a fixed
 // (plan, workload) pair perturbs identical pages in every run.
 type Injector struct {
-	plan   Plan
-	tgt    Target
-	rng    *rand.Rand
-	next   int
-	decoys []*kernel.VMA
+	plan     Plan
+	tgt      Target
+	rng      *rand.Rand
+	next     int
+	decoys   []*kernel.VMA
 	unmapped map[mem.VAddr]struct{}
 
 	Applied  int      // events applied

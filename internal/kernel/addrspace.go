@@ -47,7 +47,7 @@ type AddressSpace struct {
 
 	// rmap maps data frames back to the page mapping them, enabling
 	// movable-page migration.
-	rmap map[mem.PAddr]rmapEntry
+	rmap rmapTable
 
 	invalidate []InvalidateFunc
 
@@ -58,9 +58,65 @@ type AddressSpace struct {
 	MergedVMAs uint64
 }
 
-type rmapEntry struct {
-	va   mem.VAddr
-	size mem.PageSize
+// rmapTable is the reverse map from data frames to the page mapping them.
+// Each entry packs the (4 KiB-aligned) VA with the leaf size + 1 in the low
+// bits, held in a frame-indexed dense slice grown by amortized doubling,
+// with a sparse overflow map for physical addresses beyond the dense
+// range — the same hybrid the page-table node pool uses, keeping the
+// demand-paging hot path free of map operations.
+type rmapTable struct {
+	dense  []uint64
+	sparse map[mem.PAddr]uint64
+}
+
+// rmapDenseFrames caps the dense array at 16 GiB of physical address space.
+const rmapDenseFrames = 1 << 22
+
+func (r *rmapTable) set(pa mem.PAddr, va mem.VAddr, size mem.PageSize) {
+	enc := uint64(va) | (uint64(size) + 1)
+	f := uint64(pa) >> mem.PageShift4K
+	if f < rmapDenseFrames {
+		if f >= uint64(len(r.dense)) {
+			if f < uint64(cap(r.dense)) {
+				r.dense = r.dense[:f+1]
+			} else {
+				newCap := 2 * (f + 1)
+				if newCap > rmapDenseFrames {
+					newCap = rmapDenseFrames
+				}
+				grown := make([]uint64, f+1, newCap)
+				copy(grown, r.dense)
+				r.dense = grown
+			}
+		}
+		r.dense[f] = enc
+		return
+	}
+	if r.sparse == nil {
+		r.sparse = make(map[mem.PAddr]uint64)
+	}
+	r.sparse[pa] = enc
+}
+
+func (r *rmapTable) get(pa mem.PAddr) (mem.VAddr, mem.PageSize, bool) {
+	var enc uint64
+	if f := uint64(pa) >> mem.PageShift4K; f < uint64(len(r.dense)) {
+		enc = r.dense[f]
+	} else if f >= rmapDenseFrames && r.sparse != nil {
+		enc = r.sparse[pa]
+	}
+	if enc == 0 {
+		return 0, 0, false
+	}
+	return mem.VAddr(enc &^ (mem.PageBytes4K - 1)), mem.PageSize(enc&(mem.PageBytes4K-1)) - 1, true
+}
+
+func (r *rmapTable) del(pa mem.PAddr) {
+	if f := uint64(pa) >> mem.PageShift4K; f < uint64(len(r.dense)) {
+		r.dense[f] = 0
+	} else if f >= rmapDenseFrames && r.sparse != nil {
+		delete(r.sparse, pa)
+	}
 }
 
 // NewAddressSpace builds a process address space backed by pa.
@@ -72,7 +128,6 @@ func NewAddressSpace(pa *phys.Allocator, cfg Config) (*AddressSpace, error) {
 		Phys: pa,
 		Pool: pagetable.NewPool(),
 		cfg:  cfg,
-		rmap: make(map[mem.PAddr]rmapEntry),
 	}
 	pt, err := pagetable.New(as.Pool, cfg.Levels, as.allocNode, as.freeNode)
 	if err != nil {
@@ -146,10 +201,7 @@ func (as *AddressSpace) MMap(start mem.VAddr, length uint64, kind VMAKind, name 
 	if i < len(as.vmas) && as.vmas[i].Start < end {
 		return nil, fmt.Errorf("%w: [%#x,%#x) vs %s", ErrOverlap, uint64(start), uint64(end), as.vmas[i])
 	}
-	v := &VMA{Start: start, End: end, Kind: kind, Name: name,
-		present:  make(map[mem.VAddr]mem.PageSize),
-		resident: make(map[mem.VAddr]struct{}),
-	}
+	v := &VMA{Start: start, End: end, Kind: kind, Name: name}
 	as.vmas = append(as.vmas, nil)
 	copy(as.vmas[i+1:], as.vmas[i:])
 	as.vmas[i] = v
@@ -169,9 +221,9 @@ func (as *AddressSpace) MUnmap(v *VMA) error {
 	// Tear down translations while the TEA mapping is still live so
 	// TEA-resident node frames are recognized (OwnsNode) and freed with
 	// their TEA rather than individually.
-	for page, size := range v.present {
+	v.forEachPresent(func(page mem.VAddr, size mem.PageSize) {
 		as.unmapPage(v, page, size)
-	}
+	})
 	if as.hooks != nil {
 		as.hooks.VMADeleted(v)
 	}
@@ -193,6 +245,9 @@ func (as *AddressSpace) Grow(v *VMA, newEnd mem.VAddr) error {
 	}
 	oldStart, oldEnd := v.Start, v.End
 	v.End = newEnd
+	if v.state != nil {
+		v.state = append(v.state, make([]pageState, v.Pages()-len(v.state))...)
+	}
 	if as.hooks != nil {
 		as.hooks.VMAResized(v, oldStart, oldEnd)
 	}
@@ -207,13 +262,16 @@ func (as *AddressSpace) Shrink(v *VMA, newEnd mem.VAddr) error {
 	if !mem.IsAligned(uint64(newEnd), mem.PageBytes4K) || newEnd >= v.End || newEnd <= v.Start {
 		return ErrUnaligned
 	}
-	for page, size := range v.present {
+	v.forEachPresent(func(page mem.VAddr, size mem.PageSize) {
 		if page >= newEnd {
 			as.unmapPage(v, page, size)
 		}
-	}
+	})
 	oldStart, oldEnd := v.Start, v.End
 	v.End = newEnd
+	if v.state != nil {
+		v.state = v.state[:v.Pages()]
+	}
 	if as.hooks != nil {
 		as.hooks.VMAResized(v, oldStart, oldEnd)
 	}
@@ -258,8 +316,8 @@ func (as *AddressSpace) faultIn(v *VMA, va mem.VAddr) error {
 					as.Phys.Free(pa, 9)
 					return err
 				}
-				v.present[base] = mem.Size2M
-				as.rmap[pa] = rmapEntry{va: base, size: mem.Size2M}
+				v.setPresent(base, mem.Size2M, false)
+				as.rmap.set(pa, base, mem.Size2M)
 				as.THPMapped++
 				return nil
 			}
@@ -275,8 +333,8 @@ func (as *AddressSpace) faultIn(v *VMA, va mem.VAddr) error {
 		as.Phys.FreeFrame(pa)
 		return err
 	}
-	v.present[base] = mem.Size4K
-	as.rmap[pa] = rmapEntry{va: base, size: mem.Size4K}
+	v.setPresent(base, mem.Size4K, false)
+	as.rmap.set(pa, base, mem.Size4K)
 	return nil
 }
 
@@ -298,9 +356,9 @@ func (as *AddressSpace) unmapPage(v *VMA, page mem.VAddr, size mem.PageSize) {
 	pte, ok := as.PT.LeafPTE(page)
 	if ok {
 		frame := pte.Frame()
-		delete(as.rmap, frame)
+		as.rmap.del(frame)
 		if err := as.PT.Unmap(page, size); err == nil {
-			if _, external := v.resident[page]; !external {
+			if !v.isResident(page) {
 				if size == mem.Size4K {
 					as.Phys.FreeFrame(frame)
 				} else {
@@ -309,8 +367,7 @@ func (as *AddressSpace) unmapPage(v *VMA, page mem.VAddr, size mem.PageSize) {
 			}
 		}
 	}
-	delete(v.present, page)
-	delete(v.resident, page)
+	v.clearPresent(page)
 	as.notifyInvalidate(page)
 }
 
@@ -324,14 +381,13 @@ func (as *AddressSpace) MapResident(v *VMA, va mem.VAddr, pa mem.PAddr, size mem
 		return ErrBadAddress
 	}
 	base := mem.AlignDown(va, size.Bytes())
-	if old, ok := v.present[base]; ok {
+	if old, ok := v.pageAt(base); ok {
 		as.unmapPage(v, base, old)
 	}
 	if err := as.PT.Map(base, pa, size, mem.PTEWritable); err != nil {
 		return err
 	}
-	v.present[base] = size
-	v.resident[base] = struct{}{}
+	v.setPresent(base, size, true)
 	return nil
 }
 
@@ -339,12 +395,12 @@ func (as *AddressSpace) MapResident(v *VMA, va mem.VAddr, pa mem.PAddr, size mem
 // analogue), freeing its frame and shooting down the translation.
 func (as *AddressSpace) UnmapPage(v *VMA, va mem.VAddr) error {
 	base := mem.AlignDown(va, mem.PageBytes4K)
-	size, ok := v.present[base]
+	size, ok := v.pageAt(base)
 	if !ok {
 		// The page may be covered by a 2 MiB leaf whose base entry is
 		// recorded at the huge-page boundary.
 		hbase := mem.AlignDown(va, mem.PageBytes2M)
-		if hsize, hok := v.present[hbase]; hok && hsize == mem.Size2M {
+		if hsize, hok := v.pageAt(hbase); hok && hsize == mem.Size2M {
 			base, size, ok = hbase, hsize, true
 		}
 	}
@@ -382,21 +438,21 @@ func (as *AddressSpace) Populate(v *VMA) error {
 // Relocate implements phys.Relocator: when the buddy allocator migrates a
 // movable data frame, rewrite the PTE and shoot down the stale translation.
 func (as *AddressSpace) Relocate(old, new mem.PAddr) bool {
-	e, ok := as.rmap[old]
+	va, size, ok := as.rmap.get(old)
 	if !ok {
 		return false
 	}
-	if err := as.PT.Unmap(e.va, e.size); err != nil {
+	if err := as.PT.Unmap(va, size); err != nil {
 		return false
 	}
-	if err := as.PT.Map(e.va, new, e.size, mem.PTEWritable); err != nil {
+	if err := as.PT.Map(va, new, size, mem.PTEWritable); err != nil {
 		// Restore the original mapping; migration is abandoned.
-		_ = as.PT.Map(e.va, old, e.size, mem.PTEWritable)
+		_ = as.PT.Map(va, old, size, mem.PTEWritable)
 		return false
 	}
-	delete(as.rmap, old)
-	as.rmap[new] = e
-	as.notifyInvalidate(e.va)
+	as.rmap.del(old)
+	as.rmap.set(new, va, size)
+	as.notifyInvalidate(va)
 	return true
 }
 
@@ -407,10 +463,10 @@ func (as *AddressSpace) Relocate(old, new mem.PAddr) bool {
 // fetcher's parallel-fetch disambiguation (§4.4) must survive.
 func (as *AddressSpace) SplitHugePage(v *VMA, va mem.VAddr) error {
 	base := mem.AlignDown(va, mem.PageBytes2M)
-	if v.present[base] != mem.Size2M {
+	if size, ok := v.pageAt(base); !ok || size != mem.Size2M {
 		return ErrNotPopulated
 	}
-	if _, external := v.resident[base]; external {
+	if v.isResident(base) {
 		return fmt.Errorf("kernel: cannot split caller-owned mapping at %#x", uint64(base))
 	}
 	pte, ok := as.PT.LeafPTE(base)
@@ -421,16 +477,16 @@ func (as *AddressSpace) SplitHugePage(v *VMA, va mem.VAddr) error {
 	if err := as.PT.Unmap(base, mem.Size2M); err != nil {
 		return err
 	}
-	delete(as.rmap, frame)
-	delete(v.present, base)
+	as.rmap.del(frame)
+	v.clearPresent(base)
 	as.notifyInvalidate(base)
 	for off := mem.VAddr(0); off < mem.PageBytes2M; off += mem.PageBytes4K {
 		pa := frame + mem.PAddr(uint64(off))
 		if err := as.PT.Map(base+off, pa, mem.Size4K, mem.PTEWritable); err != nil {
 			return err
 		}
-		v.present[base+off] = mem.Size4K
-		as.rmap[pa] = rmapEntry{va: base + off, size: mem.Size4K}
+		v.setPresent(base+off, mem.Size4K, false)
+		as.rmap.set(pa, base+off, mem.Size4K)
 	}
 	return nil
 }
@@ -444,13 +500,13 @@ func (as *AddressSpace) PromoteTHP(v *VMA) int {
 	}
 	promoted := 0
 	for base := mem.AlignUp(v.Start, mem.PageBytes2M); base+mem.PageBytes2M <= v.End; base += mem.PageBytes2M {
-		if v.present[base] == mem.Size2M {
+		if size, ok := v.pageAt(base); ok && size == mem.Size2M {
 			continue
 		}
 		// All 512 base pages must be present.
 		full := true
 		for off := mem.VAddr(0); off < mem.PageBytes2M; off += mem.PageBytes4K {
-			if v.present[base+off] != mem.Size4K {
+			if size, ok := v.pageAt(base + off); !ok || size != mem.Size4K {
 				full = false
 				break
 			}
@@ -469,8 +525,8 @@ func (as *AddressSpace) PromoteTHP(v *VMA) int {
 			as.Phys.Free(pa, 9)
 			return promoted
 		}
-		v.present[base] = mem.Size2M
-		as.rmap[pa] = rmapEntry{va: base, size: mem.Size2M}
+		v.setPresent(base, mem.Size2M, false)
+		as.rmap.set(pa, base, mem.Size2M)
 		as.THPMapped++
 		promoted++
 	}

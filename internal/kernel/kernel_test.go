@@ -102,7 +102,7 @@ func TestTHPFaultsHugePages(t *testing.T) {
 	if _, err := as.Touch(0x40000000+123, false); err != nil {
 		t.Fatal(err)
 	}
-	if v.present[0x40000000] != mem.Size2M {
+	if size, ok := v.PresentSize(0x40000000); !ok || size != mem.Size2M {
 		t.Fatal("THP fault did not install a 2 MiB page")
 	}
 	_, size, ok := as.PT.Lookup(0x40000000 + mem.PageBytes2M - 1)
@@ -222,7 +222,7 @@ func TestPromoteTHP(t *testing.T) {
 		t.Fatal(err)
 	}
 	as.cfg.THP = true
-	if v.present[0x40000000] == mem.Size2M {
+	if size, ok := v.PresentSize(0x40000000); ok && size == mem.Size2M {
 		t.Fatal("precondition: region must start as base pages")
 	}
 	if n := as.PromoteTHP(v); n != 1 {

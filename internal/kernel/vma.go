@@ -8,7 +8,6 @@ package kernel
 
 import (
 	"fmt"
-	"sort"
 
 	"dmt/internal/mem"
 )
@@ -55,13 +54,89 @@ type VMA struct {
 	Kind  VMAKind
 	Name  string
 
-	// present tracks populated pages (leaf mappings) by page base.
-	present map[mem.VAddr]mem.PageSize
-	// resident marks pages whose frames are owned by an external party
-	// (e.g. host-allocated gTEA pages mapped into a guest, §4.5.1) and
-	// must not be returned to this allocator on unmap.
-	resident map[mem.VAddr]struct{}
+	// state tracks populated pages (leaf mappings) with one byte per
+	// 4 KiB page, indexed by (va-Start)>>12 and allocated lazily on the
+	// first fault. The encoding packs the leaf size and the residency
+	// flag (see pageState); a page-indexed slice keeps the fault path
+	// free of map churn and makes present-page iteration ordered and
+	// allocation-free.
+	state     []pageState
+	populated int
 }
+
+// pageState is the per-page encoding: 0 means absent, otherwise the low
+// bits hold the mapped leaf size + 1 and pageResident marks frames owned
+// by an external party (e.g. host-allocated gTEA pages mapped into a
+// guest, §4.5.1) that must not be returned to this allocator on unmap.
+type pageState uint8
+
+const (
+	pageAbsent   pageState = 0
+	pageResident pageState = 0x80
+)
+
+func (v *VMA) pageIndex(base mem.VAddr) int { return int((base - v.Start) >> mem.PageShift4K) }
+
+// pageAt returns the leaf size recorded at the page base, if populated.
+func (v *VMA) pageAt(base mem.VAddr) (mem.PageSize, bool) {
+	if base < v.Start || base >= v.End || v.state == nil {
+		return 0, false
+	}
+	s := v.state[v.pageIndex(base)] &^ pageResident
+	if s == pageAbsent {
+		return 0, false
+	}
+	return mem.PageSize(s - 1), true
+}
+
+// isResident reports whether the page's frame is externally owned.
+func (v *VMA) isResident(base mem.VAddr) bool {
+	if base < v.Start || base >= v.End || v.state == nil {
+		return false
+	}
+	return v.state[v.pageIndex(base)]&pageResident != 0
+}
+
+// setPresent records a populated leaf at the page base.
+func (v *VMA) setPresent(base mem.VAddr, size mem.PageSize, resident bool) {
+	if v.state == nil {
+		v.state = make([]pageState, v.Pages())
+	}
+	i := v.pageIndex(base)
+	if v.state[i] == pageAbsent {
+		v.populated++
+	}
+	s := pageState(size) + 1
+	if resident {
+		s |= pageResident
+	}
+	v.state[i] = s
+}
+
+// clearPresent removes the record of a populated leaf.
+func (v *VMA) clearPresent(base mem.VAddr) {
+	if base < v.Start || base >= v.End || v.state == nil {
+		return
+	}
+	if i := v.pageIndex(base); v.state[i] != pageAbsent {
+		v.state[i] = pageAbsent
+		v.populated--
+	}
+}
+
+// forEachPresent visits every populated page in ascending address order.
+// The callback may unmap the page it is handed (but no other).
+func (v *VMA) forEachPresent(fn func(base mem.VAddr, size mem.PageSize)) {
+	for i, s := range v.state {
+		if s &^= pageResident; s != pageAbsent {
+			fn(v.Start+mem.VAddr(i)<<mem.PageShift4K, mem.PageSize(s-1))
+		}
+	}
+}
+
+// PresentSize returns the leaf size mapped at the (page-aligned) address,
+// if any — the exported read-side view of the population state.
+func (v *VMA) PresentSize(base mem.VAddr) (mem.PageSize, bool) { return v.pageAt(base) }
 
 // Size returns the VMA length in bytes.
 func (v *VMA) Size() uint64 { return uint64(v.End - v.Start) }
@@ -73,7 +148,7 @@ func (v *VMA) Contains(va mem.VAddr) bool { return va >= v.Start && va < v.End }
 func (v *VMA) Pages() int { return int(v.Size() >> mem.PageShift4K) }
 
 // PopulatedPages returns the number of populated leaf mappings.
-func (v *VMA) PopulatedPages() int { return len(v.present) }
+func (v *VMA) PopulatedPages() int { return v.populated }
 
 // PresentPage is one populated leaf mapping of a VMA.
 type PresentPage struct {
@@ -84,11 +159,10 @@ type PresentPage struct {
 // PresentPages returns the populated pages sorted by address (deterministic
 // iteration for consumers like the shadow-table builder).
 func (v *VMA) PresentPages() []PresentPage {
-	out := make([]PresentPage, 0, len(v.present))
-	for va, size := range v.present {
-		out = append(out, PresentPage{VA: va, Size: size})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].VA < out[j].VA })
+	out := make([]PresentPage, 0, v.populated)
+	v.forEachPresent(func(base mem.VAddr, size mem.PageSize) {
+		out = append(out, PresentPage{VA: base, Size: size})
+	})
 	return out
 }
 

@@ -54,17 +54,83 @@ func (n *Node) EntryAddr(idx int) mem.PAddr {
 // Pool indexes page-table nodes of one physical address space by their base
 // frame, giving physical-address PTE reads to components (the DMT fetcher)
 // that compute PTE locations arithmetically rather than walking.
+//
+// Nodes live in a frame-indexed slice rather than a map: NodeAt sits on the
+// walk hot path (every DMT fetch reads a PTE through it) and node creation
+// dominates address-space build time, so both avoid map hashing. Frames
+// beyond denseFrames (simulated physical memory is far smaller) fall back to
+// a map so arbitrary addresses — property tests, sentinel placements — stay
+// cheap instead of forcing a multi-terabyte slice.
 type Pool struct {
-	nodes map[mem.PAddr]*Node
+	dense  []*Node // indexed by frame number (base PA >> 12)
+	sparse map[mem.PAddr]*Node
+	count  int
 }
 
+// denseFrames bounds the frame-indexed slice: 1<<22 frames covers 16 GiB of
+// simulated physical memory, beyond anything the experiments configure.
+const denseFrames = 1 << 22
+
 // NewPool creates an empty node pool.
-func NewPool() *Pool { return &Pool{nodes: make(map[mem.PAddr]*Node)} }
+func NewPool() *Pool { return &Pool{} }
 
 // NodeAt returns the node based at the frame containing pa.
 func (p *Pool) NodeAt(pa mem.PAddr) (*Node, bool) {
-	n, ok := p.nodes[mem.AlignDownP(pa, mem.PageBytes4K)]
+	f := uint64(pa) >> mem.PageShift4K
+	if f < uint64(len(p.dense)) {
+		if n := p.dense[f]; n != nil {
+			return n, true
+		}
+		return nil, false
+	}
+	if f < denseFrames || p.sparse == nil {
+		return nil, false
+	}
+	n, ok := p.sparse[pa&^mem.PAddr(mem.PageBytes4K-1)]
 	return n, ok
+}
+
+func (p *Pool) put(base mem.PAddr, n *Node) {
+	f := uint64(base) >> mem.PageShift4K
+	if f < denseFrames {
+		if f >= uint64(len(p.dense)) {
+			if f >= uint64(cap(p.dense)) {
+				// Amortized doubling: frames arrive mostly ascending, and
+				// growing by exactly one would copy the slice per node.
+				newCap := 2 * (f + 1)
+				if newCap > denseFrames {
+					newCap = denseFrames
+				}
+				grown := make([]*Node, f+1, newCap)
+				copy(grown, p.dense)
+				p.dense = grown
+			} else {
+				p.dense = p.dense[:f+1]
+			}
+		}
+		p.dense[f] = n
+	} else {
+		if p.sparse == nil {
+			p.sparse = make(map[mem.PAddr]*Node)
+		}
+		p.sparse[base] = n
+	}
+	p.count++
+}
+
+func (p *Pool) remove(base mem.PAddr) {
+	f := uint64(base) >> mem.PageShift4K
+	if f < uint64(len(p.dense)) {
+		if p.dense[f] != nil {
+			p.dense[f] = nil
+			p.count--
+		}
+		return
+	}
+	if _, ok := p.sparse[base]; ok {
+		delete(p.sparse, base)
+		p.count--
+	}
 }
 
 // ReadPTE reads the PTE word stored at physical address pa, which must lie
@@ -82,13 +148,18 @@ func (p *Pool) ReadPTE(pa mem.PAddr) (mem.PTE, bool) {
 
 // NodeCount returns the number of live page-table nodes (×4 KiB gives the
 // page-table memory footprint reported in §6.3).
-func (p *Pool) NodeCount() int { return len(p.nodes) }
+func (p *Pool) NodeCount() int { return p.count }
 
 // CountNodes returns how many live nodes satisfy pred (e.g. how many are
 // placed inside TEAs, for the §6.3 memory-overhead accounting).
 func (p *Pool) CountNodes(pred func(*Node) bool) int {
 	n := 0
-	for _, node := range p.nodes {
+	for _, node := range p.dense {
+		if node != nil && pred(node) {
+			n++
+		}
+	}
+	for _, node := range p.sparse {
 		if pred(node) {
 			n++
 		}
@@ -140,11 +211,11 @@ func (t *Table) newNode(level int, va mem.VAddr) (*Node, error) {
 	if !mem.IsAligned(uint64(pa), mem.PageBytes4K) {
 		return nil, fmt.Errorf("pagetable: node placement %#x unaligned", uint64(pa))
 	}
-	if _, exists := t.pool.nodes[pa]; exists {
+	if _, exists := t.pool.NodeAt(pa); exists {
 		return nil, fmt.Errorf("pagetable: node placement %#x already in use", uint64(pa))
 	}
 	n := &Node{Level: level, Base: pa}
-	t.pool.nodes[pa] = n
+	t.pool.put(pa, n)
 	return n, nil
 }
 
@@ -214,7 +285,7 @@ func (t *Table) Unmap(va mem.VAddr, size mem.PageSize) error {
 		parent.children[pidx] = nil
 		parent.entries[pidx] = 0
 		parent.live--
-		delete(t.pool.nodes, node.Base)
+		t.pool.remove(node.Base)
 		if t.free != nil {
 			t.free(node.Level, node.Base)
 		}
@@ -242,6 +313,12 @@ type WalkResult struct {
 // the physical address of every PTE fetched.
 func (t *Table) Walk(va mem.VAddr) WalkResult {
 	return t.WalkFrom(t.root, t.levels, va, make([]Step, 0, t.levels))
+}
+
+// WalkInto is Walk with a caller-provided step buffer (pass steps[:0] of a
+// per-walker scratch slice), keeping the walk hot path allocation-free.
+func (t *Table) WalkInto(va mem.VAddr, steps []Step) WalkResult {
+	return t.WalkFrom(t.root, t.levels, va, steps)
 }
 
 // WalkFrom resumes a walk at the given node and level — this is how a
@@ -282,10 +359,22 @@ func (t *Table) NodeForLevel(va mem.VAddr, level int) *Node {
 	return node
 }
 
-// Lookup resolves va without recording steps (OS-side helper).
+// Lookup resolves va without recording steps (OS-side helper; also the
+// checker's reference translation, so it must not allocate).
 func (t *Table) Lookup(va mem.VAddr) (mem.PAddr, mem.PageSize, bool) {
-	r := t.Walk(va)
-	return r.PA, r.Size, r.OK
+	node := t.root
+	for level := t.levels; ; level-- {
+		idx := mem.Index(va, level)
+		pte := node.entries[idx]
+		if !pte.Present() {
+			return 0, 0, false
+		}
+		if level == 1 || pte.Huge() {
+			size := mem.PageSize(level - 1)
+			return pte.Frame() + mem.PAddr(mem.PageOffset(va, size)), size, true
+		}
+		node = node.children[idx]
+	}
 }
 
 // SetAccessed sets the A (and optionally D) bit on the leaf PTE mapping va,
@@ -341,7 +430,7 @@ func (t *Table) RelocateNode(va mem.VAddr, level int, newBase mem.PAddr) error {
 	if level < 1 || level >= t.levels {
 		return fmt.Errorf("pagetable: cannot relocate level-%d node", level)
 	}
-	if _, exists := t.pool.nodes[newBase]; exists {
+	if _, exists := t.pool.NodeAt(newBase); exists {
 		return fmt.Errorf("pagetable: relocation target %#x occupied", uint64(newBase))
 	}
 	parent := t.NodeForLevel(va, level+1)
@@ -354,9 +443,9 @@ func (t *Table) RelocateNode(va mem.VAddr, level int, newBase mem.PAddr) error {
 		return ErrNotMapped
 	}
 	old := node.Base
-	delete(t.pool.nodes, old)
+	t.pool.remove(old)
 	node.Base = newBase
-	t.pool.nodes[newBase] = node
+	t.pool.put(newBase, node)
 	parent.entries[idx] = mem.MakePTE(newBase, 0)
 	if t.free != nil {
 		t.free(level, old)

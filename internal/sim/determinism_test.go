@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dmt/internal/fault"
+	"dmt/internal/workload"
+)
+
+// The sharded-determinism contract (DESIGN.md): a run's Result is a pure
+// function of (Config minus Workers) — the worker count schedules shards
+// onto goroutines but never changes what they compute. These tests pin
+// Shards and compare serial against maximally-parallel execution for every
+// (environment × design) cell, with and without a fault plan, under the
+// race detector in CI.
+
+const (
+	detOps = 2000
+	detWS  = 24 << 20
+)
+
+func detWorkload(t testing.TB) workload.Spec {
+	t.Helper()
+	wl, err := workload.ByName("GUPS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wl
+}
+
+func detDesigns(env Environment) []Design {
+	switch env {
+	case EnvNative:
+		return []Design{DesignVanilla, DesignDMT, DesignECPT, DesignFPT, DesignASAP}
+	case EnvVirt:
+		return []Design{DesignVanilla, DesignShadow, DesignDMT, DesignPvDMT,
+			DesignECPT, DesignFPT, DesignAgile, DesignASAP}
+	case EnvNested:
+		return []Design{DesignVanilla, DesignPvDMT}
+	}
+	return nil
+}
+
+// requireEqualResults asserts two results are identical in every measured
+// field (Config aside, which legitimately records the differing Workers).
+func requireEqualResults(t *testing.T, a, b *Result) {
+	t.Helper()
+	ac, bc := *a, *b
+	ac.Config, bc.Config = Config{}, Config{}
+	if reflect.DeepEqual(&ac, &bc) {
+		return
+	}
+	if !reflect.DeepEqual(a.Breakdown(), b.Breakdown()) {
+		t.Errorf("breakdowns differ:\nA: %+v\nB: %+v", a.Breakdown(), b.Breakdown())
+	}
+	ac.breakdown, bc.breakdown = nil, nil
+	t.Fatalf("results differ:\nA: %+v\nB: %+v", ac, bc)
+}
+
+func detConfig(env Environment, d Design, plan *fault.Plan) Config {
+	return Config{
+		Env: env, Design: d, THP: true,
+		WSBytes: detWS, Ops: detOps, Seed: 7,
+		FaultPlan: plan, Verify: true,
+		Shards: 4, // pinned: results depend on Shards, never on Workers
+	}
+}
+
+// TestDeterminismMatrix is the metamorphic suite: for every cell, a run at
+// Workers 1 must be bit-identical to the same run at Workers 8.
+func TestDeterminismMatrix(t *testing.T) {
+	wl := detWorkload(t)
+	var plans []*fault.Plan
+	plans = append(plans, nil)
+	suite := fault.Suite(detOps)
+	if len(suite) == 0 {
+		t.Fatal("empty fault suite")
+	}
+	churn := &suite[0]
+	plans = append(plans, churn)
+
+	for _, env := range []Environment{EnvNative, EnvVirt, EnvNested} {
+		for _, d := range detDesigns(env) {
+			for _, plan := range plans {
+				name := fmt.Sprintf("%v/%s", env, d)
+				if plan != nil {
+					name += "/" + plan.Name
+				}
+				t.Run(name, func(t *testing.T) {
+					cfg := detConfig(env, d, plan)
+					cfg.Workload = wl
+
+					serialCfg := cfg
+					serialCfg.Workers = 1
+					serial, err := Run(serialCfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					parCfg := cfg
+					parCfg.Workers = 8
+					parallel, err := Run(parCfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireEqualResults(t, serial, parallel)
+					if serial.Ops != detOps {
+						t.Fatalf("merged Ops = %d, want %d", serial.Ops, detOps)
+					}
+					if serial.Walks == 0 || serial.TLBMisses == 0 {
+						t.Fatalf("degenerate run: %d walks, %d misses", serial.Walks, serial.TLBMisses)
+					}
+					if cfg.Verify && serial.Checked == 0 {
+						t.Fatal("verification ran zero checks")
+					}
+					if plan != nil && serial.FaultsApplied+serial.FaultsSkipped == 0 {
+						t.Fatal("no fault events executed")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDeterminismSingleShardMatchesLegacy pins the other edge of the
+// contract: Shards 1 under any worker count is the classic serial engine.
+func TestDeterminismSingleShardMatchesLegacy(t *testing.T) {
+	wl := detWorkload(t)
+	base := Config{
+		Env: EnvNative, Design: DesignDMT, THP: true, Workload: wl,
+		WSBytes: detWS, Ops: detOps, Seed: 7, Verify: true, Shards: 1,
+	}
+	a := base
+	a.Workers = 1
+	b := base
+	b.Workers = 8
+	ra, err := Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualResults(t, ra, rb)
+}
+
+// TestMergePermutationProperty: folding shard results in any order yields
+// the same aggregate as the in-order merge — the merge is commutative.
+func TestMergePermutationProperty(t *testing.T) {
+	wl := detWorkload(t)
+	suite := fault.Suite(detOps)
+	cfg := Config{
+		Env: EnvVirt, Design: DesignPvDMT, THP: true, Workload: wl,
+		WSBytes: detWS, Ops: detOps, Seed: 9, Verify: true,
+		FaultPlan: &suite[0], Shards: 5, Workers: 1,
+	}
+	parts, err := RunShards(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MergeShards(cfg, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perms := [][]int{
+		{0, 1, 2, 3, 4},
+		{4, 3, 2, 1, 0},
+		{2, 0, 4, 1, 3},
+		{1, 4, 0, 3, 2},
+		{3, 2, 4, 0, 1},
+	}
+	for _, p := range perms {
+		shuffled := make([]ShardResult, len(p))
+		for i, idx := range p {
+			shuffled[i] = parts[idx]
+		}
+		got, err := MergeShards(cfg, shuffled)
+		if err != nil {
+			t.Fatalf("perm %v: %v", p, err)
+		}
+		requireEqualResults(t, want, got)
+	}
+
+	if _, err := MergeShards(cfg, nil); err == nil {
+		t.Fatal("merge of zero shards should fail")
+	}
+	dup := []ShardResult{parts[0], parts[0]}
+	if _, err := MergeShards(cfg, dup); err == nil {
+		t.Fatal("merge of duplicate shards should fail")
+	}
+}

@@ -1,0 +1,387 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dmt/internal/check"
+	"dmt/internal/core"
+	"dmt/internal/fault"
+	"dmt/internal/mem"
+	"dmt/internal/tlb"
+)
+
+// This file is the deterministic parallel execution engine. A run is
+// decomposed into Config.Shards independent sub-runs; each shard owns a full
+// machine replica (address space, TLB, caches, walker, injector, oracle) and
+// drives a decorrelated slice of the trace through it. Shard results are
+// pure functions of (Config, shard index), so any scheduling — serial, or a
+// pool of Config.Workers goroutines — produces identical parts, and
+// MergeShards combines them with commutative integer arithmetic. The
+// determinism contract is spelled out in DESIGN.md ("sharded determinism")
+// and enforced by TestDeterminism* in this package.
+
+// Instance is one in-flight simulation: a machine plus the measurement
+// harness, stepped one trace operation at a time. Benchmarks use it to move
+// machine construction out of the timed region; the engine uses it as the
+// unit of shard execution.
+type Instance struct {
+	cfg  Config
+	m    *machine
+	mmu  *core.MMU
+	inj  *fault.Injector
+	chk  *check.Checker
+	res  *Result
+	op   int
+	ops  int
+	done bool
+}
+
+// NewInstance builds the machine for cfg and returns an unstarted instance
+// covering the whole (unsharded) trace. Call Step until Ops is exhausted —
+// or as many times as desired — then Finish.
+func NewInstance(cfg Config) (*Instance, error) {
+	return newShardInstance(cfg.withDefaults(), 0, 1)
+}
+
+// newShardInstance builds shard `shard` of `shards` for an already-defaulted
+// config: its slice of the op budget, a decorrelated trace seed, and a fault
+// plan rescaled into shard-local op space. With shards == 1 everything is
+// used verbatim, reproducing the classic serial run bit-exactly.
+func newShardInstance(cfg Config, shard, shards int) (*Instance, error) {
+	scfg := cfg
+	scfg.Ops = shardOps(cfg.Ops, shard, shards)
+	if shards > 1 {
+		scfg.traceSeed = shardSeed(cfg.Seed, shard)
+	}
+
+	var m *machine
+	var err error
+	switch cfg.Env {
+	case EnvNative:
+		m, err = buildNative(scfg)
+	case EnvVirt:
+		m, err = buildVirt(scfg)
+	case EnvNested:
+		m, err = buildNested(scfg)
+	default:
+		err = fmt.Errorf("sim: unknown environment %v", cfg.Env)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sim: building %v/%v/%s: %w", cfg.Env, cfg.Design, cfg.Workload.Name, err)
+	}
+
+	res := &Result{Config: cfg, breakdown: map[string]*StepAgg{}}
+	rec := &recordingWalker{inner: m.walker, res: res, sink: m.sink, labels: map[labelKey]*StepAgg{}}
+	dtlb, err := tlb.New(scaledTLB(cfg.CacheScale))
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	mmu := core.NewMMU(dtlb, rec, 1)
+	// Injected unmaps must shoot down stale TLB entries, as the kernel's
+	// MMU-notifier path would.
+	if m.target.AS != nil {
+		m.target.AS.OnInvalidate(func(va mem.VAddr) { dtlb.Invalidate(va, 1) })
+	}
+
+	var chk *check.Checker
+	if cfg.Verify {
+		if m.ref == nil {
+			return nil, fmt.Errorf("sim: verification not supported for %v/%v", cfg.Env, cfg.Design)
+		}
+		chk = check.New(check.Config{
+			Ref:        m.ref,
+			FastPath:   m.fastPath,
+			SizeExact:  m.sizeExact,
+			Invariants: m.invariants,
+		})
+		rec.chk = chk
+	}
+	var inj *fault.Injector
+	if cfg.FaultPlan != nil {
+		m.target.Hier = m.hier
+		m.target.FlushTLB = dtlb.Flush
+		plan := shardPlan(*cfg.FaultPlan, cfg.Ops, scfg.Ops, shard, shards)
+		inj = fault.New(plan, m.target)
+	}
+	return &Instance{cfg: cfg, m: m, mmu: mmu, inj: inj, chk: chk, res: res, ops: scfg.Ops}, nil
+}
+
+// Ops returns the instance's op budget (the shard's slice of Config.Ops).
+func (in *Instance) Ops() int { return in.ops }
+
+// Step advances the trace by one operation: tick the fault injector,
+// generate a reference, translate it (demand-faulting injected unmaps back
+// in), and charge the data access.
+func (in *Instance) Step() error {
+	i := in.op
+	if in.inj != nil {
+		before := in.inj.Applied + in.inj.Skipped
+		if err := in.inj.Tick(i); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+		if in.chk != nil && in.inj.Applied+in.inj.Skipped != before {
+			in.chk.CheckInvariants()
+		}
+	}
+	va, _ := in.m.gen()
+	pa, _, ok := in.mmu.Translate(va)
+	if !ok && in.inj != nil && in.inj.Unmapped() > 0 {
+		// Demand paging: the workload tripped over an injected unmap;
+		// fault the pages back in and retry once.
+		if err := in.inj.Refault(); err != nil {
+			return fmt.Errorf("sim: refault at %#x (op %d): %w", uint64(va), i, err)
+		}
+		in.res.DemandFaults++
+		pa, _, ok = in.mmu.Translate(va)
+	}
+	if !ok {
+		return fmt.Errorf("sim: translation fault at %#x (op %d, %v/%v)", uint64(va), i, in.cfg.Env, in.cfg.Design)
+	}
+	if in.chk != nil {
+		in.chk.CheckTranslate(va, pa)
+	}
+	in.res.DataCycles += uint64(in.m.hier.Access(pa).Cycles)
+	in.op++
+	return nil
+}
+
+// Finish drains the fault injector, runs the final invariant sweep, and
+// seals the instance's Result.
+func (in *Instance) Finish() (*Result, error) {
+	if in.done {
+		return in.res, nil
+	}
+	in.done = true
+	res := in.res
+	res.Ops = in.op
+	if in.inj != nil {
+		if err := in.inj.Drain(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		res.FaultsApplied = in.inj.Applied
+		res.FaultsSkipped = in.inj.Skipped
+		res.FaultLog = in.inj.Log
+	}
+	if in.chk != nil {
+		in.chk.CheckInvariants()
+		res.Checked = in.chk.Checked
+		res.Mismatches = in.chk.Mismatched
+		if err := in.chk.Err(); err != nil {
+			return nil, fmt.Errorf("sim: %v/%v/%s: %w", in.cfg.Env, in.cfg.Design, in.cfg.Workload.Name, err)
+		}
+	}
+	res.TLBMisses = in.mmu.Misses
+	if in.m.coverage != nil {
+		hits, total := in.m.coverage()
+		res.covHits, res.covTotal, res.covSet = hits, total, true
+		if total == 0 {
+			res.Coverage = 0
+		} else {
+			res.Coverage = float64(hits) / float64(total)
+		}
+	} else {
+		res.Coverage = 1
+	}
+	if in.m.footer != nil {
+		in.m.footer(res)
+	}
+	return res, nil
+}
+
+// ShardResult pairs one shard's Result with its index so merge order never
+// matters.
+type ShardResult struct {
+	Shard int
+	Res   *Result
+}
+
+// RunShards executes every shard of cfg — concurrently when cfg.Workers > 1
+// — and returns the per-shard results. Each part depends only on (cfg,
+// shard), never on scheduling, so callers may merge them in any order.
+func RunShards(cfg Config) ([]ShardResult, error) {
+	cfg = cfg.withDefaults()
+	shards := cfg.Shards
+	parts := make([]ShardResult, shards)
+	runShard := func(s int) error {
+		in, err := newShardInstance(cfg, s, shards)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < in.ops; i++ {
+			if err := in.Step(); err != nil {
+				return err
+			}
+		}
+		res, err := in.Finish()
+		if err != nil {
+			return err
+		}
+		parts[s] = ShardResult{Shard: s, Res: res}
+		return nil
+	}
+
+	workers := cfg.Workers
+	if workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		for s := 0; s < shards; s++ {
+			if err := runShard(s); err != nil {
+				return nil, err
+			}
+		}
+		return parts, nil
+	}
+
+	errs := make([]error, shards)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				errs[s] = runShard(s)
+			}
+		}()
+	}
+	for s := 0; s < shards; s++ {
+		work <- s
+	}
+	close(work)
+	wg.Wait()
+	for s := 0; s < shards; s++ {
+		// First error by shard order, so failures are deterministic too.
+		if errs[s] != nil {
+			return nil, errs[s]
+		}
+	}
+	return parts, nil
+}
+
+// MergeShards combines per-shard results into the run's Result. The merge is
+// a commutative fold: integer counters sum, breakdowns sum per label,
+// coverage is recomputed from summed hit/total counters, structural
+// footprints (PTEBytes) come from shard 0's replica, and the fault log is
+// concatenated in shard order with an "s<N> " prefix. Parts may be supplied
+// in any permutation. A single part is returned as-is, keeping the serial
+// path bit-identical to the pre-sharding engine.
+func MergeShards(cfg Config, parts []ShardResult) (*Result, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("sim: merge of zero shards")
+	}
+	sorted := make([]ShardResult, len(parts))
+	copy(sorted, parts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Shard < sorted[j].Shard })
+	for i, p := range sorted {
+		if p.Res == nil {
+			return nil, fmt.Errorf("sim: merge: shard %d has no result", p.Shard)
+		}
+		if i > 0 && sorted[i-1].Shard == p.Shard {
+			return nil, fmt.Errorf("sim: merge: duplicate shard %d", p.Shard)
+		}
+	}
+	if len(sorted) == 1 {
+		return sorted[0].Res, nil
+	}
+
+	cfg = cfg.withDefaults()
+	out := &Result{Config: cfg, breakdown: map[string]*StepAgg{}}
+	for _, p := range sorted {
+		r := p.Res
+		out.Ops += r.Ops
+		out.TLBMisses += r.TLBMisses
+		out.Walks += r.Walks
+		out.WalkCycles += r.WalkCycles
+		out.SeqRefs += r.SeqRefs
+		out.TotalRefs += r.TotalRefs
+		out.DataCycles += r.DataCycles
+		out.Fallbacks += r.Fallbacks
+		out.Hypercalls += r.Hypercalls
+		out.VMExits += r.VMExits
+		out.ShadowSyncs += r.ShadowSyncs
+		out.IsolationFaults += r.IsolationFaults
+		out.FaultsApplied += r.FaultsApplied
+		out.FaultsSkipped += r.FaultsSkipped
+		out.DemandFaults += r.DemandFaults
+		out.Checked += r.Checked
+		out.Mismatches += r.Mismatches
+		out.covHits += r.covHits
+		out.covTotal += r.covTotal
+		out.covSet = out.covSet || r.covSet
+		for label, agg := range r.breakdown {
+			dst := out.breakdown[label]
+			if dst == nil {
+				dst = &StepAgg{Label: label}
+				out.breakdown[label] = dst
+			}
+			dst.Cycles += agg.Cycles
+			dst.Count += agg.Count
+		}
+		for _, line := range r.FaultLog {
+			out.FaultLog = append(out.FaultLog, fmt.Sprintf("s%d %s", p.Shard, line))
+		}
+	}
+	// Structural footprint: every shard builds an identical replica, so the
+	// figure comes from one of them rather than summing copies.
+	out.PTEBytes = sorted[0].Res.PTEBytes
+	if out.covSet {
+		if out.covTotal == 0 {
+			out.Coverage = 0
+		} else {
+			out.Coverage = float64(out.covHits) / float64(out.covTotal)
+		}
+	} else {
+		out.Coverage = 1
+	}
+	return out, nil
+}
+
+// shardOps slices the op budget: ops/shards each, the remainder spread one
+// op at a time over the leading shards.
+func shardOps(ops, shard, shards int) int {
+	base := ops / shards
+	if shard < ops%shards {
+		base++
+	}
+	return base
+}
+
+// shardSeed decorrelates per-shard randomness with a splitmix64 step, so
+// shard traces are independent streams rather than offset copies.
+func shardSeed(seed int64, shard int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(shard+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	s := int64(z)
+	if s == 0 {
+		s = 1 // a zero seed would be re-defaulted downstream
+	}
+	return s
+}
+
+// shardPlan rescales a fault plan into shard-local op space: event trigger
+// points map proportionally onto the shard's shorter trace (every shard
+// replays the full schedule against its own machine replica), and the
+// plan's own RNG is decorrelated per shard. With one shard the plan is used
+// verbatim.
+func shardPlan(p fault.Plan, totalOps, ops, shard, shards int) fault.Plan {
+	if shards == 1 {
+		return p
+	}
+	events := make([]fault.Event, len(p.Events))
+	for i, e := range p.Events {
+		at := e.At
+		if totalOps > 0 {
+			at = int(int64(e.At) * int64(ops) / int64(totalOps))
+		}
+		e.At = at
+		events[i] = e
+	}
+	return fault.Plan{Name: p.Name, Seed: shardSeed(p.Seed, shard), Events: events}
+}

@@ -14,6 +14,7 @@ import (
 	"dmt/internal/fault"
 	"dmt/internal/kernel"
 	"dmt/internal/mem"
+	"dmt/internal/pagetable"
 	"dmt/internal/phys"
 	"dmt/internal/tea"
 	"dmt/internal/tlb"
@@ -81,7 +82,7 @@ func buildNative(cfg Config) (*machine, error) {
 	}
 	radix := core.NewRadixWalker(as.PT, hier, tlb.NewPWCScaled(cfg.CacheScale), as.ASID())
 
-	m := &machine{hier: hier, gen: built.NewGen(cfg.Seed)}
+	m := &machine{hier: hier, gen: built.NewGen(cfg.genSeed())}
 	m.target = fault.Target{AS: as, Mgr: mgr, Backend: flaky}
 	if len(built.Major) > 0 {
 		m.target.Hot = built.Major[0]
@@ -90,12 +91,17 @@ func buildNative(cfg Config) (*machine, error) {
 	m.sizeExact = true
 	switch cfg.Design {
 	case DesignVanilla:
+		m.sink = &core.RefSink{}
+		radix.Sink = m.sink
 		m.walker = radix
 		m.footer = func(r *Result) { r.PTEBytes = as.Pool.NodeCount() * mem.PageBytes4K }
 	case DesignDMT:
 		d := core.NewDMTWalker(mgr, as.Pool, hier, radix)
+		m.sink = &core.RefSink{}
+		d.Sink = m.sink
+		radix.Sink = m.sink // fallback walks share the chain's buffer
 		m.walker = d
-		m.coverage = d.Coverage
+		m.coverage = d.CoverageCounts
 		m.fastPath = d.Probe
 		m.invariants = check.TEAInvariants(mgr, as)
 		m.footer = func(r *Result) {
@@ -116,7 +122,8 @@ func buildNative(cfg Config) (*machine, error) {
 		if err != nil {
 			return nil, err
 		}
-		w := &ecpt.Walker{Sys: sys, Hier: hier}
+		m.sink = &core.RefSink{}
+		w := &ecpt.Walker{Sys: sys, Hier: hier, Sink: m.sink}
 		m.walker = w
 		// The hash tables are a one-shot sync of the page tables; mapping
 		// mutations must rebuild them or stale entries would mistranslate.
@@ -144,7 +151,8 @@ func buildNative(cfg Config) (*machine, error) {
 		if err != nil {
 			return nil, err
 		}
-		w := &fpt.Walker{T: t, Hier: hier}
+		m.sink = &core.RefSink{}
+		w := &fpt.Walker{T: t, Hier: hier, Sink: m.sink}
 		m.walker = w
 		m.target.Resync = func() error {
 			t, err := buildTable()
@@ -156,13 +164,19 @@ func buildNative(cfg Config) (*machine, error) {
 		}
 		m.footer = func(r *Result) { r.PTEBytes = w.T.FootprintBytes() }
 	case DesignASAP:
+		var steps []pagetable.Step
+		var refs []core.MemRef
 		src := asap.LastTwoLevelSource(func(va mem.VAddr) []core.MemRef {
-			var refs []core.MemRef
-			for _, s := range as.PT.Walk(va).Steps {
+			refs = refs[:0]
+			walk := as.PT.WalkInto(va, steps[:0])
+			steps = walk.Steps
+			for _, s := range walk.Steps {
 				refs = append(refs, core.MemRef{Addr: s.Addr, Level: s.Level})
 			}
 			return refs
 		})
+		m.sink = &core.RefSink{}
+		radix.Sink = m.sink
 		m.walker = &asap.Walker{Inner: radix, Hier: hier, Source: src, MemLatency: hier.Config().MemLatency}
 		m.footer = func(r *Result) { r.PTEBytes = as.Pool.NodeCount() * mem.PageBytes4K }
 	default:

@@ -93,6 +93,22 @@ type Config struct {
 	// (internal/check), asserting PA/size agreement, fallback-iff-miss
 	// for DMT designs, and TEA structural invariants after fault events.
 	Verify bool
+	// Workers bounds how many shards simulate concurrently (default 1).
+	// Workers only schedules; it never changes results — a run with any
+	// worker count is bit-identical to the same run at Workers 1.
+	Workers int
+	// Shards decomposes the trace into per-shard sub-traces, each driven
+	// through its own deterministic machine replica and merged
+	// order-independently (DESIGN.md, "sharded determinism"). Default: 1
+	// when Workers <= 1 (the classic serial run), else Workers. Results
+	// are a function of Shards, not Workers.
+	Shards int
+
+	// traceSeed, when non-zero, overrides Seed for trace generation only;
+	// the engine sets it per shard so machine construction (layout,
+	// fragmentation) stays identical across replicas while each shard
+	// draws a decorrelated reference stream.
+	traceSeed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -108,7 +124,25 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 42
 	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.Shards == 0 {
+		if c.Workers > 1 {
+			c.Shards = c.Workers
+		} else {
+			c.Shards = 1
+		}
+	}
 	return c
+}
+
+// genSeed is the seed driving this configuration's trace generator.
+func (c Config) genSeed() int64 {
+	if c.traceSeed != 0 {
+		return c.traceSeed
+	}
+	return c.Seed
 }
 
 // StepAgg aggregates one architectural walk step across all walks.
@@ -151,6 +185,14 @@ type Result struct {
 	Mismatches    uint64
 
 	breakdown map[string]*StepAgg
+
+	// covHits/covTotal are the integer counters behind Coverage; shard
+	// merging sums these so parallel coverage reproduces serial coverage
+	// bit-exactly instead of averaging floats. covSet records whether the
+	// design reports coverage at all (DMT family) — merged runs recompute
+	// Coverage from the summed counters only when it does.
+	covHits, covTotal uint64
+	covSet            bool
 }
 
 // AvgWalkCycles is the mean page-walk latency.
@@ -189,16 +231,33 @@ func (r *Result) Breakdown() []StepAgg {
 }
 
 // recordingWalker decorates a walker with per-step aggregation, fall-back
-// counting, and (when verifying) the differential oracle.
+// counting, and (when verifying) the differential oracle. It owns the
+// per-machine ref sink: resetting it before each walk lets the whole walker
+// chain stream refs into one reusable buffer instead of allocating per walk.
 type recordingWalker struct {
 	inner core.Walker
 	res   *Result
 	chk   *check.Checker
+	sink  *core.RefSink
+
+	// labels interns (step, level, dim) → aggregate so the hot path skips
+	// refLabel's Sprintf (and its allocations) after the first encounter.
+	labels map[labelKey]*StepAgg
+}
+
+// labelKey identifies one architectural walk step; it mirrors the fields
+// refLabel formats.
+type labelKey struct {
+	step, level int
+	dim         string
 }
 
 func (w *recordingWalker) Name() string { return w.inner.Name() }
 
 func (w *recordingWalker) Walk(va mem.VAddr) core.WalkOutcome {
+	if w.sink != nil {
+		w.sink.Reset()
+	}
 	out := w.inner.Walk(va)
 	if w.chk != nil {
 		w.chk.CheckWalk(va, out)
@@ -210,12 +269,18 @@ func (w *recordingWalker) Walk(va mem.VAddr) core.WalkOutcome {
 	if out.Fallback {
 		w.res.Fallbacks++
 	}
-	for _, ref := range out.Refs {
-		label := refLabel(ref)
-		agg := w.res.breakdown[label]
+	for i := range out.Refs {
+		ref := &out.Refs[i]
+		k := labelKey{step: ref.Step, level: ref.Level, dim: ref.Dim}
+		agg := w.labels[k]
 		if agg == nil {
-			agg = &StepAgg{Label: label}
-			w.res.breakdown[label] = agg
+			label := refLabel(*ref)
+			agg = w.res.breakdown[label]
+			if agg == nil {
+				agg = &StepAgg{Label: label}
+				w.res.breakdown[label] = agg
+			}
+			w.labels[k] = agg
 		}
 		agg.Cycles += uint64(ref.Cycles)
 		agg.Count++
@@ -235,128 +300,38 @@ func refLabel(ref core.MemRef) string {
 
 // machine is the assembled simulation target returned by the builders.
 type machine struct {
-	hier     *cache.Hierarchy
-	walker   core.Walker
-	gen      workload.Gen
-	coverage func() float64
+	hier   *cache.Hierarchy
+	walker core.Walker
+	gen    workload.Gen
+	// coverage returns the walker's raw hit/total counters (nil for
+	// designs without a fast-path notion of coverage); results keep the
+	// integers so shard merges stay bit-exact.
+	coverage func() (hits, total uint64)
 	footer   func(*Result) // copies counters (exits, footprints) at the end
+	// sink is the shared ref buffer installed into sink-aware walker
+	// chains (vanilla/shadow/DMT/pvDMT); nil for designs whose wrappers
+	// still allocate per walk.
+	sink *core.RefSink
 
 	// Fault/verification harness, filled by the builders.
-	target     fault.Target           // handles the injector perturbs
-	ref        check.Ref              // ground-truth translation (live PTs)
-	fastPath   func(mem.VAddr) bool   // side-effect-free DMT fast-path probe
-	sizeExact  bool                   // outcome size must equal reference size
-	invariants func() []string        // TEA structural invariants
+	target     fault.Target         // handles the injector perturbs
+	ref        check.Ref            // ground-truth translation (live PTs)
+	fastPath   func(mem.VAddr) bool // side-effect-free DMT fast-path probe
+	sizeExact  bool                 // outcome size must equal reference size
+	invariants func() []string      // TEA structural invariants
 }
 
-// Run executes one configuration and returns its measurements.
+// Run executes one configuration and returns its measurements. The trace is
+// decomposed into cfg.Shards deterministic sub-runs simulated by up to
+// cfg.Workers goroutines and merged order-independently (engine.go); with
+// the defaults (one shard, one worker) this is the classic serial run.
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	res := &Result{Config: cfg, Ops: cfg.Ops, breakdown: map[string]*StepAgg{}}
-
-	var m *machine
-	var err error
-	switch cfg.Env {
-	case EnvNative:
-		m, err = buildNative(cfg)
-	case EnvVirt:
-		m, err = buildVirt(cfg)
-	case EnvNested:
-		m, err = buildNested(cfg)
-	default:
-		err = fmt.Errorf("sim: unknown environment %v", cfg.Env)
-	}
+	parts, err := RunShards(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("sim: building %v/%v/%s: %w", cfg.Env, cfg.Design, cfg.Workload.Name, err)
+		return nil, err
 	}
-
-	rec := &recordingWalker{inner: m.walker, res: res}
-	dtlb, err := tlb.New(scaledTLB(cfg.CacheScale))
-	if err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
-	}
-	mmu := core.NewMMU(dtlb, rec, 1)
-	// Injected unmaps must shoot down stale TLB entries, as the kernel's
-	// MMU-notifier path would.
-	if m.target.AS != nil {
-		m.target.AS.OnInvalidate(func(va mem.VAddr) { dtlb.Invalidate(va, 1) })
-	}
-
-	var chk *check.Checker
-	if cfg.Verify {
-		if m.ref == nil {
-			return nil, fmt.Errorf("sim: verification not supported for %v/%v", cfg.Env, cfg.Design)
-		}
-		chk = check.New(check.Config{
-			Ref:        m.ref,
-			FastPath:   m.fastPath,
-			SizeExact:  m.sizeExact,
-			Invariants: m.invariants,
-		})
-		rec.chk = chk
-	}
-	var inj *fault.Injector
-	if cfg.FaultPlan != nil {
-		m.target.Hier = m.hier
-		m.target.FlushTLB = dtlb.Flush
-		inj = fault.New(*cfg.FaultPlan, m.target)
-	}
-
-	for i := 0; i < cfg.Ops; i++ {
-		if inj != nil {
-			before := inj.Applied + inj.Skipped
-			if err := inj.Tick(i); err != nil {
-				return nil, fmt.Errorf("sim: %w", err)
-			}
-			if chk != nil && inj.Applied+inj.Skipped != before {
-				chk.CheckInvariants()
-			}
-		}
-		va, _ := m.gen()
-		pa, _, ok := mmu.Translate(va)
-		if !ok && inj != nil && inj.Unmapped() > 0 {
-			// Demand paging: the workload tripped over an injected unmap;
-			// fault the pages back in and retry once.
-			if err := inj.Refault(); err != nil {
-				return nil, fmt.Errorf("sim: refault at %#x (op %d): %w", uint64(va), i, err)
-			}
-			res.DemandFaults++
-			pa, _, ok = mmu.Translate(va)
-		}
-		if !ok {
-			return nil, fmt.Errorf("sim: translation fault at %#x (op %d, %v/%v)", uint64(va), i, cfg.Env, cfg.Design)
-		}
-		if chk != nil {
-			chk.CheckTranslate(va, pa)
-		}
-		res.DataCycles += uint64(m.hier.Access(pa).Cycles)
-	}
-	if inj != nil {
-		if err := inj.Drain(); err != nil {
-			return nil, fmt.Errorf("sim: %w", err)
-		}
-		res.FaultsApplied = inj.Applied
-		res.FaultsSkipped = inj.Skipped
-		res.FaultLog = inj.Log
-	}
-	if chk != nil {
-		chk.CheckInvariants()
-		res.Checked = chk.Checked
-		res.Mismatches = chk.Mismatched
-		if err := chk.Err(); err != nil {
-			return nil, fmt.Errorf("sim: %v/%v/%s: %w", cfg.Env, cfg.Design, cfg.Workload.Name, err)
-		}
-	}
-	res.TLBMisses = mmu.Misses
-	if m.coverage != nil {
-		res.Coverage = m.coverage()
-	} else {
-		res.Coverage = 1
-	}
-	if m.footer != nil {
-		m.footer(res)
-	}
-	return res, nil
+	return MergeShards(cfg, parts)
 }
 
 // scaledTLB divides the Table 3 TLB capacities by scale.

@@ -13,6 +13,7 @@ import (
 	"dmt/internal/fault"
 	"dmt/internal/kernel"
 	"dmt/internal/mem"
+	"dmt/internal/pagetable"
 	"dmt/internal/tea"
 	"dmt/internal/tlb"
 	"dmt/internal/virt"
@@ -109,7 +110,7 @@ func buildVirt(cfg Config) (*machine, error) {
 	nested := virt.NewNestedWalker(e.guest.PT, e.vm.HostAS.PT, hier, 1)
 	scaleWalkerCaches(nested, cfg.CacheScale)
 
-	m := &machine{hier: hier, gen: e.built.NewGen(cfg.Seed), footer: e.counters}
+	m := &machine{hier: hier, gen: e.built.NewGen(cfg.genSeed()), footer: e.counters}
 	m.target = fault.Target{AS: e.guest, Mgr: e.gmgr, Backend: e.flaky}
 	if len(e.built.Major) > 0 {
 		m.target.Hot = e.built.Major[0]
@@ -118,6 +119,8 @@ func buildVirt(cfg Config) (*machine, error) {
 	m.sizeExact = true
 	switch cfg.Design {
 	case DesignVanilla:
+		m.sink = &core.RefSink{}
+		nested.Sink = m.sink
 		m.walker = nested
 	case DesignShadow:
 		spt, err := virt.BuildShadowVA(e.vm, e.guest)
@@ -125,6 +128,8 @@ func buildVirt(cfg Config) (*machine, error) {
 			return nil, err
 		}
 		rw := core.NewRadixWalker(spt, hier, tlb.NewPWCScaled(cfg.CacheScale), 1)
+		m.sink = &core.RefSink{}
+		rw.Sink = m.sink
 		m.walker = rw
 		// The shadow table splinters guest huge pages into host-sized
 		// leaves, so only the physical address is asserted exactly; and
@@ -145,20 +150,20 @@ func buildVirt(cfg Config) (*machine, error) {
 			Host: e.vm.HostTEA, HostPool: e.vm.HostAS.Pool,
 			Hier: hier, Fallback: nested,
 		}
+		m.sink = &core.RefSink{}
+		w.Sink = m.sink
+		nested.Sink = m.sink // fallback walks share the chain's buffer
 		m.walker = w
 		m.fastPath = w.Probe
 		m.invariants = check.TEAInvariants(e.gmgr, e.guest)
-		m.coverage = func() float64 {
-			total := w.RegisterHits + w.FallbackWalks
-			if total == 0 {
-				return 0
-			}
-			return float64(w.RegisterHits) / float64(total)
-		}
+		m.coverage = w.CoverageCounts
 	case DesignPvDMT:
 		w := virt.NewPvDMTWalker(e.vm, e.gmgr, e.guest.Pool, hier, nested)
+		m.sink = &core.RefSink{}
+		w.Sink = m.sink
+		nested.Sink = m.sink
 		m.walker = w
-		m.coverage = w.Coverage
+		m.coverage = w.CoverageCounts
 		m.fastPath = w.Probe
 		m.invariants = check.TEAInvariants(e.gmgr, e.guest)
 	case DesignECPT:
@@ -183,7 +188,8 @@ func buildVirt(cfg Config) (*machine, error) {
 		if err := hsys.Sync(e.vm.HostAS); err != nil {
 			return nil, err
 		}
-		w := &ecpt.VirtWalker{Guest: gsys, Host: hsys, Hier: hier}
+		m.sink = &core.RefSink{}
+		w := &ecpt.VirtWalker{Guest: gsys, Host: hsys, Hier: hier, Sink: m.sink}
 		m.walker = w
 		// Guest mutations only: the host tables are not perturbed.
 		m.target.Resync = func() error {
@@ -216,7 +222,8 @@ func buildVirt(cfg Config) (*machine, error) {
 		if err := ht.Sync(e.vm.HostAS); err != nil {
 			return nil, err
 		}
-		w := &fpt.VirtWalker{Guest: gt, Host: ht, Hier: hier}
+		m.sink = &core.RefSink{}
+		w := &fpt.VirtWalker{Guest: gt, Host: ht, Hier: hier, Sink: m.sink}
 		m.walker = w
 		m.target.Resync = func() error {
 			gt, err := buildGuestTable()
@@ -234,6 +241,8 @@ func buildVirt(cfg Config) (*machine, error) {
 		aw := agile.NewWalker(mirror, e.guest.PT, e.vm.HostAS.PT, hier, 1)
 		aw.HostPWC = tlb.NewPWCScaled(cfg.CacheScale)
 		aw.NestedC = tlb.NewNestedCacheSized(38 / cfg.CacheScale)
+		m.sink = &core.RefSink{}
+		aw.Sink = m.sink
 		m.walker = aw
 		m.sizeExact = false
 		m.target.Resync = func() error {
@@ -250,18 +259,26 @@ func buildVirt(cfg Config) (*machine, error) {
 		// gPTE locations, but the data page's host-dimension PTEs
 		// depend on the gPTE *content* and stay demand-fetched
 		// (§6.2.2's dependency-chain argument).
+		var steps []pagetable.Step
+		var lines []mem.PAddr
+		var stages [1][]mem.PAddr
 		src := func(gva mem.VAddr) [][]mem.PAddr {
-			var out []mem.PAddr
-			for _, s := range e.guest.PT.Walk(gva).Steps {
+			lines = lines[:0]
+			walk := e.guest.PT.WalkInto(gva, steps[:0])
+			steps = walk.Steps
+			for _, s := range walk.Steps {
 				if s.Level > 2 {
 					continue
 				}
 				if machineAddr, ok := e.vm.MachineAddr(s.Addr); ok {
-					out = append(out, machineAddr)
+					lines = append(lines, machineAddr)
 				}
 			}
-			return [][]mem.PAddr{out}
+			stages[0] = lines
+			return stages[:]
 		}
+		m.sink = &core.RefSink{}
+		nested.Sink = m.sink
 		m.walker = &asap.Walker{Inner: nested, Hier: hier, Source: src, MemLatency: hier.Config().MemLatency}
 	default:
 		return nil, fmt.Errorf("design %q not available in a virtualized environment", cfg.Design)
@@ -319,7 +336,7 @@ func buildNested(cfg Config) (*machine, error) {
 	baseline := virt.NewNestedWalker(guest.PT, spt, hier, 1)
 	scaleWalkerCaches(baseline, cfg.CacheScale)
 
-	m := &machine{hier: hier, gen: built.NewGen(cfg.Seed)}
+	m := &machine{hier: hier, gen: built.NewGen(cfg.genSeed())}
 	m.footer = func(r *Result) {
 		r.Hypercalls = hyp.Hypercalls
 		r.VMExits = hyp.VMExits
@@ -356,11 +373,16 @@ func buildNested(cfg Config) (*machine, error) {
 	m.sizeExact = true
 	switch cfg.Design {
 	case DesignVanilla:
+		m.sink = &core.RefSink{}
+		baseline.Sink = m.sink
 		m.walker = baseline
 	case DesignPvDMT:
 		w := virt.NewPvDMTNestedWalker(l2, gmgr, guest.Pool, hier, baseline)
+		m.sink = &core.RefSink{}
+		w.Sink = m.sink
+		baseline.Sink = m.sink
 		m.walker = w
-		m.coverage = w.Coverage
+		m.coverage = w.CoverageCounts
 		m.fastPath = w.Probe
 		m.invariants = check.TEAInvariants(gmgr, guest)
 	default:

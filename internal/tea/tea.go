@@ -183,11 +183,14 @@ func (r *Register) Match(va mem.VAddr) bool {
 // size s — the two-step arithmetic of Figure 7: VPN offset inside the VMA,
 // then indexing into the TEA.
 func (r *Register) PTEAddr(s mem.PageSize) func(va mem.VAddr) mem.PAddr {
-	base, cover := r.FetchBase[s], r.CoverVA[s]
-	return func(va mem.VAddr) mem.PAddr {
-		idx := (uint64(va) - uint64(cover)) >> s.Shift()
-		return base + mem.PAddr(idx*mem.PTEBytes)
-	}
+	return func(va mem.VAddr) mem.PAddr { return r.PTEAddrAt(s, va) }
+}
+
+// PTEAddrAt is PTEAddr without the closure: the walk hot path calls it
+// directly so the fetch-address arithmetic stays allocation-free.
+func (r *Register) PTEAddrAt(s mem.PageSize, va mem.VAddr) mem.PAddr {
+	idx := (uint64(va) - uint64(r.CoverVA[s])) >> s.Shift()
+	return r.FetchBase[s] + mem.PAddr(idx*mem.PTEBytes)
 }
 
 // Stats counts TEA-management activity for the §6.3 overhead analysis.

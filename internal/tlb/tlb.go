@@ -160,17 +160,20 @@ func key(va mem.VAddr, size mem.PageSize, asid uint16) uint64 {
 	return mem.PageNumber(va, size)<<12 | uint64(asid)<<2 | uint64(size)
 }
 
+// pageSizes is the probe order shared by every lookup loop.
+var pageSizes = [...]mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G}
+
 // Lookup probes both levels for a translation of va under asid, trying all
 // three page sizes. On an L2 hit the entry is promoted into the L1.
 func (t *TLB) Lookup(va mem.VAddr, asid uint16) (mem.PAddr, mem.PageSize, bool) {
-	for _, size := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+	for _, size := range pageSizes {
 		k := key(va, size, asid)
 		if v, ok := t.l1.lookup(k); ok {
 			t.L1Hits++
 			return frameToPA(v, va, size), size, true
 		}
 	}
-	for _, size := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+	for _, size := range pageSizes {
 		k := key(va, size, asid)
 		if v, ok := t.l2.lookup(k); ok {
 			t.L2Hits++
@@ -198,7 +201,7 @@ func (t *TLB) Insert(va mem.VAddr, pa mem.PAddr, size mem.PageSize, asid uint16)
 // Invalidate drops any entry translating va (all sizes), the analogue of
 // INVLPG.
 func (t *TLB) Invalidate(va mem.VAddr, asid uint16) {
-	for _, size := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+	for _, size := range pageSizes {
 		t.l1.invalidate(key(va, size, asid))
 		t.l2.invalidate(key(va, size, asid))
 	}
@@ -219,7 +222,9 @@ const PWCLatency = 1
 // Table 3: 3 levels with 2, 4, and 32 entries (for skip depths covering
 // L4, L3, and L2 respectively), 1-cycle access.
 type PWC struct {
-	byLevel map[int]*assoc
+	// byLevel[level] holds the cache for skip levels 2..4; a fixed array
+	// keeps the per-walk probe free of map lookups.
+	byLevel [5]*assoc
 
 	Hits, Misses uint64
 }
@@ -231,11 +236,11 @@ func NewPWC() *PWC { return NewPWCSized(2, 4, 32) }
 // skip levels; used when structures are scaled with the working set
 // (DESIGN.md §6).
 func NewPWCSized(l4, l3, l2 int) *PWC {
-	return &PWC{byLevel: map[int]*assoc{
-		4: normAssoc(l4, 2),
-		3: normAssoc(l3, 4),
-		2: normAssoc(l2, 4),
-	}}
+	p := &PWC{}
+	p.byLevel[4] = normAssoc(l4, 2)
+	p.byLevel[3] = normAssoc(l3, 4)
+	p.byLevel[2] = normAssoc(l2, 4)
+	return p
 }
 
 // NewPWCScaled divides the Table 3 entry counts by scale (minimum one
@@ -261,7 +266,7 @@ func pwcKey(va mem.VAddr, level int, asid uint16) uint64 {
 // first (largest skip), then 3, then 4. It returns the physical address of
 // the next page-table node to read and the level of that node.
 func (p *PWC) Lookup(va mem.VAddr, asid uint16) (nodePA mem.PAddr, nextLevel int, ok bool) {
-	for _, level := range []int{2, 3, 4} {
+	for level := 2; level <= 4; level++ {
 		if v, hit := p.byLevel[level].lookup(pwcKey(va, level, asid)); hit {
 			p.Hits++
 			return mem.PAddr(v), level - 1, true
@@ -282,8 +287,8 @@ func (p *PWC) Insert(va mem.VAddr, level int, nodePA mem.PAddr, asid uint16) {
 
 // Flush empties all levels.
 func (p *PWC) Flush() {
-	for _, a := range p.byLevel {
-		a.flush()
+	for level := 2; level <= 4; level++ {
+		p.byLevel[level].flush()
 	}
 }
 

@@ -12,15 +12,29 @@ import (
 // group counts as one sequential step whose critical path is the fetch
 // that produced the valid leaf (the fetcher proceeds on first valid
 // return); only when nothing matches must it wait for the slowest probe.
+// With a sink installed refs stream straight into the shared buffer;
+// otherwise they collect in the group's own slice (legacy allocation).
 type fetchGroup struct {
+	sink    *core.RefSink
 	cycles  int // critical path: the matched fetch
 	slowest int
+	last    int // cycles of the most recently added ref
 	matched bool
-	refs    []core.MemRef
+	refs    []core.MemRef // used only when sink is nil
+}
+
+// reset prepares a (reusable) group for one fan-out.
+func (g *fetchGroup) reset(sink *core.RefSink) {
+	*g = fetchGroup{sink: sink, refs: g.refs[:0]}
 }
 
 func (g *fetchGroup) add(r core.MemRef) {
-	g.refs = append(g.refs, r)
+	g.last = r.Cycles
+	if g.sink != nil {
+		g.sink.Append(r)
+	} else {
+		g.refs = append(g.refs, r)
+	}
 	if r.Cycles > g.slowest {
 		g.slowest = r.Cycles
 	}
@@ -30,13 +44,15 @@ func (g *fetchGroup) add(r core.MemRef) {
 // leaf.
 func (g *fetchGroup) markMatched() {
 	g.matched = true
-	if n := len(g.refs); n > 0 && g.refs[n-1].Cycles > g.cycles {
-		g.cycles = g.refs[n-1].Cycles
+	if g.last > g.cycles {
+		g.cycles = g.last
 	}
 }
 
 func (g *fetchGroup) commit(out *core.WalkOutcome) {
-	out.Refs = append(out.Refs, g.refs...)
+	if g.sink == nil {
+		out.Refs = append(out.Refs, g.refs...)
+	}
 	if g.matched {
 		out.Cycles += g.cycles
 	} else {
@@ -60,10 +76,18 @@ type DMTVirtWalker struct {
 	HostPool  *pagetable.Pool
 	Hier      *cache.Hierarchy
 	Fallback  core.Walker
+	// Sink, when set, collects refs for the whole fetch+fallback chain
+	// (share it with Fallback); outcomes then alias the sink's buffer.
+	Sink *core.RefSink
 
 	RegisterHits  uint64
 	FallbackWalks uint64
+
+	g fetchGroup // per-walker scratch, reused across fan-outs
 }
+
+// pvSizes is the §4.4 fan-out probe order.
+var pvSizes = [...]mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G}
 
 // Name implements core.Walker.
 func (w *DMTVirtWalker) Name() string { return "DMT-virt" }
@@ -83,52 +107,55 @@ func (w *DMTVirtWalker) Walk(gva mem.VAddr) core.WalkOutcome {
 		machine mem.PAddr
 		ok      bool
 	}
-	var cands []cand
-	for _, s := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+	var cands [3]cand
+	nc := 0
+	for _, s := range pvSizes {
 		if greg.Covered[s] {
-			cands = append(cands, cand{size: s, gpteGPA: greg.PTEAddr(s)(gva)})
+			cands[nc] = cand{size: s, gpteGPA: greg.PTEAddrAt(s, gva)}
+			nc++
 		}
 	}
-	if len(cands) == 0 {
+	if nc == 0 {
 		return w.fallback(gva, out)
 	}
 
 	// Fetch 1 (parallel across candidates): host PTE locating each gPTE.
-	g1 := fetchGroup{}
-	for i := range cands {
-		m, ok := w.hostFetch(cands[i].gpteGPA, &g1)
+	g := &w.g
+	g.reset(w.Sink)
+	for i := 0; i < nc; i++ {
+		m, ok := w.hostFetch(cands[i].gpteGPA, g)
 		cands[i].machine, cands[i].ok = m, ok
 	}
-	g1.commit(&out)
+	g.commit(&out)
 
 	// Fetch 2 (parallel): the gPTEs themselves.
-	g2 := fetchGroup{}
+	g.reset(w.Sink)
 	var dataGPA mem.PAddr
 	var guestSize mem.PageSize
 	found := false
-	for _, c := range cands {
+	for _, c := range cands[:nc] {
 		if !c.ok {
 			continue
 		}
 		r := w.Hier.Access(c.machine)
-		g2.add(core.MemRef{Addr: c.machine, Cycles: r.Cycles, Served: r.Served, Level: c.size.LeafLevel(), Dim: "g"})
+		g.add(core.MemRef{Addr: c.machine, Cycles: r.Cycles, Served: r.Served, Level: c.size.LeafLevel(), Dim: "g"})
 		pte, ok := w.GuestPool.ReadPTE(c.gpteGPA)
 		if ok && pteLeafValid(pte, c.size) {
 			dataGPA = pte.Frame() + mem.PAddr(mem.PageOffset(gva, c.size))
 			guestSize = c.size
 			found = true
-			g2.markMatched()
+			g.markMatched()
 		}
 	}
-	g2.commit(&out)
+	g.commit(&out)
 	if !found {
 		return w.fallback(gva, out)
 	}
 
 	// Fetch 3: host PTE of the data page.
-	g3 := fetchGroup{}
-	mData, ok := w.hostFetch(dataGPA, &g3)
-	g3.commit(&out)
+	g.reset(w.Sink)
+	mData, ok := w.hostFetch(dataGPA, g)
+	g.commit(&out)
 	if !ok {
 		return w.fallback(gva, out)
 	}
@@ -136,6 +163,9 @@ func (w *DMTVirtWalker) Walk(gva mem.VAddr) core.WalkOutcome {
 	out.Size = guestSize
 	out.OK = true
 	w.RegisterHits++
+	if w.Sink != nil {
+		out.Refs = w.Sink.Refs()
+	}
 	return out
 }
 
@@ -146,11 +176,11 @@ func (w *DMTVirtWalker) Probe(gva mem.VAddr) bool {
 	if greg == nil {
 		return false
 	}
-	for _, s := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+	for _, s := range pvSizes {
 		if !greg.Covered[s] {
 			continue
 		}
-		gpteGPA := greg.PTEAddr(s)(gva)
+		gpteGPA := greg.PTEAddrAt(s, gva)
 		if _, ok := w.hostProbe(gpteGPA); !ok {
 			continue
 		}
@@ -172,11 +202,11 @@ func (w *DMTVirtWalker) hostProbe(gpa mem.PAddr) (mem.PAddr, bool) {
 	if hreg == nil {
 		return 0, false
 	}
-	for _, s := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+	for _, s := range pvSizes {
 		if !hreg.Covered[s] {
 			continue
 		}
-		pte, ok := w.HostPool.ReadPTE(hreg.PTEAddr(s)(mem.VAddr(gpa)))
+		pte, ok := w.HostPool.ReadPTE(hreg.PTEAddrAt(s, mem.VAddr(gpa)))
 		if ok && pteLeafValid(pte, s) {
 			return pte.Frame() + mem.PAddr(mem.PageOffset(mem.VAddr(gpa), s)), true
 		}
@@ -192,11 +222,11 @@ func (w *DMTVirtWalker) hostFetch(gpa mem.PAddr, g *fetchGroup) (mem.PAddr, bool
 	if hreg == nil {
 		return 0, false
 	}
-	for _, s := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+	for _, s := range pvSizes {
 		if !hreg.Covered[s] {
 			continue
 		}
-		hpteAddr := hreg.PTEAddr(s)(mem.VAddr(gpa))
+		hpteAddr := hreg.PTEAddrAt(s, mem.VAddr(gpa))
 		r := w.Hier.Access(hpteAddr)
 		g.add(core.MemRef{Addr: hpteAddr, Cycles: r.Cycles, Served: r.Served, Level: s.LeafLevel(), Dim: "h"})
 		pte, ok := w.HostPool.ReadPTE(hpteAddr)
@@ -212,10 +242,21 @@ func (w *DMTVirtWalker) fallback(gva mem.VAddr, partial core.WalkOutcome) core.W
 	w.FallbackWalks++
 	fb := w.Fallback.Walk(gva)
 	fb.Cycles += partial.Cycles
-	fb.Refs = mergeRefs(partial.Refs, fb.Refs)
+	if w.Sink != nil {
+		// The shared sink already holds prefix + fallback refs in order.
+		fb.Refs = w.Sink.Refs()
+	} else {
+		fb.Refs = mergeRefs(partial.Refs, fb.Refs)
+	}
 	fb.SeqSteps += partial.SeqSteps
 	fb.Fallback = true
 	return fb
+}
+
+// CoverageCounts returns the raw hit/total counters behind the walker's
+// coverage fraction (see core.DMTWalker.CoverageCounts).
+func (w *DMTVirtWalker) CoverageCounts() (hits, total uint64) {
+	return w.RegisterHits, w.RegisterHits + w.FallbackWalks
 }
 
 // mergeRefs concatenates the fast-path prefix and fallback refs into a

@@ -27,8 +27,13 @@ type NestedWalker struct {
 	HostPWC  *tlb.PWC
 	Nested   *tlb.NestedCache
 	ASID     uint16
+	// Sink, when set, collects refs across the 2D walk (see core.RefSink);
+	// outcomes then alias the sink's buffer.
+	Sink *core.RefSink
 
 	Walks uint64
+
+	gsteps, hsteps []pagetable.Step // per-walker scratch, reused across walks
 }
 
 // NewNestedWalker builds the 2D walker for a single-level setup.
@@ -54,7 +59,8 @@ func (w *NestedWalker) Walk(gva mem.VAddr) core.WalkOutcome {
 	L := w.GuestPT.Levels()
 	H := w.HostPT.Levels()
 
-	full := w.GuestPT.Walk(gva)
+	full := w.GuestPT.WalkInto(gva, w.gsteps[:0])
+	w.gsteps = full.Steps[:0]
 	steps := full.Steps
 	if w.GuestPWC != nil {
 		if _, nextLevel, ok := w.GuestPWC.Lookup(gva, w.ASID); ok {
@@ -75,15 +81,15 @@ func (w *NestedWalker) Walk(gva mem.VAddr) core.WalkOutcome {
 		base := (L - s.Level) * (H + 1)
 		mAddr, ok := w.resolveHost(s.Addr, &out, base, H)
 		if !ok {
-			return out
+			return w.sealed(out)
 		}
 		r := w.Hier.Access(mAddr)
-		out.Refs = append(out.Refs, core.MemRef{Addr: mAddr, Cycles: r.Cycles, Served: r.Served, Level: s.Level, Dim: "g", Step: base + H + 1})
+		w.emit(&out, core.MemRef{Addr: mAddr, Cycles: r.Cycles, Served: r.Served, Level: s.Level, Dim: "g", Step: base + H + 1})
 		out.Cycles += r.Cycles
 		out.SeqSteps++
 	}
 	if !full.OK {
-		return out
+		return w.sealed(out)
 	}
 	if w.GuestPWC != nil {
 		w.refillGuestPWC(gva, full.Steps)
@@ -91,11 +97,30 @@ func (w *NestedWalker) Walk(gva mem.VAddr) core.WalkOutcome {
 	// Final host dimension: translate the data gPA (steps 21–24).
 	mData, ok := w.resolveHost(full.PA, &out, L*(H+1), H)
 	if !ok {
-		return out
+		return w.sealed(out)
 	}
 	out.PA = mData
 	out.Size = hostEffectiveSize(full.Size)
 	out.OK = true
+	return w.sealed(out)
+}
+
+// emit records one ref into the sink or the outcome's own slice.
+func (w *NestedWalker) emit(out *core.WalkOutcome, r core.MemRef) {
+	if w.Sink != nil {
+		w.Sink.Append(r)
+	} else {
+		out.Refs = append(out.Refs, r)
+	}
+}
+
+// sealed finalizes an outcome: with a sink installed the outcome's Refs are
+// whatever the chain accumulated there (including any fast-path prefix from
+// a wrapping walker).
+func (w *NestedWalker) sealed(out core.WalkOutcome) core.WalkOutcome {
+	if w.Sink != nil {
+		out.Refs = w.Sink.Refs()
+	}
 	return out
 }
 
@@ -114,7 +139,8 @@ func (w *NestedWalker) resolveHost(gpa mem.PAddr, out *core.WalkOutcome, base, h
 			return m, true
 		}
 	}
-	full := w.HostPT.Walk(mem.VAddr(gpa))
+	full := w.HostPT.WalkInto(mem.VAddr(gpa), w.hsteps[:0])
+	w.hsteps = full.Steps[:0]
 	steps := full.Steps
 	out.Cycles += tlb.PWCLatency
 	if w.HostPWC != nil {
@@ -129,7 +155,7 @@ func (w *NestedWalker) resolveHost(gpa mem.PAddr, out *core.WalkOutcome, base, h
 	}
 	for _, s := range steps {
 		r := w.Hier.Access(s.Addr)
-		out.Refs = append(out.Refs, core.MemRef{Addr: s.Addr, Cycles: r.Cycles, Served: r.Served, Level: s.Level, Dim: "h", Step: base + (hostLevels - s.Level) + 1})
+		w.emit(out, core.MemRef{Addr: s.Addr, Cycles: r.Cycles, Served: r.Served, Level: s.Level, Dim: "h", Step: base + (hostLevels - s.Level) + 1})
 		out.Cycles += r.Cycles
 		out.SeqSteps++
 	}

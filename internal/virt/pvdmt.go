@@ -33,9 +33,14 @@ type PvDMTWalker struct {
 	Hier     *cache.Hierarchy
 	Hyp      *Hypervisor
 	Fallback core.Walker
+	// Sink, when set, collects refs for the whole fetch+fallback chain
+	// (share it with Fallback); outcomes then alias the sink's buffer.
+	Sink *core.RefSink
 
 	RegisterHits  uint64
 	FallbackWalks uint64
+
+	g fetchGroup // per-walker scratch, reused across fan-outs
 }
 
 // Name implements core.Walker.
@@ -57,14 +62,15 @@ func (w *PvDMTWalker) Walk(va mem.VAddr) core.WalkOutcome {
 		if reg == nil {
 			return w.fallback(va, out)
 		}
-		g := fetchGroup{}
+		g := &w.g
+		g.reset(w.Sink)
 		next := uint64(0)
 		found := false
-		for _, s := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+		for _, s := range pvSizes {
 			if !reg.Covered[s] {
 				continue
 			}
-			fetchAddr := reg.PTEAddr(s)(mem.VAddr(addr))
+			fetchAddr := reg.PTEAddrAt(s, mem.VAddr(addr))
 			nodeAddr := fetchAddr
 			if lv.Table != nil {
 				var err error
@@ -74,6 +80,9 @@ func (w *PvDMTWalker) Walk(va mem.VAddr) core.WalkOutcome {
 					// raises a page fault in the host (§4.5.2).
 					w.Hyp.IsolationFaults++
 					out.OK = false
+					if w.Sink != nil {
+						out.Refs = w.Sink.Refs()
+					}
 					return out
 				}
 			}
@@ -99,6 +108,9 @@ func (w *PvDMTWalker) Walk(va mem.VAddr) core.WalkOutcome {
 	out.Size = size
 	out.OK = true
 	w.RegisterHits++
+	if w.Sink != nil {
+		out.Refs = w.Sink.Refs()
+	}
 	return out
 }
 
@@ -106,7 +118,12 @@ func (w *PvDMTWalker) fallback(va mem.VAddr, partial core.WalkOutcome) core.Walk
 	w.FallbackWalks++
 	fb := w.Fallback.Walk(va)
 	fb.Cycles += partial.Cycles
-	fb.Refs = mergeRefs(partial.Refs, fb.Refs)
+	if w.Sink != nil {
+		// The shared sink already holds prefix + fallback refs in order.
+		fb.Refs = w.Sink.Refs()
+	} else {
+		fb.Refs = mergeRefs(partial.Refs, fb.Refs)
+	}
 	fb.SeqSteps += partial.SeqSteps
 	fb.Fallback = true
 	return fb
@@ -125,11 +142,11 @@ func (w *PvDMTWalker) Probe(va mem.VAddr) bool {
 		}
 		next := uint64(0)
 		found := false
-		for _, s := range []mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G} {
+		for _, s := range pvSizes {
 			if !reg.Covered[s] {
 				continue
 			}
-			fetchAddr := reg.PTEAddr(s)(mem.VAddr(addr))
+			fetchAddr := reg.PTEAddrAt(s, mem.VAddr(addr))
 			nodeAddr := fetchAddr
 			if lv.Table != nil {
 				var err error
@@ -159,6 +176,13 @@ func (w *PvDMTWalker) Coverage() float64 {
 		return 0
 	}
 	return float64(w.RegisterHits) / float64(total)
+}
+
+// CoverageCounts returns the raw hit/total counters behind Coverage; shard
+// results merge these integers so parallel runs reproduce serial coverage
+// bit-exactly.
+func (w *PvDMTWalker) CoverageCounts() (hits, total uint64) {
+	return w.RegisterHits, w.RegisterHits + w.FallbackWalks
 }
 
 var _ core.Walker = (*PvDMTWalker)(nil)
