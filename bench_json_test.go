@@ -37,6 +37,7 @@ type BenchDoc struct {
 	} `json:"machine"`
 	Walks  map[string]BenchWalk `json:"walks"`
 	Matrix BenchMatrix          `json:"matrix"`
+	Build  BenchBuildDoc        `json:"build"`
 	Note   string               `json:"note,omitempty"`
 }
 
@@ -53,6 +54,37 @@ type BenchMatrix struct {
 	Workers8Seconds   float64 `json:"workers8_seconds"`
 	SeedSerialSeconds float64 `json:"seed_serial_seconds,omitempty"`
 	SpeedupVsSeed     float64 `json:"speedup_vs_seed,omitempty"`
+}
+
+// BenchBuildDoc records machine-construction cost: per-environment cold
+// builds and prototype clones (BenchmarkBuild_* / BenchmarkClone_*), and
+// the share of the serial matrix wall clock spent inside parts builders
+// (from sim.ReadBuildCacheStats around the serial matrix regeneration).
+type BenchBuildDoc struct {
+	Envs             map[string]BenchBuild `json:"envs"`
+	MatrixBuildShare float64               `json:"matrix_build_share"`
+}
+
+// BenchBuild records one environment's construction cost at the bench
+// harness working set. CloneVsBuildRatio (clone_ns / build_ns) is
+// host-independent — both sides run on the same machine — so benchcheck
+// compares it directly rather than through host-speed normalization.
+type BenchBuild struct {
+	BuildNs           float64 `json:"build_ns"`
+	CloneNs           float64 `json:"clone_ns"`
+	CloneVsBuildRatio float64 `json:"clone_vs_build_ratio"`
+}
+
+// buildBenchCells names the per-environment build/clone cells the gate
+// tracks (the DMT design family: the richest substrate per environment).
+var buildBenchCells = []struct {
+	name string
+	env  sim.Environment
+	d    sim.Design
+}{
+	{"native", sim.EnvNative, sim.DesignDMT},
+	{"virt", sim.EnvVirt, sim.DesignPvDMT},
+	{"nested", sim.EnvNested, sim.DesignPvDMT},
 }
 
 // seedSerialSeconds is the full-matrix wall clock of the pre-engine serial
@@ -150,7 +182,7 @@ func TestEmitBenchJSON(t *testing.T) {
 		t.Skip("pass -benchjson <path> to emit the benchmark record")
 	}
 	var doc BenchDoc
-	doc.Schema = "dmt-bench/v1"
+	doc.Schema = "dmt-bench/v2"
 	doc.Machine.GOOS = runtime.GOOS
 	doc.Machine.GOARCH = runtime.GOARCH
 	doc.Machine.NumCPU = runtime.NumCPU()
@@ -165,10 +197,30 @@ func TestEmitBenchJSON(t *testing.T) {
 			BytesPerWalk:  float64(res.AllocedBytesPerOp()),
 		}
 	}
+	doc.Build.Envs = make(map[string]BenchBuild, len(buildBenchCells))
+	for _, cell := range buildBenchCells {
+		env, d := cell.env, cell.d
+		br := testing.Benchmark(func(b *testing.B) { buildBench(b, env, d) })
+		cr := testing.Benchmark(func(b *testing.B) { cloneBench(b, env, d) })
+		buildNs := float64(br.T.Nanoseconds()) / float64(br.N)
+		cloneNs := float64(cr.T.Nanoseconds()) / float64(cr.N)
+		doc.Build.Envs[cell.name] = BenchBuild{
+			BuildNs:           buildNs,
+			CloneNs:           cloneNs,
+			CloneVsBuildRatio: cloneNs / buildNs,
+		}
+	}
+	// Each matrix regeneration starts from an empty prototype cache, so the
+	// recorded wall clocks include that invocation's own cold builds — the
+	// cost cmd/figures pays — rather than riding earlier measurements.
+	sim.ResetBuildCache()
 	serial, err := runMatrix(1)
 	if err != nil {
 		t.Fatal(err)
 	}
+	stats := sim.ReadBuildCacheStats()
+	doc.Build.MatrixBuildShare = float64(stats.BuildNs) / (serial * 1e9)
+	sim.ResetBuildCache()
 	par, err := runMatrix(8)
 	if err != nil {
 		t.Fatal(err)
@@ -181,11 +233,15 @@ func TestEmitBenchJSON(t *testing.T) {
 	}
 	doc.Note = "seed_serial_seconds is the pre-engine serial simulator's matrix wall clock on the " +
 		"machine that produced this file; speedup_vs_seed = seed_serial_seconds / serial_seconds " +
-		"(like-for-like: the serial single-shard run is the seed's configuration). Workers:8 defaults " +
-		"to eight shards, each owning a private machine build; on this host (numcpu above) the builds " +
-		"cannot overlap, so workers8_seconds includes the un-hidden 8x build cost — on a multicore " +
-		"host the shards run concurrently. Results are bit-identical per shard count regardless of " +
-		"workers. cmd/benchcheck compares ns figures only after normalizing out overall host speed."
+		"(like-for-like: the serial single-shard run is the seed's configuration). Machine builds " +
+		"are memoized: each (env x design x workload) substrate is built once per matrix and every " +
+		"shard or repeat clones the prototype, so workers8_seconds no longer carries an 8x build " +
+		"multiplier and serial_seconds skips rebuilds the memoizing runners used to re-pay across " +
+		"figure blocks. build.envs records cold-build vs clone ns per environment " +
+		"(clone_vs_build_ratio is host-independent); build.matrix_build_share is the fraction of " +
+		"serial_seconds spent inside parts builders. Results are bit-identical with the cache on or " +
+		"off and for any worker count. cmd/benchcheck compares ns figures only after normalizing " +
+		"out overall host speed."
 	buf, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -194,6 +250,6 @@ func TestEmitBenchJSON(t *testing.T) {
 	if err := os.WriteFile(*benchJSONOut, buf, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s: matrix serial %.2fs, workers8 %.2fs, speedup vs seed %.2fx",
-		*benchJSONOut, serial, par, doc.Matrix.SpeedupVsSeed)
+	t.Logf("wrote %s: matrix serial %.2fs (build share %.1f%%), workers8 %.2fs, speedup vs seed %.2fx",
+		*benchJSONOut, serial, doc.Build.MatrixBuildShare*100, par, doc.Matrix.SpeedupVsSeed)
 }

@@ -591,3 +591,48 @@ func BenchmarkCtxSwitch_RegisterReload(b *testing.B) {
 	}
 	b.ReportMetric(float64(sched.SwitchCycles)/float64(sched.SwitchCycles+sched.AccessCycles)*100, "reload-share-%")
 }
+
+// --- Machine construction: cold builds versus prototype clones -----------
+//
+// BenchmarkBuild_* times a full from-scratch instantiation — substrate
+// build plus wiring, the cost every shard used to pay; BenchmarkClone_*
+// times minting the same drivable instance from a prebuilt prototype, what
+// shards pay now. Both produce a ready-to-step Instance, so their ratio is
+// the snapshot win, recorded in BENCH_sim.json's build section and gated by
+// cmd/benchcheck. Clone cost is trace-length-independent —
+// TestDeterminismCloneCostIndependentOfOps pins that property exactly.
+
+func buildBench(b *testing.B, env sim.Environment, d sim.Design) {
+	cfg := benchCfg(env, d, false, workload.GUPS())
+	cfg.ColdBuild = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.NewInstance(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func cloneBench(b *testing.B, env sim.Environment, d sim.Design) {
+	cfg := benchCfg(env, d, false, workload.GUPS())
+	proto, err := sim.NewPrototype(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proto.NewInstance(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuild_Native(b *testing.B) { buildBench(b, sim.EnvNative, sim.DesignDMT) }
+func BenchmarkBuild_Virt(b *testing.B)   { buildBench(b, sim.EnvVirt, sim.DesignPvDMT) }
+func BenchmarkBuild_Nested(b *testing.B) { buildBench(b, sim.EnvNested, sim.DesignPvDMT) }
+
+func BenchmarkClone_Native(b *testing.B) { cloneBench(b, sim.EnvNative, sim.DesignDMT) }
+func BenchmarkClone_Virt(b *testing.B)   { cloneBench(b, sim.EnvVirt, sim.DesignPvDMT) }
+func BenchmarkClone_Nested(b *testing.B) { cloneBench(b, sim.EnvNested, sim.DesignPvDMT) }

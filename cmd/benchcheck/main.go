@@ -29,6 +29,15 @@ type walkRecord struct {
 	BytesPerWalk  float64 `json:"bytes_per_walk"`
 }
 
+// buildRecord is one environment's machine-construction cost (schema v2).
+// The ns figures are host-dependent and join the normalized time pool; the
+// clone/build ratio is measured within a single host and compared directly.
+type buildRecord struct {
+	BuildNs           float64 `json:"build_ns"`
+	CloneNs           float64 `json:"clone_ns"`
+	CloneVsBuildRatio float64 `json:"clone_vs_build_ratio"`
+}
+
 type benchDoc struct {
 	Schema string                `json:"schema"`
 	Walks  map[string]walkRecord `json:"walks"`
@@ -36,6 +45,10 @@ type benchDoc struct {
 		SerialSeconds   float64 `json:"serial_seconds"`
 		Workers8Seconds float64 `json:"workers8_seconds"`
 	} `json:"matrix"`
+	Build struct {
+		Envs             map[string]buildRecord `json:"envs"`
+		MatrixBuildShare float64                `json:"matrix_build_share"`
+	} `json:"build"`
 }
 
 func load(path string) (*benchDoc, error) {
@@ -47,7 +60,9 @@ func load(path string) (*benchDoc, error) {
 	if err := json.Unmarshal(buf, &d); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if d.Schema != "dmt-bench/v1" {
+	// v1 lacks the build section; it is still accepted so the gate can run
+	// against pre-snapshot baselines (build metrics are then skipped).
+	if d.Schema != "dmt-bench/v1" && d.Schema != "dmt-bench/v2" {
 		return nil, fmt.Errorf("%s: unsupported schema %q", path, d.Schema)
 	}
 	return &d, nil
@@ -80,6 +95,26 @@ func compare(base, cur *benchDoc, tol float64) []string {
 	}
 	if base.Matrix.SerialSeconds > 0 && cur.Matrix.SerialSeconds > 0 {
 		times = append(times, timeMetric{"matrix serial seconds", base.Matrix.SerialSeconds, cur.Matrix.SerialSeconds})
+	}
+	for name, b := range base.Build.Envs {
+		c, ok := cur.Build.Envs[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("build %s: missing from current record", name))
+			continue
+		}
+		if b.BuildNs > 0 && c.BuildNs > 0 {
+			times = append(times, timeMetric{"build " + name + " ns", b.BuildNs, c.BuildNs})
+		}
+		if b.CloneNs > 0 && c.CloneNs > 0 {
+			times = append(times, timeMetric{"clone " + name + " ns", b.CloneNs, c.CloneNs})
+		}
+		// Both sides of the ratio come from one host, so host speed cancels
+		// and the comparison is direct: a clone drifting toward build cost
+		// means the snapshot stopped paying for itself.
+		if b.CloneVsBuildRatio > 0 && c.CloneVsBuildRatio > b.CloneVsBuildRatio*(1+tol) {
+			bad = append(bad, fmt.Sprintf("build %s: clone/build ratio %.3f, baseline %.3f (host-independent, tolerance %d%%)",
+				name, c.CloneVsBuildRatio, b.CloneVsBuildRatio, int(tol*100)))
+		}
 	}
 	if len(times) < 2 {
 		// With fewer than two time metrics there is no cross-metric signal
@@ -129,6 +164,6 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("benchcheck: %d walk metrics and matrix wall clock within %d%% of %s\n",
-		len(base.Walks), int(*tol*100), *baseline)
+	fmt.Printf("benchcheck: %d walk metrics, %d build/clone cells, and matrix wall clock within %d%% of %s\n",
+		len(base.Walks), len(base.Build.Envs), int(*tol*100), *baseline)
 }

@@ -6,7 +6,7 @@ import (
 )
 
 func doc(nsScale float64, allocs float64, extra map[string]float64) *benchDoc {
-	d := &benchDoc{Schema: "dmt-bench/v1", Walks: map[string]walkRecord{}}
+	d := &benchDoc{Schema: "dmt-bench/v2", Walks: map[string]walkRecord{}}
 	base := map[string]float64{
 		"NativeVanilla": 700, "NativeDMT": 550, "VirtVanilla": 1500,
 		"VirtPvDMT": 800, "NestedPvDMT": 1050,
@@ -20,6 +20,13 @@ func doc(nsScale float64, allocs float64, extra map[string]float64) *benchDoc {
 	}
 	d.Matrix.SerialSeconds = 3.0 * nsScale
 	d.Matrix.Workers8Seconds = 8.5 * nsScale
+	d.Build.Envs = map[string]buildRecord{}
+	for name, buildNs := range map[string]float64{"native": 1.5e8, "virt": 4e8, "nested": 6e8} {
+		b := buildNs * nsScale
+		c := buildNs * 0.01 * nsScale // clones ~100x cheaper than builds
+		d.Build.Envs[name] = buildRecord{BuildNs: b, CloneNs: c, CloneVsBuildRatio: c / b}
+	}
+	d.Build.MatrixBuildShare = 0.1
 	return d
 }
 
@@ -81,5 +88,63 @@ func TestCompareMatrixRegression(t *testing.T) {
 	bad := compare(base, cur, 0.15)
 	if len(bad) != 1 || !strings.Contains(bad[0], "matrix serial") {
 		t.Fatalf("want one matrix violation, got %v", bad)
+	}
+}
+
+func TestCompareBuildRegression(t *testing.T) {
+	// One environment's cold build 60% slower on an otherwise identical
+	// host must stick out of the normalized time pool like a walk path.
+	base := doc(1, 0, nil)
+	cur := doc(1, 0, nil)
+	r := cur.Build.Envs["virt"]
+	r.BuildNs *= 1.6
+	r.CloneVsBuildRatio = r.CloneNs / r.BuildNs
+	cur.Build.Envs["virt"] = r
+	bad := compare(base, cur, 0.15)
+	if len(bad) != 1 || !strings.Contains(bad[0], "build virt ns") {
+		t.Fatalf("want one virt build-ns violation, got %v", bad)
+	}
+}
+
+func TestCompareCloneRatioRegressionIsHostIndependent(t *testing.T) {
+	// Clones drifting toward build cost must be flagged even on a uniformly
+	// 2x-slower host: the ratio is measured within one machine, so the
+	// host-speed normalization never excuses it.
+	base := doc(1, 0, nil)
+	cur := doc(2, 0, nil)
+	r := cur.Build.Envs["native"]
+	r.CloneNs *= 3
+	r.CloneVsBuildRatio = r.CloneNs / r.BuildNs
+	cur.Build.Envs["native"] = r
+	bad := compare(base, cur, 0.15)
+	found := false
+	for _, v := range bad {
+		if strings.Contains(v, "clone/build ratio") && strings.Contains(v, "native") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want a native clone/build ratio violation, got %v", bad)
+	}
+}
+
+func TestCompareMissingBuildEnv(t *testing.T) {
+	base := doc(1, 0, nil)
+	cur := doc(1, 0, nil)
+	delete(cur.Build.Envs, "nested")
+	bad := compare(base, cur, 0.15)
+	if len(bad) != 1 || !strings.Contains(bad[0], "build nested: missing") {
+		t.Fatalf("want one missing-build violation, got %v", bad)
+	}
+}
+
+func TestCompareV1BaselineSkipsBuild(t *testing.T) {
+	// A pre-snapshot (v1) baseline carries no build section; the gate must
+	// still run the walk/matrix comparison without inventing violations.
+	base := doc(1, 0, nil)
+	base.Schema = "dmt-bench/v1"
+	base.Build.Envs = nil
+	if bad := compare(base, doc(1, 0, nil), 0.15); len(bad) != 0 {
+		t.Fatalf("v1 baseline flagged: %v", bad)
 	}
 }

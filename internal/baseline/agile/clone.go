@@ -1,0 +1,22 @@
+package agile
+
+import (
+	"dmt/internal/mem"
+	"dmt/internal/phys"
+)
+
+// Clone deep-copies the shadowed upper levels onto an already-cloned
+// machine allocator. Mirror nodes keep their machine bases (shadow fetch
+// addresses are identical on both copies) and entries store physical
+// addresses rather than pointers, so a value copy per node plus a map
+// rebuild suffices; the root is remapped by base. Sync counts carry over
+// so footers match a fresh build.
+func (m *Mirror) Clone(alloc *phys.Allocator) *Mirror {
+	c := &Mirror{nodes: make(map[mem.PAddr]*mirrorNode, len(m.nodes)), alloc: alloc, Syncs: m.Syncs}
+	for base, n := range m.nodes {
+		cn := *n
+		c.nodes[base] = &cn
+	}
+	c.root = c.nodes[m.root.base]
+	return c
+}

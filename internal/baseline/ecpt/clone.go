@@ -1,0 +1,40 @@
+package ecpt
+
+import (
+	"dmt/internal/mem"
+	"dmt/internal/phys"
+)
+
+// Clone deep-copies the cuckoo table onto an already-cloned allocator
+// (regions stay at the same physical bases, so probe addresses — and hence
+// cache behaviour — are identical on both copies). Future resizes on the
+// clone allocate from alloc only.
+func (t *Table) Clone(alloc *phys.Allocator) *Table {
+	c := &Table{
+		size:    t.size,
+		slots:   t.slots,
+		bases:   t.bases,
+		alloc:   alloc,
+		seeds:   t.seeds,
+		groups:  t.groups,
+		count:   t.count,
+		pending: append([]entry(nil), t.pending...),
+		Resizes: t.Resizes,
+	}
+	for w := range t.ways {
+		c.ways[w] = append([]entry(nil), t.ways[w]...)
+	}
+	return c
+}
+
+// Clone deep-copies every per-size table onto the cloned allocator.
+func (s *System) Clone(alloc *phys.Allocator) *System {
+	c := &System{
+		tables: make(map[mem.PageSize]*Table, len(s.tables)),
+		sizes:  append([]mem.PageSize(nil), s.sizes...),
+	}
+	for sz, t := range s.tables {
+		c.tables[sz] = t.Clone(alloc)
+	}
+	return c
+}

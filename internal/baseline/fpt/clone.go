@@ -1,0 +1,27 @@
+package fpt
+
+import (
+	"dmt/internal/mem"
+	"dmt/internal/phys"
+)
+
+// Clone deep-copies the flattened table onto an already-cloned allocator.
+// Root and leaf regions keep their physical bases (slot addresses — and
+// hence cache behaviour — are identical on both copies); future leaf
+// allocations on the clone draw from alloc only.
+func (t *Table) Clone(alloc *phys.Allocator) *Table {
+	c := &Table{
+		alloc:    alloc,
+		rootBase: t.rootBase,
+		root:     append([]mem.PTE(nil), t.root...),
+		leaves:   make(map[int]*leafNode, len(t.leaves)),
+	}
+	for idx, n := range t.leaves {
+		c.leaves[idx] = &leafNode{
+			base:  n.base,
+			pte4k: append([]mem.PTE(nil), n.pte4k...),
+			pte2m: append([]mem.PTE(nil), n.pte2m...),
+		}
+	}
+	return c
+}

@@ -1,0 +1,29 @@
+package cache
+
+// Clone deep-copies one cache array: tags, LRU stamps, and hit/miss
+// counters, so lookups on the clone age its own sets only.
+func (c *Cache) Clone() *Cache {
+	n := &Cache{cfg: c.cfg, sets: make([]set, len(c.sets)), Hits: c.Hits, Misses: c.Misses}
+	for i := range c.sets {
+		n.sets[i] = set{
+			tags:  append([]uint64(nil), c.sets[i].tags...),
+			stamp: append([]uint64(nil), c.sets[i].stamp...),
+		}
+	}
+	return n
+}
+
+// Clone deep-copies the hierarchy, including the warm state machine
+// construction left behind (page-table builds touch PTE lines), so a cloned
+// machine observes exactly the cache contents a fresh build would.
+func (h *Hierarchy) Clone() *Hierarchy {
+	return &Hierarchy{
+		cfg:        h.cfg,
+		L1D:        h.L1D.Clone(),
+		L2:         h.L2.Clone(),
+		LLC:        h.LLC.Clone(),
+		now:        h.now,
+		Accesses:   h.Accesses,
+		MemFetches: h.MemFetches,
+	}
+}

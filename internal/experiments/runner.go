@@ -37,6 +37,13 @@ type Options struct {
 	// shards its trace and runs the shards on this many goroutines.
 	// Results are identical for any value (sharded determinism).
 	Workers int
+	// ColdBuild is passed through to sim.Config.ColdBuild, forcing every
+	// shard to build its machine from scratch instead of cloning from
+	// sim's prototype cache. Results are bit-identical either way; leave
+	// it unset so matrix cells sharing a machine (the Vanilla baselines
+	// every WalkRatio call re-requests, cross-Runner repeats in the
+	// benchmark harness) build it once and clone thereafter.
+	ColdBuild bool
 	// Verbose emits progress lines via Logf.
 	Logf func(format string, args ...interface{})
 }
@@ -108,6 +115,7 @@ func (r *Runner) Run(env sim.Environment, design sim.Design, thp bool, wl worklo
 			Env: env, Design: design, THP: thp, Workload: wl,
 			WSBytes: r.opt.WSBytes, Ops: r.opt.Ops, Seed: r.opt.Seed,
 			CacheScale: r.opt.CacheScale, Workers: r.opt.Workers,
+			ColdBuild: r.opt.ColdBuild,
 		})
 	})
 	return f.res, f.err

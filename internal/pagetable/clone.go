@@ -1,0 +1,27 @@
+package pagetable
+
+// Clone deep-copies the table into a fresh Pool, preserving every node's
+// physical placement (clones translate identically, PTE addresses included)
+// while sharing no Node or Pool storage with the original. The placement
+// callbacks are NOT copied: they close over the prototype's allocator and
+// TEA manager, so the caller must supply replacements bound to the cloned
+// substrate (kernel.AddressSpace.Clone passes its own allocNode/freeNode).
+func (t *Table) Clone(alloc NodeAllocFunc, free NodeFreeFunc) *Table {
+	c := &Table{pool: NewPool(), levels: t.levels, alloc: alloc, free: free, Mapped: t.Mapped}
+	c.root = c.cloneNode(t.root)
+	return c
+}
+
+// cloneNode copies one subtree into the clone's pool at the same base
+// addresses. The entry and child arrays are value-copied; only the child
+// pointers need rewriting.
+func (t *Table) cloneNode(n *Node) *Node {
+	cn := &Node{Level: n.Level, Base: n.Base, entries: n.entries, live: n.live}
+	t.pool.put(n.Base, cn)
+	for i, ch := range n.children {
+		if ch != nil {
+			cn.children[i] = t.cloneNode(ch)
+		}
+	}
+	return cn
+}

@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"dmt/internal/fault"
+)
+
+// These tests enforce the snapshot/clone contract (DESIGN.md §8): a machine
+// cloned from a prototype is indistinguishable from one built from scratch
+// — same Result, bit for bit, under every design, environment, fault plan,
+// and verification mode — and driving a clone never leaks state back into
+// the prototype or across to sibling clones. They carry "Determinism" in
+// their names so CI's race-detector determinism job picks them up.
+
+// TestDeterminismCloneEquality is the differential suite: for every
+// (environment × design) cell, with and without a fault plan, with and
+// without the verification oracle, a cache-served run (prototype + clones)
+// must be bit-identical to a cold build.
+func TestDeterminismCloneEquality(t *testing.T) {
+	wl := detWorkload(t)
+	suite := fault.Suite(detOps)
+	if len(suite) == 0 {
+		t.Fatal("empty fault suite")
+	}
+	churn := &suite[0]
+
+	ResetBuildCache()
+	for _, env := range []Environment{EnvNative, EnvVirt, EnvNested} {
+		for _, d := range detDesigns(env) {
+			for _, plan := range []*fault.Plan{nil, churn} {
+				for _, verify := range []bool{false, true} {
+					name := fmt.Sprintf("%v/%s/verify=%v", env, d, verify)
+					if plan != nil {
+						name += "/" + plan.Name
+					}
+					t.Run(name, func(t *testing.T) {
+						cfg := detConfig(env, d, plan)
+						cfg.Workload = wl
+						cfg.Verify = verify
+						cfg.Workers = 2 // schedule shards concurrently too
+
+						cold := cfg
+						cold.ColdBuild = true
+						want, err := Run(cold)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := Run(cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						requireEqualResults(t, want, got)
+
+						// A second cached run clones the same resident
+						// prototype — including one the first run's fault
+						// plan already exercised clones of.
+						again, err := Run(cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						requireEqualResults(t, want, again)
+					})
+				}
+			}
+		}
+	}
+	stats := ReadBuildCacheStats()
+	if stats.Misses == 0 || stats.Hits == 0 {
+		t.Fatalf("cache not exercised: %+v", stats)
+	}
+	// Every cell ran 4 shards twice from the cache; hits must dwarf builds.
+	if stats.Hits < stats.Misses {
+		t.Fatalf("expected hit-dominated cache, got %+v", stats)
+	}
+}
+
+// TestDeterminismCloneIsolation is the aliasing audit: drive one clone
+// through a mutation-heavy plan (TEA migrations, unmaps, huge-page flips,
+// register spills), then check that a sibling clone made *before* the run
+// and one made *after* produce identical results — i.e. nothing the driven
+// clone did (hook callbacks, TLB shootdowns, arena writes, backend
+// allocation) reached the prototype they share.
+func TestDeterminismCloneIsolation(t *testing.T) {
+	wl := detWorkload(t)
+	suite := fault.Suite(detOps)
+	churn := &suite[0]
+
+	for _, tc := range []struct {
+		env Environment
+		d   Design
+	}{
+		{EnvNative, DesignDMT},
+		{EnvVirt, DesignPvDMT},
+		{EnvNested, DesignPvDMT},
+	} {
+		t.Run(fmt.Sprintf("%v/%s", tc.env, tc.d), func(t *testing.T) {
+			cfg := detConfig(tc.env, tc.d, churn)
+			cfg.Workload = wl
+			cfg.Shards = 1
+			cfg.Workers = 1
+
+			proto, err := NewPrototype(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runClone := func() *Result {
+				in, err := proto.NewInstance(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < in.Ops(); i++ {
+					if err := in.Step(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				res, err := in.Finish()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			before := runClone() // mutation-heavy run over clone A
+			after := runClone()  // clone B, minted from the same prototype
+			requireEqualResults(t, before, after)
+
+			// The prototype must also still match a from-scratch build.
+			cold := cfg
+			cold.ColdBuild = true
+			want, err := Run(cold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireEqualResults(t, want, after)
+		})
+	}
+}
+
+// TestMulticoreSmokeClonedShards is the CI multicore smoke: a 4-worker run
+// must actually take the cloned-shard path — one prototype build, every
+// other shard machine minted by cloning — and still produce the same result
+// as a serial cold-build run. CI runs it explicitly (and under -race via
+// the package test run) so a scheduling or cache regression that silently
+// reverts shards to cold builds fails the build rather than just slowing it.
+func TestMulticoreSmokeClonedShards(t *testing.T) {
+	wl := detWorkload(t)
+	cfg := detConfig(EnvVirt, DesignPvDMT, nil)
+	cfg.Workload = wl
+	cfg.Workers = 4 // withDefaults: Shards = Workers = 4
+	cfg.Shards = 0
+
+	ResetBuildCache()
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := ReadBuildCacheStats()
+	if stats.Misses != 1 {
+		t.Fatalf("expected exactly one prototype build for one configuration, got %+v", stats)
+	}
+	if stats.Hits < 3 {
+		t.Fatalf("cloned-shard path not exercised: want >=3 cache hits for 4 shards, got %+v", stats)
+	}
+
+	cold := cfg
+	cold.ColdBuild = true
+	cold.Workers = 1
+	cold.Shards = 4 // results are a function of Shards, not Workers
+	want, err := Run(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualResults(t, want, got)
+}
+
+// TestDeterminismCloneCostIndependentOfOps pins the snapshot property the
+// clone benchmarks rely on: instantiating from a prototype does work
+// proportional to the machine, never to the trace length. Allocation
+// counts are scheduler-independent, so the assertion is exact.
+func TestDeterminismCloneCostIndependentOfOps(t *testing.T) {
+	wl := detWorkload(t)
+	cfg := detConfig(EnvNative, DesignDMT, nil)
+	cfg.Workload = wl
+	cfg.Verify = false
+	cfg.Shards = 1
+
+	proto, err := NewPrototype(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocsAt := func(ops int) float64 {
+		c := cfg
+		c.Ops = ops
+		return testing.AllocsPerRun(3, func() {
+			if _, err := proto.NewInstance(c); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short, long := allocsAt(detOps), allocsAt(100*detOps)
+	if short != long {
+		t.Fatalf("clone cost scales with trace length: %v allocs at %d ops, %v at %d",
+			short, detOps, long, 100*detOps)
+	}
+}

@@ -55,23 +55,48 @@ func newShardInstance(cfg Config, shard, shards int) (*Instance, error) {
 	if shards > 1 {
 		scfg.traceSeed = shardSeed(cfg.Seed, shard)
 	}
-
-	var m *machine
-	var err error
-	switch cfg.Env {
-	case EnvNative:
-		m, err = buildNative(scfg)
-	case EnvVirt:
-		m, err = buildVirt(scfg)
-	case EnvNested:
-		m, err = buildNested(scfg)
-	default:
-		err = fmt.Errorf("sim: unknown environment %v", cfg.Env)
-	}
+	m, err := buildMachine(scfg)
 	if err != nil {
 		return nil, fmt.Errorf("sim: building %v/%v/%s: %w", cfg.Env, cfg.Design, cfg.Workload.Name, err)
 	}
+	return assembleInstance(cfg, scfg, m, shard, shards)
+}
 
+// buildMachine returns a drivable machine for scfg. By default it clones
+// from the prototype cache — every shard of a run shares one build, as do
+// all runs whose build keys agree (the matrix workloads). cfg.ColdBuild
+// forces the from-scratch path, used by differential tests proving clones
+// bit-identical to cold builds.
+func buildMachine(scfg Config) (*machine, error) {
+	if scfg.ColdBuild {
+		return coldBuild(scfg)
+	}
+	proto, err := cachedPrototype(scfg)
+	if err != nil {
+		return nil, err
+	}
+	return proto.wire(scfg)
+}
+
+// coldBuild constructs a machine from scratch without touching the cache.
+func coldBuild(scfg Config) (*machine, error) {
+	switch scfg.Env {
+	case EnvNative:
+		return buildNative(scfg)
+	case EnvVirt:
+		return buildVirt(scfg)
+	case EnvNested:
+		return buildNested(scfg)
+	default:
+		return nil, fmt.Errorf("sim: unknown environment %v", scfg.Env)
+	}
+}
+
+// assembleInstance wires the measurement harness (recorder, TLB, MMU,
+// oracle, fault injector) around an already-built machine. cfg is the
+// run-level config the Result reports; scfg is the shard-level config
+// (sliced ops, per-shard trace seed) the instance executes.
+func assembleInstance(cfg, scfg Config, m *machine, shard, shards int) (*Instance, error) {
 	res := &Result{Config: cfg, breakdown: map[string]*StepAgg{}}
 	rec := &recordingWalker{inner: m.walker, res: res, sink: m.sink, labels: map[labelKey]*StepAgg{}}
 	dtlb, err := tlb.New(scaledTLB(cfg.CacheScale))

@@ -18,6 +18,7 @@ import (
 	"dmt/internal/phys"
 	"dmt/internal/tea"
 	"dmt/internal/tlb"
+	"dmt/internal/workload"
 )
 
 // frames computes an allocator size: the working set plus headroom for
@@ -45,8 +46,56 @@ func ecptSizes(thp bool) []mem.PageSize {
 	return []mem.PageSize{mem.Size4K}
 }
 
-// buildNative assembles a native-environment machine.
-func buildNative(cfg Config) (*machine, error) {
+// buildECPTSystem creates and syncs the per-size cuckoo tables from the
+// current page-table contents of as, allocating from pa. Used both at parts
+// build time and by the wire-time Resync closures (which rebuild against an
+// instance's own allocator/address space after mapping mutations).
+func buildECPTSystem(cfg Config, pa *phys.Allocator, as *kernel.AddressSpace) (*ecpt.System, error) {
+	sys, err := ecpt.NewSystem(pa, ecptSizes(cfg.THP), int(cfg.WSBytes>>mem.PageShift4K)/ecpt.GroupPages)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Sync(as); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// buildFPTTable creates and syncs a flattened table from as, allocating
+// from pa. Shared by parts build and Resync, like buildECPTSystem.
+func buildFPTTable(pa *phys.Allocator, as *kernel.AddressSpace) (*fpt.Table, error) {
+	t, err := fpt.New(pa)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.Sync(as); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// nativeParts is the cloneable substrate of a native machine: everything
+// whose construction cost the prototype cache amortizes. Walkers, TLBs,
+// sinks, and trace generators are NOT parts — they are created fresh per
+// instance by wireNative, so nothing here may alias a driven machine.
+type nativeParts struct {
+	pa    *phys.Allocator
+	as    *kernel.AddressSpace
+	mgr   *tea.Manager        // DMT only
+	flaky *fault.FlakyBackend // DMT only
+	built *workload.Built     // immutable after build; shared across clones
+	hier  *cache.Hierarchy
+	sys   *ecpt.System // ECPT only
+	ft    *fpt.Table   // FPT only
+}
+
+// buildNativeParts lays out the native substrate: physical zone (optionally
+// pre-fragmented), address space, TEA manager, workload VMAs, cache
+// hierarchy, and any design-specific translation structures. It reads only
+// the build-relevant Config fields (those in buildKey) — trace-level fields
+// (Ops, seeds, verification) must not influence the result, or the
+// prototype cache would conflate distinct machines.
+func buildNativeParts(cfg Config) (*nativeParts, error) {
 	headroom := 1.35
 	if cfg.FragmentTarget > 0 {
 		headroom = 2.9 // fragmentation pins roughly half the zone
@@ -59,33 +108,85 @@ func buildNative(cfg Config) (*machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	p := &nativeParts{pa: pa, as: as}
 
 	// DMT's TEA hooks must observe VMA creation, so install them before
 	// the workload lays out its VMAs. The flaky wrapper stays transparent
 	// until a fault schedule arms it.
-	var mgr *tea.Manager
-	var flaky *fault.FlakyBackend
 	if cfg.Design == DesignDMT {
-		flaky = fault.NewFlakyBackend(tea.NewPhysBackend(pa))
-		mgr = tea.NewManager(as, flaky, teaConfig(cfg))
-		as.SetHooks(mgr)
+		p.flaky = fault.NewFlakyBackend(tea.NewPhysBackend(pa))
+		p.mgr = tea.NewManager(as, p.flaky, teaConfig(cfg))
+		as.SetHooks(p.mgr)
 	}
 
-	built, err := cfg.Workload.Build(as, cfg.WSBytes)
+	p.built, err = cfg.Workload.Build(as, cfg.WSBytes)
 	if err != nil {
 		return nil, err
 	}
 
-	hier, err := cache.NewHierarchy(cache.ScaledConfig(cfg.CacheScale))
+	p.hier, err = cache.NewHierarchy(cache.ScaledConfig(cfg.CacheScale))
 	if err != nil {
 		return nil, err
 	}
+	switch cfg.Design {
+	case DesignECPT:
+		if p.sys, err = buildECPTSystem(cfg, pa, as); err != nil {
+			return nil, err
+		}
+	case DesignFPT:
+		if p.ft, err = buildFPTTable(pa, as); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// clone snapshots the parts: an independent allocator/address-space pair,
+// re-bound TEA manager over a fresh backend (compaction counts carried
+// over so footers match a cold build), warm cache hierarchy, and per-design
+// translation structures. The workload's Built is shared — its generators
+// capture sizes at NewGen time and read only immutable VMA bases.
+func (p *nativeParts) clone() (*nativeParts, error) {
+	pa := p.pa.Clone()
+	as := p.as.Clone(pa)
+	c := &nativeParts{pa: pa, as: as, built: p.built, hier: p.hier.Clone()}
+	if p.mgr != nil {
+		pb := tea.NewPhysBackend(pa)
+		if old, ok := p.flaky.Inner.(*tea.PhysBackend); ok {
+			pb.Compactions = old.Compactions
+		}
+		c.flaky = fault.NewFlakyBackend(pb)
+		mgr, err := p.mgr.Clone(as, c.flaky)
+		if err != nil {
+			return nil, err
+		}
+		c.mgr = mgr
+	}
+	if p.sys != nil {
+		c.sys = p.sys.Clone(pa)
+	}
+	if p.ft != nil {
+		c.ft = p.ft.Clone(pa)
+	}
+	return c, nil
+}
+
+// wireNative assembles a drivable machine over the given parts (fresh from
+// buildNativeParts or a clone): walkers, walk caches, ref sink, fault
+// target, and trace generator are all created here, never cloned, so every
+// closure binds to exactly this instance's substrate.
+func wireNative(cfg Config, p *nativeParts) (*machine, error) {
+	pa, as, hier := p.pa, p.as, p.hier
 	radix := core.NewRadixWalker(as.PT, hier, tlb.NewPWCScaled(cfg.CacheScale), as.ASID())
 
-	m := &machine{hier: hier, gen: built.NewGen(cfg.genSeed())}
-	m.target = fault.Target{AS: as, Mgr: mgr, Backend: flaky}
-	if len(built.Major) > 0 {
-		m.target.Hot = built.Major[0]
+	m := &machine{hier: hier, gen: p.built.NewGen(cfg.genSeed())}
+	m.target = fault.Target{AS: as, Mgr: p.mgr, Backend: p.flaky}
+	if len(p.built.Major) > 0 {
+		hot, ok := as.FindVMA(p.built.Major[0].Start)
+		if !ok {
+			return nil, fmt.Errorf("hot VMA missing at %#x", uint64(p.built.Major[0].Start))
+		}
+		m.target.Hot = hot
 	}
 	m.ref = as.PT.Lookup
 	m.sizeExact = true
@@ -96,39 +197,25 @@ func buildNative(cfg Config) (*machine, error) {
 		m.walker = radix
 		m.footer = func(r *Result) { r.PTEBytes = as.Pool.NodeCount() * mem.PageBytes4K }
 	case DesignDMT:
-		d := core.NewDMTWalker(mgr, as.Pool, hier, radix)
+		d := core.NewDMTWalker(p.mgr, as.Pool, hier, radix)
 		m.sink = &core.RefSink{}
 		d.Sink = m.sink
 		radix.Sink = m.sink // fallback walks share the chain's buffer
 		m.walker = d
 		m.coverage = d.CoverageCounts
 		m.fastPath = d.Probe
-		m.invariants = check.TEAInvariants(mgr, as)
+		m.invariants = check.TEAInvariants(p.mgr, as)
 		m.footer = func(r *Result) {
 			r.PTEBytes = as.Pool.NodeCount() * mem.PageBytes4K
 		}
 	case DesignECPT:
-		buildSys := func() (*ecpt.System, error) {
-			sys, err := ecpt.NewSystem(pa, ecptSizes(cfg.THP), int(cfg.WSBytes>>mem.PageShift4K)/ecpt.GroupPages)
-			if err != nil {
-				return nil, err
-			}
-			if err := sys.Sync(as); err != nil {
-				return nil, err
-			}
-			return sys, nil
-		}
-		sys, err := buildSys()
-		if err != nil {
-			return nil, err
-		}
 		m.sink = &core.RefSink{}
-		w := &ecpt.Walker{Sys: sys, Hier: hier, Sink: m.sink}
+		w := &ecpt.Walker{Sys: p.sys, Hier: hier, Sink: m.sink}
 		m.walker = w
 		// The hash tables are a one-shot sync of the page tables; mapping
 		// mutations must rebuild them or stale entries would mistranslate.
 		m.target.Resync = func() error {
-			sys, err := buildSys()
+			sys, err := buildECPTSystem(cfg, pa, as)
 			if err != nil {
 				return err
 			}
@@ -137,25 +224,11 @@ func buildNative(cfg Config) (*machine, error) {
 		}
 		m.footer = func(r *Result) { r.PTEBytes = w.Sys.Table(mem.Size4K).FootprintBytes() }
 	case DesignFPT:
-		buildTable := func() (*fpt.Table, error) {
-			t, err := fpt.New(pa)
-			if err != nil {
-				return nil, err
-			}
-			if err := t.Sync(as); err != nil {
-				return nil, err
-			}
-			return t, nil
-		}
-		t, err := buildTable()
-		if err != nil {
-			return nil, err
-		}
 		m.sink = &core.RefSink{}
-		w := &fpt.Walker{T: t, Hier: hier, Sink: m.sink}
+		w := &fpt.Walker{T: p.ft, Hier: hier, Sink: m.sink}
 		m.walker = w
 		m.target.Resync = func() error {
-			t, err := buildTable()
+			t, err := buildFPTTable(pa, as)
 			if err != nil {
 				return err
 			}
@@ -183,4 +256,15 @@ func buildNative(cfg Config) (*machine, error) {
 		return nil, fmt.Errorf("design %q not available natively", cfg.Design)
 	}
 	return m, nil
+}
+
+// buildNative assembles a native-environment machine from scratch (the
+// cold path; the prototype cache goes through buildNativeParts + clone +
+// wireNative instead).
+func buildNative(cfg Config) (*machine, error) {
+	p, err := buildNativeParts(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return wireNative(cfg, p)
 }

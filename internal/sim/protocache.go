@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file implements build-once, clone-many machine construction. A
+// machine build (physical layout, address space, workload VMAs, TEA state,
+// per-design translation structures) is a pure function of the
+// build-relevant subset of Config, while the engine instantiates one
+// machine per shard — so an 8-shard run used to pay the build eight times,
+// and a figure matrix re-paid it for every (ops, verify, fault-plan)
+// variation of the same machine. Prototypes snapshot the built substrate
+// once; shards and repeated cells clone it structurally instead.
+
+// buildKey is the build-relevant subset of Config: the fields the parts
+// builders read. Trace-level fields (Ops, Workers, Shards, Verify,
+// FaultPlan, traceSeed) never reach a parts builder and are deliberately
+// excluded, so runs differing only in them share one prototype. Seed leaks
+// into the build in exactly one place — pre-fragmentation — so it joins
+// the key only when FragmentTarget is set.
+type buildKey struct {
+	env      Environment
+	design   Design
+	thp      bool
+	workload string // Spec carries a func and is not map-comparable; Name identifies it
+	ws       uint64
+	scale    int
+	teaRegs  int
+	teaMerge float64
+	frag     float64
+	fragSeed int64
+}
+
+func buildKeyFor(cfg Config) buildKey {
+	k := buildKey{
+		env:      cfg.Env,
+		design:   cfg.Design,
+		thp:      cfg.THP,
+		workload: cfg.Workload.Name,
+		ws:       cfg.WSBytes,
+		scale:    cfg.CacheScale,
+		teaRegs:  cfg.TEARegisters,
+		teaMerge: cfg.TEAMergeThreshold,
+		frag:     cfg.FragmentTarget,
+	}
+	if cfg.FragmentTarget > 0 {
+		k.fragSeed = cfg.Seed
+	}
+	return k
+}
+
+// Prototype is a built-once machine snapshot. It is never driven: every
+// drivable machine is wired over a structural clone of its parts, so
+// concurrent NewInstance calls from shard workers only ever read it.
+type Prototype struct {
+	cfg    Config
+	native *nativeParts
+	virt   *virtParts
+	nested *nestedParts
+}
+
+// NewPrototype builds the substrate for cfg once, uncached. Most callers
+// want the engine's transparent cache (just run with ColdBuild unset);
+// this entry point exists for benchmarks and tests that need to measure or
+// isolate a single build.
+func NewPrototype(cfg Config) (*Prototype, error) {
+	cfg = cfg.withDefaults()
+	p := &Prototype{cfg: cfg}
+	var err error
+	switch cfg.Env {
+	case EnvNative:
+		p.native, err = buildNativeParts(cfg)
+	case EnvVirt:
+		p.virt, err = buildVirtParts(cfg)
+	case EnvNested:
+		p.nested, err = buildNestedParts(cfg)
+	default:
+		err = fmt.Errorf("sim: unknown environment %v", cfg.Env)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// wire clones the prototype's parts and wires a drivable machine for cfg,
+// which must agree with the prototype on every buildKey field (the engine
+// guarantees this; Prototype.NewInstance checks it).
+func (p *Prototype) wire(cfg Config) (*machine, error) {
+	start := time.Now()
+	var m *machine
+	var err error
+	switch {
+	case p.native != nil:
+		var c *nativeParts
+		if c, err = p.native.clone(); err == nil {
+			m, err = wireNative(cfg, c)
+		}
+	case p.virt != nil:
+		var c *virtParts
+		if c, err = p.virt.clone(); err == nil {
+			m, err = wireVirt(cfg, c)
+		}
+	case p.nested != nil:
+		var c *nestedParts
+		if c, err = p.nested.clone(); err == nil {
+			m, err = wireNested(cfg, c)
+		}
+	default:
+		err = fmt.Errorf("sim: empty prototype")
+	}
+	if err != nil {
+		return nil, err
+	}
+	addCloneNs(time.Since(start).Nanoseconds())
+	return m, nil
+}
+
+// NewInstance clones the prototype into a fresh, unstarted full-trace
+// Instance for cfg. cfg may vary from the prototype's build config in
+// trace-level fields only.
+func (p *Prototype) NewInstance(cfg Config) (*Instance, error) {
+	cfg = cfg.withDefaults()
+	if buildKeyFor(cfg) != buildKeyFor(p.cfg) {
+		return nil, fmt.Errorf("sim: config build-incompatible with prototype (%v/%v/%s)",
+			p.cfg.Env, p.cfg.Design, p.cfg.Workload.Name)
+	}
+	m, err := p.wire(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sim: cloning %v/%v/%s: %w", cfg.Env, cfg.Design, cfg.Workload.Name, err)
+	}
+	return assembleInstance(cfg, cfg, m, 0, 1)
+}
+
+// BuildCacheStats summarizes prototype-cache behaviour: how many machine
+// constructions were requested, how many were satisfied by cloning, and
+// the cumulative nanoseconds spent building vs cloning.
+type BuildCacheStats struct {
+	Hits    uint64 // machine requests served by cloning a cached prototype
+	Misses  uint64 // requests that had to build a prototype first
+	BuildNs int64  // cumulative time inside parts builders
+	CloneNs int64  // cumulative time cloning + wiring instances
+}
+
+// protoEntry is one cache slot; once guarantees a single build per key
+// even when shard workers race on a cold cache.
+type protoEntry struct {
+	once  sync.Once
+	proto *Prototype
+	err   error
+}
+
+// protoCacheCap bounds resident prototypes. A full figure matrix touches
+// well under this many distinct machines at a time; LRU eviction keeps
+// long-lived processes (test binaries running many configurations) from
+// pinning every substrate ever built.
+const protoCacheCap = 16
+
+var protoCache = struct {
+	mu      sync.Mutex
+	entries map[buildKey]*protoEntry
+	order   []buildKey // LRU: front is oldest
+	stats   BuildCacheStats
+}{entries: map[buildKey]*protoEntry{}}
+
+// cachedPrototype returns the (possibly concurrently-built) prototype for
+// cfg's build key, building it at most once per residency.
+func cachedPrototype(cfg Config) (*Prototype, error) {
+	key := buildKeyFor(cfg)
+	protoCache.mu.Lock()
+	e, ok := protoCache.entries[key]
+	if ok {
+		protoCache.stats.Hits++
+		touchLocked(key)
+	} else {
+		protoCache.stats.Misses++
+		e = &protoEntry{}
+		protoCache.entries[key] = e
+		protoCache.order = append(protoCache.order, key)
+		for len(protoCache.order) > protoCacheCap {
+			evict := protoCache.order[0]
+			protoCache.order = protoCache.order[1:]
+			delete(protoCache.entries, evict)
+		}
+	}
+	protoCache.mu.Unlock()
+	e.once.Do(func() {
+		start := time.Now()
+		e.proto, e.err = NewPrototype(cfg)
+		ns := time.Since(start).Nanoseconds()
+		protoCache.mu.Lock()
+		protoCache.stats.BuildNs += ns
+		protoCache.mu.Unlock()
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.proto, nil
+}
+
+func touchLocked(key buildKey) {
+	for i, k := range protoCache.order {
+		if k == key {
+			protoCache.order = append(append(protoCache.order[:i:i], protoCache.order[i+1:]...), key)
+			return
+		}
+	}
+}
+
+func addCloneNs(ns int64) {
+	protoCache.mu.Lock()
+	protoCache.stats.CloneNs += ns
+	protoCache.mu.Unlock()
+}
+
+// ReadBuildCacheStats snapshots the cache counters.
+func ReadBuildCacheStats() BuildCacheStats {
+	protoCache.mu.Lock()
+	defer protoCache.mu.Unlock()
+	return protoCache.stats
+}
+
+// ResetBuildCache empties the prototype cache and zeroes its counters.
+// Tests use it to isolate cache behaviour; in-flight builds complete into
+// their (now unreachable) entries harmlessly.
+func ResetBuildCache() {
+	protoCache.mu.Lock()
+	defer protoCache.mu.Unlock()
+	protoCache.entries = map[buildKey]*protoEntry{}
+	protoCache.order = nil
+	protoCache.stats = BuildCacheStats{}
+}

@@ -103,6 +103,12 @@ type Config struct {
 	// when Workers <= 1 (the classic serial run), else Workers. Results
 	// are a function of Shards, not Workers.
 	Shards int
+	// ColdBuild bypasses the prototype cache, constructing every shard's
+	// machine from scratch (the pre-snapshot behaviour). Results are
+	// bit-identical either way — the differential clone-equality tests
+	// enforce it — so this exists for those tests and for benchmarking
+	// the cold path, not for correctness.
+	ColdBuild bool
 
 	// traceSeed, when non-zero, overrides Seed for trace generation only;
 	// the engine sets it per shard so machine construction (layout,

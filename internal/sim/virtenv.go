@@ -28,28 +28,48 @@ func scaleWalkerCaches(w *virt.NestedWalker, scale int) {
 	w.Nested = tlb.NewNestedCacheSized(38 / scale)
 }
 
-// virtEnv is the assembled single-level virtualized stack.
-type virtEnv struct {
+// virtParts is the cloneable substrate of a single-level virtualized
+// machine: the hypervisor (machine allocator + cache hierarchy), the VM
+// (host address space, host TEA, gTEA), the guest process, the guest TEA
+// manager, and the design-specific translation structures. Walkers and
+// their MMU caches are wire-time-fresh, never parts.
+type virtParts struct {
 	hyp   *virt.Hypervisor
 	vm    *virt.VM
 	guest *kernel.AddressSpace
-	gmgr  *tea.Manager
-	flaky *fault.FlakyBackend
-	built *workload.Built
+	gmgr  *tea.Manager        // DMT / pvDMT only
+	flaky *fault.FlakyBackend // DMT / pvDMT only
+	built *workload.Built     // immutable after build; shared across clones
+
+	spt        *pagetable.Table // Shadow only
+	gsys, hsys *ecpt.System     // ECPT only
+	gt, ht     *fpt.Table       // FPT only
+	mirror     *agile.Mirror    // Agile only
 }
 
 // ref is the ground-truth translation for guest VAs: the live guest page
 // table composed with the host (and, under nesting, parent) tables.
-func (e *virtEnv) ref(gva mem.VAddr) (mem.PAddr, mem.PageSize, bool) {
-	gpa, gsize, ok := e.guest.PT.Lookup(gva)
+func (p *virtParts) ref(gva mem.VAddr) (mem.PAddr, mem.PageSize, bool) {
+	gpa, gsize, ok := p.guest.PT.Lookup(gva)
 	if !ok {
 		return 0, 0, false
 	}
-	ma, ok := e.vm.MachineAddr(gpa)
+	ma, ok := p.vm.MachineAddr(gpa)
 	return ma, gsize, ok
 }
 
-func setupVirt(cfg Config) (*virtEnv, error) {
+func (p *virtParts) counters(r *Result) {
+	r.Hypercalls = p.hyp.Hypercalls
+	r.VMExits = p.hyp.VMExits
+	r.ShadowSyncs = p.hyp.ShadowSyncs
+	r.IsolationFaults = p.hyp.IsolationFaults
+	r.PTEBytes = (p.guest.Pool.NodeCount() + p.vm.HostAS.Pool.NodeCount()) * mem.PageBytes4K
+}
+
+// buildVirtParts stands up the virtualized stack: hypervisor, VM, guest
+// process, guest TEA manager, workload, and any design-specific structures.
+// Like buildNativeParts it reads only the build-relevant Config fields.
+func buildVirtParts(cfg Config) (*virtParts, error) {
 	guestRAM := mem.AlignUp(mem.VAddr(uint64(float64(cfg.WSBytes)*1.3)+256<<20), mem.PageBytes2M)
 	machineFrames := frames(uint64(guestRAM), 1.25, 384<<20)
 	hyp, err := virt.NewHypervisor(machineFrames, cache.ScaledConfig(cfg.CacheScale))
@@ -73,49 +93,122 @@ func setupVirt(cfg Config) (*virtEnv, error) {
 	if err != nil {
 		return nil, err
 	}
-	var gmgr *tea.Manager
-	var flaky *fault.FlakyBackend
+	p := &virtParts{hyp: hyp, vm: vm, guest: guest}
 	switch cfg.Design {
 	case DesignDMT:
-		flaky = fault.NewFlakyBackend(tea.NewPhysBackend(vm.GuestPhys))
-		gmgr = tea.NewManager(guest, flaky, teaConfig(cfg))
-		guest.SetHooks(gmgr)
+		p.flaky = fault.NewFlakyBackend(tea.NewPhysBackend(vm.GuestPhys))
+		p.gmgr = tea.NewManager(guest, p.flaky, teaConfig(cfg))
+		guest.SetHooks(p.gmgr)
 	case DesignPvDMT:
-		flaky = fault.NewFlakyBackend(virt.NewHypercallBackend(vm))
-		gmgr = tea.NewManager(guest, flaky, teaConfig(cfg))
-		guest.SetHooks(gmgr)
+		p.flaky = fault.NewFlakyBackend(virt.NewHypercallBackend(vm))
+		p.gmgr = tea.NewManager(guest, p.flaky, teaConfig(cfg))
+		guest.SetHooks(p.gmgr)
 	}
-	built, err := cfg.Workload.Build(guest, cfg.WSBytes)
+	p.built, err = cfg.Workload.Build(guest, cfg.WSBytes)
 	if err != nil {
 		return nil, err
 	}
-	return &virtEnv{hyp: hyp, vm: vm, guest: guest, gmgr: gmgr, flaky: flaky, built: built}, nil
+
+	switch cfg.Design {
+	case DesignShadow:
+		if p.spt, err = virt.BuildShadowVA(vm, guest); err != nil {
+			return nil, err
+		}
+	case DesignECPT:
+		if p.gsys, err = buildECPTSystem(cfg, vm.GuestPhys, guest); err != nil {
+			return nil, err
+		}
+		p.hsys, err = ecpt.NewSystem(hyp.MachinePhys, ecptSizes(cfg.THP), vm.HostAS.Pool.NodeCount()*mem.EntriesPerNode/ecpt.GroupPages)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.hsys.Sync(vm.HostAS); err != nil {
+			return nil, err
+		}
+	case DesignFPT:
+		if p.gt, err = buildFPTTable(vm.GuestPhys, guest); err != nil {
+			return nil, err
+		}
+		if p.ht, err = buildFPTTable(hyp.MachinePhys, vm.HostAS); err != nil {
+			return nil, err
+		}
+	case DesignAgile:
+		if p.mirror, err = agile.BuildMirror(vm, guest); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
 }
 
-func (e *virtEnv) counters(r *Result) {
-	r.Hypercalls = e.hyp.Hypercalls
-	r.VMExits = e.hyp.VMExits
-	r.ShadowSyncs = e.hyp.ShadowSyncs
-	r.IsolationFaults = e.hyp.IsolationFaults
-	r.PTEBytes = (e.guest.Pool.NodeCount() + e.vm.HostAS.Pool.NodeCount()) * mem.PageBytes4K
-}
-
-// buildVirt assembles a single-level virtualized machine.
-func buildVirt(cfg Config) (*machine, error) {
-	e, err := setupVirt(cfg)
+// clone snapshots the virtualized stack bottom-up: hypervisor first, then
+// the VM onto the cloned hypervisor, then the guest onto the cloned VM's
+// guest-physical allocator, then the guest TEA manager over a recreated
+// backend (PhysBackend compactions carried over; hypercall backends bound
+// to the cloned VM), and finally the design structures onto the allocators
+// they were built from.
+func (p *virtParts) clone() (*virtParts, error) {
+	hyp := p.hyp.Clone()
+	vm, err := p.vm.Clone(hyp, nil)
 	if err != nil {
 		return nil, err
 	}
-	hier := e.hyp.Hier
-	nested := virt.NewNestedWalker(e.guest.PT, e.vm.HostAS.PT, hier, 1)
+	guest := p.guest.Clone(vm.GuestPhys)
+	c := &virtParts{hyp: hyp, vm: vm, guest: guest, built: p.built}
+	if p.gmgr != nil {
+		var inner tea.Backend
+		if old, ok := p.flaky.Inner.(*tea.PhysBackend); ok {
+			pb := tea.NewPhysBackend(vm.GuestPhys)
+			pb.Compactions = old.Compactions
+			inner = pb
+		} else {
+			inner = virt.NewHypercallBackend(vm)
+		}
+		c.flaky = fault.NewFlakyBackend(inner)
+		gmgr, err := p.gmgr.Clone(guest, c.flaky)
+		if err != nil {
+			return nil, err
+		}
+		c.gmgr = gmgr
+	}
+	if p.spt != nil {
+		c.spt = hyp.CloneShadow(p.spt)
+	}
+	if p.gsys != nil {
+		c.gsys = p.gsys.Clone(vm.GuestPhys)
+	}
+	if p.hsys != nil {
+		c.hsys = p.hsys.Clone(hyp.MachinePhys)
+	}
+	if p.gt != nil {
+		c.gt = p.gt.Clone(vm.GuestPhys)
+	}
+	if p.ht != nil {
+		c.ht = p.ht.Clone(hyp.MachinePhys)
+	}
+	if p.mirror != nil {
+		c.mirror = p.mirror.Clone(hyp.MachinePhys)
+	}
+	return c, nil
+}
+
+// wireVirt assembles a drivable single-level virtualized machine over the
+// given parts; every walker, cache, sink, and closure binds to exactly
+// this instance's substrate.
+func wireVirt(cfg Config, p *virtParts) (*machine, error) {
+	hier := p.hyp.Hier
+	nested := virt.NewNestedWalker(p.guest.PT, p.vm.HostAS.PT, hier, 1)
 	scaleWalkerCaches(nested, cfg.CacheScale)
 
-	m := &machine{hier: hier, gen: e.built.NewGen(cfg.genSeed()), footer: e.counters}
-	m.target = fault.Target{AS: e.guest, Mgr: e.gmgr, Backend: e.flaky}
-	if len(e.built.Major) > 0 {
-		m.target.Hot = e.built.Major[0]
+	m := &machine{hier: hier, gen: p.built.NewGen(cfg.genSeed()), footer: p.counters}
+	m.target = fault.Target{AS: p.guest, Mgr: p.gmgr, Backend: p.flaky}
+	if len(p.built.Major) > 0 {
+		hot, ok := p.guest.FindVMA(p.built.Major[0].Start)
+		if !ok {
+			return nil, fmt.Errorf("hot VMA missing at %#x", uint64(p.built.Major[0].Start))
+		}
+		m.target.Hot = hot
 	}
-	m.ref = e.ref
+	m.ref = p.ref
 	m.sizeExact = true
 	switch cfg.Design {
 	case DesignVanilla:
@@ -123,11 +216,7 @@ func buildVirt(cfg Config) (*machine, error) {
 		nested.Sink = m.sink
 		m.walker = nested
 	case DesignShadow:
-		spt, err := virt.BuildShadowVA(e.vm, e.guest)
-		if err != nil {
-			return nil, err
-		}
-		rw := core.NewRadixWalker(spt, hier, tlb.NewPWCScaled(cfg.CacheScale), 1)
+		rw := core.NewRadixWalker(p.spt, hier, tlb.NewPWCScaled(cfg.CacheScale), 1)
 		m.sink = &core.RefSink{}
 		rw.Sink = m.sink
 		m.walker = rw
@@ -137,7 +226,7 @@ func buildVirt(cfg Config) (*machine, error) {
 		// guest mapping mutation.
 		m.sizeExact = false
 		m.target.Resync = func() error {
-			spt, err := virt.BuildShadowVA(e.vm, e.guest)
+			spt, err := virt.BuildShadowVA(p.vm, p.guest)
 			if err != nil {
 				return err
 			}
@@ -146,8 +235,8 @@ func buildVirt(cfg Config) (*machine, error) {
 		}
 	case DesignDMT:
 		w := &virt.DMTVirtWalker{
-			Guest: e.gmgr, GuestPool: e.guest.Pool,
-			Host: e.vm.HostTEA, HostPool: e.vm.HostAS.Pool,
+			Guest: p.gmgr, GuestPool: p.guest.Pool,
+			Host: p.vm.HostTEA, HostPool: p.vm.HostAS.Pool,
 			Hier: hier, Fallback: nested,
 		}
 		m.sink = &core.RefSink{}
@@ -155,45 +244,24 @@ func buildVirt(cfg Config) (*machine, error) {
 		nested.Sink = m.sink // fallback walks share the chain's buffer
 		m.walker = w
 		m.fastPath = w.Probe
-		m.invariants = check.TEAInvariants(e.gmgr, e.guest)
+		m.invariants = check.TEAInvariants(p.gmgr, p.guest)
 		m.coverage = w.CoverageCounts
 	case DesignPvDMT:
-		w := virt.NewPvDMTWalker(e.vm, e.gmgr, e.guest.Pool, hier, nested)
+		w := virt.NewPvDMTWalker(p.vm, p.gmgr, p.guest.Pool, hier, nested)
 		m.sink = &core.RefSink{}
 		w.Sink = m.sink
 		nested.Sink = m.sink
 		m.walker = w
 		m.coverage = w.CoverageCounts
 		m.fastPath = w.Probe
-		m.invariants = check.TEAInvariants(e.gmgr, e.guest)
+		m.invariants = check.TEAInvariants(p.gmgr, p.guest)
 	case DesignECPT:
-		buildGuestSys := func() (*ecpt.System, error) {
-			gsys, err := ecpt.NewSystem(e.vm.GuestPhys, ecptSizes(cfg.THP), int(cfg.WSBytes>>mem.PageShift4K)/ecpt.GroupPages)
-			if err != nil {
-				return nil, err
-			}
-			if err := gsys.Sync(e.guest); err != nil {
-				return nil, err
-			}
-			return gsys, nil
-		}
-		gsys, err := buildGuestSys()
-		if err != nil {
-			return nil, err
-		}
-		hsys, err := ecpt.NewSystem(e.hyp.MachinePhys, ecptSizes(cfg.THP), e.vm.HostAS.Pool.NodeCount()*mem.EntriesPerNode/ecpt.GroupPages)
-		if err != nil {
-			return nil, err
-		}
-		if err := hsys.Sync(e.vm.HostAS); err != nil {
-			return nil, err
-		}
 		m.sink = &core.RefSink{}
-		w := &ecpt.VirtWalker{Guest: gsys, Host: hsys, Hier: hier, Sink: m.sink}
+		w := &ecpt.VirtWalker{Guest: p.gsys, Host: p.hsys, Hier: hier, Sink: m.sink}
 		m.walker = w
 		// Guest mutations only: the host tables are not perturbed.
 		m.target.Resync = func() error {
-			gsys, err := buildGuestSys()
+			gsys, err := buildECPTSystem(cfg, p.vm.GuestPhys, p.guest)
 			if err != nil {
 				return err
 			}
@@ -201,32 +269,11 @@ func buildVirt(cfg Config) (*machine, error) {
 			return nil
 		}
 	case DesignFPT:
-		buildGuestTable := func() (*fpt.Table, error) {
-			gt, err := fpt.New(e.vm.GuestPhys)
-			if err != nil {
-				return nil, err
-			}
-			if err := gt.Sync(e.guest); err != nil {
-				return nil, err
-			}
-			return gt, nil
-		}
-		gt, err := buildGuestTable()
-		if err != nil {
-			return nil, err
-		}
-		ht, err := fpt.New(e.hyp.MachinePhys)
-		if err != nil {
-			return nil, err
-		}
-		if err := ht.Sync(e.vm.HostAS); err != nil {
-			return nil, err
-		}
 		m.sink = &core.RefSink{}
-		w := &fpt.VirtWalker{Guest: gt, Host: ht, Hier: hier, Sink: m.sink}
+		w := &fpt.VirtWalker{Guest: p.gt, Host: p.ht, Hier: hier, Sink: m.sink}
 		m.walker = w
 		m.target.Resync = func() error {
-			gt, err := buildGuestTable()
+			gt, err := buildFPTTable(p.vm.GuestPhys, p.guest)
 			if err != nil {
 				return err
 			}
@@ -234,11 +281,7 @@ func buildVirt(cfg Config) (*machine, error) {
 			return nil
 		}
 	case DesignAgile:
-		mirror, err := agile.BuildMirror(e.vm, e.guest)
-		if err != nil {
-			return nil, err
-		}
-		aw := agile.NewWalker(mirror, e.guest.PT, e.vm.HostAS.PT, hier, 1)
+		aw := agile.NewWalker(p.mirror, p.guest.PT, p.vm.HostAS.PT, hier, 1)
 		aw.HostPWC = tlb.NewPWCScaled(cfg.CacheScale)
 		aw.NestedC = tlb.NewNestedCacheSized(38 / cfg.CacheScale)
 		m.sink = &core.RefSink{}
@@ -246,7 +289,7 @@ func buildVirt(cfg Config) (*machine, error) {
 		m.walker = aw
 		m.sizeExact = false
 		m.target.Resync = func() error {
-			mirror, err := agile.BuildMirror(e.vm, e.guest)
+			mirror, err := agile.BuildMirror(p.vm, p.guest)
 			if err != nil {
 				return err
 			}
@@ -264,13 +307,13 @@ func buildVirt(cfg Config) (*machine, error) {
 		var stages [1][]mem.PAddr
 		src := func(gva mem.VAddr) [][]mem.PAddr {
 			lines = lines[:0]
-			walk := e.guest.PT.WalkInto(gva, steps[:0])
+			walk := p.guest.PT.WalkInto(gva, steps[:0])
 			steps = walk.Steps
 			for _, s := range walk.Steps {
 				if s.Level > 2 {
 					continue
 				}
-				if machineAddr, ok := e.vm.MachineAddr(s.Addr); ok {
+				if machineAddr, ok := p.vm.MachineAddr(s.Addr); ok {
 					lines = append(lines, machineAddr)
 				}
 			}
@@ -286,10 +329,31 @@ func buildVirt(cfg Config) (*machine, error) {
 	return m, nil
 }
 
-// buildNested assembles the nested-virtualization machine: the baseline is
-// shadow-compressed nested paging (Figure 3); pvDMT is the three-register
-// chain of Figure 9.
-func buildNested(cfg Config) (*machine, error) {
+// buildVirt assembles a single-level virtualized machine from scratch (the
+// cold path).
+func buildVirt(cfg Config) (*machine, error) {
+	p, err := buildVirtParts(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return wireVirt(cfg, p)
+}
+
+// nestedParts is the cloneable substrate of the nested-virtualization
+// machine: the L0 hypervisor, the L1 and L2 VMs, the guest process inside
+// L2, the (pvDMT) guest TEA manager, and the compressed nested shadow.
+type nestedParts struct {
+	hyp    *virt.Hypervisor
+	l1, l2 *virt.VM
+	guest  *kernel.AddressSpace
+	gmgr   *tea.Manager        // pvDMT only
+	flaky  *fault.FlakyBackend // pvDMT only
+	built  *workload.Built     // immutable after build; shared across clones
+	spt    *pagetable.Table
+}
+
+// buildNestedParts stands up the two-level stack of Figure 9.
+func buildNestedParts(cfg Config) (*nestedParts, error) {
 	l2RAM := mem.AlignUp(mem.VAddr(uint64(float64(cfg.WSBytes)*1.3)+192<<20), mem.PageBytes2M)
 	l1RAM := mem.AlignUp(l2RAM+mem.VAddr(uint64(float64(l2RAM)*0.25)+256<<20), mem.PageBytes2M)
 	machineFrames := frames(uint64(l1RAM), 1.2, 384<<20)
@@ -317,36 +381,73 @@ func buildNested(cfg Config) (*machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	var gmgr *tea.Manager
-	var flaky *fault.FlakyBackend
+	p := &nestedParts{hyp: hyp, l1: l1, l2: l2, guest: guest}
 	if needDMT {
-		flaky = fault.NewFlakyBackend(virt.NewHypercallBackend(l2))
-		gmgr = tea.NewManager(guest, flaky, tea.DefaultConfig(cfg.THP))
-		guest.SetHooks(gmgr)
+		p.flaky = fault.NewFlakyBackend(virt.NewHypercallBackend(l2))
+		p.gmgr = tea.NewManager(guest, p.flaky, tea.DefaultConfig(cfg.THP))
+		guest.SetHooks(p.gmgr)
 	}
-	built, err := cfg.Workload.Build(guest, cfg.WSBytes)
+	p.built, err = cfg.Workload.Build(guest, cfg.WSBytes)
 	if err != nil {
 		return nil, err
 	}
-	spt, err := virt.BuildNestedShadow(l2)
+	p.spt, err = virt.BuildNestedShadow(l2)
 	if err != nil {
 		return nil, err
 	}
-	hier := hyp.Hier
-	baseline := virt.NewNestedWalker(guest.PT, spt, hier, 1)
+	return p, nil
+}
+
+// clone snapshots the two-level stack: hypervisor, then L1, then L2 onto
+// the cloned L1 (so its cascaded hypercalls land in the right parent),
+// then the guest and its TEA manager, then the compressed shadow.
+func (p *nestedParts) clone() (*nestedParts, error) {
+	hyp := p.hyp.Clone()
+	l1, err := p.l1.Clone(hyp, nil)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := p.l2.Clone(hyp, l1)
+	if err != nil {
+		return nil, err
+	}
+	guest := p.guest.Clone(l2.GuestPhys)
+	c := &nestedParts{hyp: hyp, l1: l1, l2: l2, guest: guest, built: p.built}
+	if p.gmgr != nil {
+		c.flaky = fault.NewFlakyBackend(virt.NewHypercallBackend(l2))
+		gmgr, err := p.gmgr.Clone(guest, c.flaky)
+		if err != nil {
+			return nil, err
+		}
+		c.gmgr = gmgr
+	}
+	c.spt = hyp.CloneShadow(p.spt)
+	return c, nil
+}
+
+// wireNested assembles the nested-virtualization machine over the given
+// parts: the baseline is shadow-compressed nested paging (Figure 3); pvDMT
+// is the three-register chain of Figure 9.
+func wireNested(cfg Config, p *nestedParts) (*machine, error) {
+	hier := p.hyp.Hier
+	baseline := virt.NewNestedWalker(p.guest.PT, p.spt, hier, 1)
 	scaleWalkerCaches(baseline, cfg.CacheScale)
 
-	m := &machine{hier: hier, gen: built.NewGen(cfg.genSeed())}
+	m := &machine{hier: hier, gen: p.built.NewGen(cfg.genSeed())}
 	m.footer = func(r *Result) {
-		r.Hypercalls = hyp.Hypercalls
-		r.VMExits = hyp.VMExits
-		r.ShadowSyncs = hyp.ShadowSyncs
-		r.IsolationFaults = hyp.IsolationFaults
-		r.PTEBytes = (guest.Pool.NodeCount() + l2.HostAS.Pool.NodeCount() + l1.HostAS.Pool.NodeCount()) * mem.PageBytes4K
+		r.Hypercalls = p.hyp.Hypercalls
+		r.VMExits = p.hyp.VMExits
+		r.ShadowSyncs = p.hyp.ShadowSyncs
+		r.IsolationFaults = p.hyp.IsolationFaults
+		r.PTEBytes = (p.guest.Pool.NodeCount() + p.l2.HostAS.Pool.NodeCount() + p.l1.HostAS.Pool.NodeCount()) * mem.PageBytes4K
 	}
-	m.target = fault.Target{AS: guest, Mgr: gmgr, Backend: flaky}
-	if len(built.Major) > 0 {
-		m.target.Hot = built.Major[0]
+	m.target = fault.Target{AS: p.guest, Mgr: p.gmgr, Backend: p.flaky}
+	if len(p.built.Major) > 0 {
+		hot, ok := p.guest.FindVMA(p.built.Major[0].Start)
+		if !ok {
+			return nil, fmt.Errorf("hot VMA missing at %#x", uint64(p.built.Major[0].Start))
+		}
+		m.target.Hot = hot
 	}
 	// The compressed shadow covers all of L2's RAM, but TEA regions
 	// allocated after build time (migration targets, decoys) map fresh
@@ -354,7 +455,7 @@ func buildNested(cfg Config) (*machine, error) {
 	// PT node placed or relocated there would be unresolvable by the
 	// fallback walker. Resync rebuilds the L2PA→L0PA composition.
 	m.target.Resync = func() error {
-		nspt, err := virt.BuildNestedShadow(l2)
+		nspt, err := virt.BuildNestedShadow(p.l2)
 		if err != nil {
 			return err
 		}
@@ -363,11 +464,11 @@ func buildNested(cfg Config) (*machine, error) {
 	}
 	// Ground truth: the live guest table composed down through L1 and L0.
 	m.ref = func(gva mem.VAddr) (mem.PAddr, mem.PageSize, bool) {
-		gpa, gsize, ok := guest.PT.Lookup(gva)
+		gpa, gsize, ok := p.guest.PT.Lookup(gva)
 		if !ok {
 			return 0, 0, false
 		}
-		ma, ok := l2.MachineAddr(gpa)
+		ma, ok := p.l2.MachineAddr(gpa)
 		return ma, gsize, ok
 	}
 	m.sizeExact = true
@@ -377,16 +478,26 @@ func buildNested(cfg Config) (*machine, error) {
 		baseline.Sink = m.sink
 		m.walker = baseline
 	case DesignPvDMT:
-		w := virt.NewPvDMTNestedWalker(l2, gmgr, guest.Pool, hier, baseline)
+		w := virt.NewPvDMTNestedWalker(p.l2, p.gmgr, p.guest.Pool, hier, baseline)
 		m.sink = &core.RefSink{}
 		w.Sink = m.sink
 		baseline.Sink = m.sink
 		m.walker = w
 		m.coverage = w.CoverageCounts
 		m.fastPath = w.Probe
-		m.invariants = check.TEAInvariants(gmgr, guest)
+		m.invariants = check.TEAInvariants(p.gmgr, p.guest)
 	default:
 		return nil, fmt.Errorf("design %q not available under nested virtualization", cfg.Design)
 	}
 	return m, nil
+}
+
+// buildNested assembles the nested-virtualization machine from scratch
+// (the cold path).
+func buildNested(cfg Config) (*machine, error) {
+	p, err := buildNestedParts(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return wireNested(cfg, p)
 }

@@ -1,0 +1,83 @@
+package tea
+
+import (
+	"fmt"
+
+	"dmt/internal/kernel"
+	"dmt/internal/mem"
+)
+
+// Backend exposes the manager's allocation backend so cloning layers can
+// carry forward backend-local statistics (e.g. PhysBackend.Compactions)
+// when recreating a backend over a cloned allocator.
+func (m *Manager) Backend() Backend { return m.backend }
+
+// Clone deep-copies the manager onto an already-cloned address space and a
+// fresh backend (the caller builds the backend over the clone's allocator so
+// future TEA allocations draw from the right substrate). Mappings keep their
+// spans, regions, migration cursors, and sharing topology — sharedRegion
+// refcount identity is preserved so a mapping drop on the clone releases the
+// right TEA — while every VMA pointer is remapped onto the clone's VMA list.
+// The register file and Stats are value copies.
+//
+// Clone installs the new manager as the address space's MMHooks, matching
+// NewManager's "SetHooks before VMAs" contract: the clone's VMAs already
+// exist, and its mapping set is inherited rather than rebuilt.
+func (m *Manager) Clone(as *kernel.AddressSpace, backend Backend) (*Manager, error) {
+	c := &Manager{
+		cfg:     m.cfg,
+		as:      as,
+		backend: backend,
+		regs:    append([]Register(nil), m.regs...),
+		shared:  make(map[sharedKey]*sharedEntry, len(m.shared)),
+		Stats:   m.Stats,
+	}
+	refs := make(map[*sharedRegion]*sharedRegion)
+	cloneRef := func(r *sharedRegion) *sharedRegion {
+		if r == nil {
+			return nil
+		}
+		if cr, ok := refs[r]; ok {
+			return cr
+		}
+		cr := &sharedRegion{key: r.key, refs: r.refs}
+		refs[r] = cr
+		return cr
+	}
+	c.mappings = make([]*Mapping, len(m.mappings))
+	for i, mp := range m.mappings {
+		cm := &Mapping{
+			Start:   mp.Start,
+			End:     mp.End,
+			regions: make(map[mem.PageSize]*sizeRegion, len(mp.regions)),
+			vmas:    make([]*kernel.VMA, len(mp.vmas)),
+		}
+		for j, v := range mp.vmas {
+			cv, ok := as.FindVMA(v.Start)
+			if !ok {
+				return nil, fmt.Errorf("tea: clone: no VMA at %#x in cloned address space", uint64(v.Start))
+			}
+			cm.vmas[j] = cv
+		}
+		for s, sr := range mp.regions {
+			csr := &sizeRegion{
+				size:     sr.size,
+				coverVA:  sr.coverVA,
+				region:   sr.region,
+				nodeSpan: sr.nodeSpan,
+				shared:   cloneRef(sr.shared),
+			}
+			if sr.migrate != nil {
+				mg := *sr.migrate
+				csr.migrate = &mg
+			}
+			cm.regions[s] = csr
+		}
+		c.mappings[i] = cm
+	}
+	for k, se := range m.shared {
+		c.shared[k] = &sharedEntry{region: se.region, ref: cloneRef(se.ref)}
+	}
+	as.SetHooks(c)
+	return c, nil
+}
