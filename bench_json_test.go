@@ -41,11 +41,18 @@ type BenchDoc struct {
 	Note   string               `json:"note,omitempty"`
 }
 
-// BenchWalk records one walk microbenchmark.
+// BenchWalk records one walk microbenchmark plus the simulated walk-latency
+// quantiles (schema v3) from the same cell's full deterministic run. The ns
+// figures are host time; the cycle quantiles are simulated and therefore
+// identical on every host, so benchcheck compares them directly.
 type BenchWalk struct {
 	NsPerWalk     float64 `json:"ns_per_walk"`
 	AllocsPerWalk float64 `json:"allocs_per_walk"`
 	BytesPerWalk  float64 `json:"bytes_per_walk"`
+	P50WalkCycles float64 `json:"p50_walk_cycles,omitempty"`
+	P90WalkCycles float64 `json:"p90_walk_cycles,omitempty"`
+	P99WalkCycles float64 `json:"p99_walk_cycles,omitempty"`
+	MaxWalkCycles float64 `json:"max_walk_cycles,omitempty"`
 }
 
 // BenchMatrix records the figure-matrix wall clock.
@@ -182,7 +189,7 @@ func TestEmitBenchJSON(t *testing.T) {
 		t.Skip("pass -benchjson <path> to emit the benchmark record")
 	}
 	var doc BenchDoc
-	doc.Schema = "dmt-bench/v2"
+	doc.Schema = "dmt-bench/v3"
 	doc.Machine.GOOS = runtime.GOOS
 	doc.Machine.GOARCH = runtime.GOARCH
 	doc.Machine.NumCPU = runtime.NumCPU()
@@ -191,10 +198,21 @@ func TestEmitBenchJSON(t *testing.T) {
 	for _, cell := range walkBenchCells {
 		env, d := cell.env, cell.d
 		res := testing.Benchmark(func(b *testing.B) { walkBench(b, env, d) })
+		// The quantiles come from a deterministic full run of the same cell:
+		// simulated cycles, not host time, so the record's v3 fields are
+		// bit-identical no matter which machine emits them.
+		simRes, err := sim.Run(benchCfg(env, d, false, workload.GUPS()))
+		if err != nil {
+			t.Fatal(err)
+		}
 		doc.Walks[cell.name] = BenchWalk{
 			NsPerWalk:     float64(res.T.Nanoseconds()) / float64(res.N),
 			AllocsPerWalk: float64(res.AllocsPerOp()),
 			BytesPerWalk:  float64(res.AllocedBytesPerOp()),
+			P50WalkCycles: float64(simRes.WalkPercentile(50)),
+			P90WalkCycles: float64(simRes.WalkPercentile(90)),
+			P99WalkCycles: float64(simRes.WalkPercentile(99)),
+			MaxWalkCycles: float64(simRes.WalkHist.Max),
 		}
 	}
 	doc.Build.Envs = make(map[string]BenchBuild, len(buildBenchCells))
@@ -241,7 +259,9 @@ func TestEmitBenchJSON(t *testing.T) {
 		"(clone_vs_build_ratio is host-independent); build.matrix_build_share is the fraction of " +
 		"serial_seconds spent inside parts builders. Results are bit-identical with the cache on or " +
 		"off and for any worker count. cmd/benchcheck compares ns figures only after normalizing " +
-		"out overall host speed."
+		"out overall host speed. The pNN_walk_cycles / max_walk_cycles fields (schema v3) are " +
+		"simulated walk-latency quantiles from the observability histogram at the same cell " +
+		"configuration: deterministic cycle counts, compared directly without normalization."
 	buf, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
 		t.Fatal(err)

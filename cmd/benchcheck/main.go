@@ -19,14 +19,24 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"os"
+
+	"dmt/internal/stats"
 )
 
 type walkRecord struct {
 	NsPerWalk     float64 `json:"ns_per_walk"`
 	AllocsPerWalk float64 `json:"allocs_per_walk"`
 	BytesPerWalk  float64 `json:"bytes_per_walk"`
+	// Schema v3: simulated walk-latency quantiles from the observability
+	// histogram (internal/obs). Simulated cycles are a deterministic
+	// function of the configuration — host speed never enters — so these
+	// are compared directly, like allocation counts. Zero means the
+	// baseline predates v3 and the field is skipped.
+	P50WalkCycles float64 `json:"p50_walk_cycles,omitempty"`
+	P90WalkCycles float64 `json:"p90_walk_cycles,omitempty"`
+	P99WalkCycles float64 `json:"p99_walk_cycles,omitempty"`
+	MaxWalkCycles float64 `json:"max_walk_cycles,omitempty"`
 }
 
 // buildRecord is one environment's machine-construction cost (schema v2).
@@ -60,9 +70,12 @@ func load(path string) (*benchDoc, error) {
 	if err := json.Unmarshal(buf, &d); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	// v1 lacks the build section; it is still accepted so the gate can run
-	// against pre-snapshot baselines (build metrics are then skipped).
-	if d.Schema != "dmt-bench/v1" && d.Schema != "dmt-bench/v2" {
+	// v1 lacks the build section and v2 the walk-latency quantiles; both are
+	// still accepted so the gate can run against pre-snapshot baselines (the
+	// missing metrics are then skipped).
+	switch d.Schema {
+	case "dmt-bench/v1", "dmt-bench/v2", "dmt-bench/v3":
+	default:
 		return nil, fmt.Errorf("%s: unsupported schema %q", path, d.Schema)
 	}
 	return &d, nil
@@ -74,9 +87,25 @@ type timeMetric struct {
 	base, cur float64
 }
 
+// quantileMetric names one of the simulated-cycle quantile fields so the
+// per-walk comparison loop and its violation messages stay table-driven.
+type quantileMetric struct {
+	name      string
+	base, cur float64
+}
+
 // compare returns a human-readable violation per regressed metric, empty if
-// the current record is within tolerance of the baseline.
-func compare(base, cur *benchDoc, tol float64) []string {
+// the current record is within tolerance of the baseline. A degenerate
+// record — an empty walks section, or a time pool too small to estimate the
+// host-speed factor — is an error, not a pass: a gate that silently compares
+// nothing would report success on garbage input.
+func compare(base, cur *benchDoc, tol float64) ([]string, error) {
+	if len(base.Walks) == 0 {
+		return nil, fmt.Errorf("baseline walks section is empty")
+	}
+	if len(cur.Walks) == 0 {
+		return nil, fmt.Errorf("current walks section is empty")
+	}
 	var bad []string
 	var times []timeMetric
 	for name, b := range base.Walks {
@@ -88,6 +117,20 @@ func compare(base, cur *benchDoc, tol float64) []string {
 		if c.AllocsPerWalk > b.AllocsPerWalk+0.5 {
 			bad = append(bad, fmt.Sprintf("walk %s: allocs/walk %.1f, baseline %.1f (machine-independent; no tolerance)",
 				name, c.AllocsPerWalk, b.AllocsPerWalk))
+		}
+		// Simulated walk-latency quantiles (schema v3) are deterministic
+		// cycle counts, so host speed cancels and they compare directly.
+		// Pre-v3 baselines carry zeros and are skipped.
+		for _, q := range []quantileMetric{
+			{"p50 cycles", b.P50WalkCycles, c.P50WalkCycles},
+			{"p90 cycles", b.P90WalkCycles, c.P90WalkCycles},
+			{"p99 cycles", b.P99WalkCycles, c.P99WalkCycles},
+			{"max cycles", b.MaxWalkCycles, c.MaxWalkCycles},
+		} {
+			if q.base > 0 && q.cur > q.base*(1+tol) {
+				bad = append(bad, fmt.Sprintf("walk %s: %s %.0f, baseline %.0f (simulated, host-independent, tolerance %d%%)",
+					name, q.name, q.cur, q.base, int(tol*100)))
+			}
 		}
 		if b.NsPerWalk > 0 && c.NsPerWalk > 0 {
 			times = append(times, timeMetric{"walk " + name + " ns/walk", b.NsPerWalk, c.NsPerWalk})
@@ -118,23 +161,27 @@ func compare(base, cur *benchDoc, tol float64) []string {
 	}
 	if len(times) < 2 {
 		// With fewer than two time metrics there is no cross-metric signal
-		// to separate host speed from regression; skip the time comparison.
-		return bad
+		// to separate host speed from regression. stats.GeoMean would hand
+		// back 0 for an empty pool and the gate would compare nothing —
+		// name the contributing sections instead of passing vacuously.
+		return nil, fmt.Errorf("time pool has %d shared metric(s) from walks (%d baseline), matrix, and build (%d baseline envs); need at least 2 to estimate the host-speed factor",
+			len(times), len(base.Walks), len(base.Build.Envs))
 	}
-	logSum := 0.0
 	ratios := make([]float64, len(times))
 	for i, t := range times {
 		ratios[i] = t.cur / t.base
-		logSum += math.Log(ratios[i])
 	}
-	host := math.Exp(logSum / float64(len(times)))
+	host, err := stats.GeoMean(ratios)
+	if err != nil {
+		return nil, fmt.Errorf("time pool: %w", err)
+	}
 	for i, t := range times {
 		if ratios[i] > host*(1+tol) {
 			bad = append(bad, fmt.Sprintf("%s: %.1f vs baseline %.1f (%.2fx, host factor %.2fx, tolerance %d%%)",
 				t.name, t.cur, t.base, ratios[i], host, int(tol*100)))
 		}
 	}
-	return bad
+	return bad, nil
 }
 
 func main() {
@@ -156,7 +203,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(2)
 	}
-	bad := compare(base, cur, *tol)
+	bad, err := compare(base, cur, *tol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
 	if len(bad) > 0 {
 		fmt.Fprintf(os.Stderr, "benchcheck: %d regression(s) vs %s:\n", len(bad), *baseline)
 		for _, v := range bad {

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 func doc(nsScale float64, allocs float64, extra map[string]float64) *benchDoc {
-	d := &benchDoc{Schema: "dmt-bench/v2", Walks: map[string]walkRecord{}}
+	d := &benchDoc{Schema: "dmt-bench/v3", Walks: map[string]walkRecord{}}
 	base := map[string]float64{
 		"NativeVanilla": 700, "NativeDMT": 550, "VirtVanilla": 1500,
 		"VirtPvDMT": 800, "NestedPvDMT": 1050,
@@ -16,7 +18,13 @@ func doc(nsScale float64, allocs float64, extra map[string]float64) *benchDoc {
 		if s, ok := extra[name]; ok {
 			scale = s
 		}
-		d.Walks[name] = walkRecord{NsPerWalk: ns * scale, AllocsPerWalk: allocs}
+		// Quantiles are simulated cycle counts: identical across hosts, so
+		// they deliberately do NOT scale with nsScale.
+		d.Walks[name] = walkRecord{
+			NsPerWalk: ns * scale, AllocsPerWalk: allocs,
+			P50WalkCycles: ns / 4, P90WalkCycles: ns / 2,
+			P99WalkCycles: ns, MaxWalkCycles: 2 * ns,
+		}
 	}
 	d.Matrix.SerialSeconds = 3.0 * nsScale
 	d.Matrix.Workers8Seconds = 8.5 * nsScale
@@ -30,9 +38,20 @@ func doc(nsScale float64, allocs float64, extra map[string]float64) *benchDoc {
 	return d
 }
 
+// mustCompare runs compare and fails the test on a degenerate-record error —
+// the helper for the many tests that only inspect violations.
+func mustCompare(t *testing.T, base, cur *benchDoc, tol float64) []string {
+	t.Helper()
+	bad, err := compare(base, cur, tol)
+	if err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+	return bad
+}
+
 func TestCompareIdentical(t *testing.T) {
 	base := doc(1, 0, nil)
-	if bad := compare(base, doc(1, 0, nil), 0.15); len(bad) != 0 {
+	if bad := mustCompare(t, base, doc(1, 0, nil), 0.15); len(bad) != 0 {
 		t.Fatalf("identical records flagged: %v", bad)
 	}
 }
@@ -41,7 +60,7 @@ func TestCompareUniformSlowdownIsHostSpeed(t *testing.T) {
 	// A 2x-slower host shifts every time metric equally; the common-factor
 	// normalization must absorb it.
 	base := doc(1, 0, nil)
-	if bad := compare(base, doc(2, 0, nil), 0.15); len(bad) != 0 {
+	if bad := mustCompare(t, base, doc(2, 0, nil), 0.15); len(bad) != 0 {
 		t.Fatalf("uniform 2x slowdown flagged: %v", bad)
 	}
 }
@@ -50,7 +69,7 @@ func TestCompareSinglePathRegression(t *testing.T) {
 	// One walk path 60% slower on an otherwise identical host must stick
 	// out against the common factor.
 	base := doc(1, 0, nil)
-	bad := compare(base, doc(1, 0, map[string]float64{"NativeDMT": 1.6}), 0.15)
+	bad := mustCompare(t, base, doc(1, 0, map[string]float64{"NativeDMT": 1.6}), 0.15)
 	if len(bad) != 1 || !strings.Contains(bad[0], "NativeDMT") {
 		t.Fatalf("want one NativeDMT violation, got %v", bad)
 	}
@@ -60,7 +79,7 @@ func TestCompareAllocRegressionIsStrict(t *testing.T) {
 	// Allocations are machine-independent: any growth past rounding fails
 	// even on a much faster host.
 	base := doc(1, 0, nil)
-	bad := compare(base, doc(0.5, 1, nil), 0.15)
+	bad := mustCompare(t, base, doc(0.5, 1, nil), 0.15)
 	if len(bad) != len(base.Walks) {
 		t.Fatalf("want %d alloc violations, got %v", len(base.Walks), bad)
 	}
@@ -75,7 +94,7 @@ func TestCompareMissingWalk(t *testing.T) {
 	base := doc(1, 0, nil)
 	cur := doc(1, 0, nil)
 	delete(cur.Walks, "VirtPvDMT")
-	bad := compare(base, cur, 0.15)
+	bad := mustCompare(t, base, cur, 0.15)
 	if len(bad) != 1 || !strings.Contains(bad[0], "missing") {
 		t.Fatalf("want one missing-walk violation, got %v", bad)
 	}
@@ -85,7 +104,7 @@ func TestCompareMatrixRegression(t *testing.T) {
 	base := doc(1, 0, nil)
 	cur := doc(1, 0, nil)
 	cur.Matrix.SerialSeconds *= 1.5
-	bad := compare(base, cur, 0.15)
+	bad := mustCompare(t, base, cur, 0.15)
 	if len(bad) != 1 || !strings.Contains(bad[0], "matrix serial") {
 		t.Fatalf("want one matrix violation, got %v", bad)
 	}
@@ -100,7 +119,7 @@ func TestCompareBuildRegression(t *testing.T) {
 	r.BuildNs *= 1.6
 	r.CloneVsBuildRatio = r.CloneNs / r.BuildNs
 	cur.Build.Envs["virt"] = r
-	bad := compare(base, cur, 0.15)
+	bad := mustCompare(t, base, cur, 0.15)
 	if len(bad) != 1 || !strings.Contains(bad[0], "build virt ns") {
 		t.Fatalf("want one virt build-ns violation, got %v", bad)
 	}
@@ -116,7 +135,7 @@ func TestCompareCloneRatioRegressionIsHostIndependent(t *testing.T) {
 	r.CloneNs *= 3
 	r.CloneVsBuildRatio = r.CloneNs / r.BuildNs
 	cur.Build.Envs["native"] = r
-	bad := compare(base, cur, 0.15)
+	bad := mustCompare(t, base, cur, 0.15)
 	found := false
 	for _, v := range bad {
 		if strings.Contains(v, "clone/build ratio") && strings.Contains(v, "native") {
@@ -132,7 +151,7 @@ func TestCompareMissingBuildEnv(t *testing.T) {
 	base := doc(1, 0, nil)
 	cur := doc(1, 0, nil)
 	delete(cur.Build.Envs, "nested")
-	bad := compare(base, cur, 0.15)
+	bad := mustCompare(t, base, cur, 0.15)
 	if len(bad) != 1 || !strings.Contains(bad[0], "build nested: missing") {
 		t.Fatalf("want one missing-build violation, got %v", bad)
 	}
@@ -144,7 +163,94 @@ func TestCompareV1BaselineSkipsBuild(t *testing.T) {
 	base := doc(1, 0, nil)
 	base.Schema = "dmt-bench/v1"
 	base.Build.Envs = nil
-	if bad := compare(base, doc(1, 0, nil), 0.15); len(bad) != 0 {
+	for name, w := range base.Walks {
+		w.P50WalkCycles, w.P90WalkCycles, w.P99WalkCycles, w.MaxWalkCycles = 0, 0, 0, 0
+		base.Walks[name] = w
+	}
+	if bad := mustCompare(t, base, doc(1, 0, nil), 0.15); len(bad) != 0 {
 		t.Fatalf("v1 baseline flagged: %v", bad)
+	}
+}
+
+func TestCompareQuantileRegressionIsHostIndependent(t *testing.T) {
+	// Simulated p99 cycles doubling must be flagged even when the current
+	// record came from a uniformly 2x-slower host: the quantiles are
+	// deterministic cycle counts, so the host factor never excuses them.
+	base := doc(1, 0, nil)
+	cur := doc(2, 0, nil)
+	w := cur.Walks["VirtPvDMT"]
+	w.P99WalkCycles *= 2
+	cur.Walks["VirtPvDMT"] = w
+	bad := mustCompare(t, base, cur, 0.15)
+	if len(bad) != 1 || !strings.Contains(bad[0], "VirtPvDMT") || !strings.Contains(bad[0], "p99 cycles") {
+		t.Fatalf("want one VirtPvDMT p99 violation, got %v", bad)
+	}
+}
+
+func TestCompareQuantileSkippedForPreV3Baseline(t *testing.T) {
+	// A v2 baseline has zero quantile fields; the current record growing
+	// real quantiles must not be compared against those zeros.
+	base := doc(1, 0, nil)
+	base.Schema = "dmt-bench/v2"
+	for name, w := range base.Walks {
+		w.P50WalkCycles, w.P90WalkCycles, w.P99WalkCycles, w.MaxWalkCycles = 0, 0, 0, 0
+		base.Walks[name] = w
+	}
+	if bad := mustCompare(t, base, doc(1, 0, nil), 0.15); len(bad) != 0 {
+		t.Fatalf("v2 baseline flagged on quantiles: %v", bad)
+	}
+}
+
+func TestCompareEmptyWalksIsError(t *testing.T) {
+	// The empty-pool guard: a record with no walks must be a hard error
+	// naming the starved section, never a vacuous pass.
+	empty := doc(1, 0, nil)
+	empty.Walks = nil
+	if _, err := compare(empty, doc(1, 0, nil), 0.15); err == nil || !strings.Contains(err.Error(), "baseline walks") {
+		t.Fatalf("empty baseline walks: err = %v, want named-section error", err)
+	}
+	if _, err := compare(doc(1, 0, nil), empty, 0.15); err == nil || !strings.Contains(err.Error(), "current walks") {
+		t.Fatalf("empty current walks: err = %v, want named-section error", err)
+	}
+}
+
+func TestCompareStarvedTimePoolIsError(t *testing.T) {
+	// Records whose shared time metrics are all zeroed leave nothing to
+	// estimate the host-speed factor from; the gate must refuse rather
+	// than let stats.GeoMean's empty-input zero flow into the comparison.
+	zeroTimes := func() *benchDoc {
+		d := doc(1, 0, nil)
+		for name, w := range d.Walks {
+			w.NsPerWalk = 0
+			d.Walks[name] = w
+		}
+		d.Matrix.SerialSeconds = 0
+		d.Build.Envs = nil
+		return d
+	}
+	_, err := compare(zeroTimes(), zeroTimes(), 0.15)
+	if err == nil || !strings.Contains(err.Error(), "time pool") {
+		t.Fatalf("starved time pool: err = %v, want time-pool error", err)
+	}
+}
+
+func TestLoadSchemaVersions(t *testing.T) {
+	dir := t.TempDir()
+	write := func(schema string) string {
+		p := filepath.Join(dir, strings.ReplaceAll(schema, "/", "_")+".json")
+		if err := os.WriteFile(p, []byte(`{"schema":"`+schema+`"}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for _, ok := range []string{"dmt-bench/v1", "dmt-bench/v2", "dmt-bench/v3"} {
+		if _, err := load(write(ok)); err != nil {
+			t.Errorf("schema %s rejected: %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"dmt-bench/v4", ""} {
+		if _, err := load(write(bad)); err == nil {
+			t.Errorf("schema %q accepted, want error", bad)
+		}
 	}
 }

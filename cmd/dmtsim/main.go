@@ -17,6 +17,14 @@
 // with the differential oracle re-checking each translation against the
 // live page tables, and prints the graceful-degradation table. The output
 // is deterministic for a fixed -seed.
+//
+// Observability (see DESIGN.md §10):
+//
+//	-pprof f      write a CPU profile of the run to f
+//	-trace-out f  write a runtime execution trace to f
+//	-counters     dump the process-wide counter registry after the run
+//	              (also published as the "dmtsim" expvar)
+//	-walk-trace N capture per-walk trace events and print the last N
 package main
 
 import (
@@ -24,11 +32,45 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
+	"runtime/trace"
 
 	"dmt/internal/experiments"
+	"dmt/internal/obs"
 	"dmt/internal/sim"
 	"dmt/internal/workload"
 )
+
+// startProfiling opens the -pprof / -trace-out sinks and returns the
+// stop function to defer; a zero-value pair of flags is a no-op.
+func startProfiling(pprofPath, tracePath string) func() {
+	var stops []func()
+	if pprofPath != "" {
+		f, err := os.Create(pprofPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		stops = append(stops, func() { pprof.StopCPUProfile(); f.Close() })
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.Start(f); err != nil {
+			log.Fatal(err)
+		}
+		stops = append(stops, func() { trace.Stop(); f.Close() })
+	}
+	return func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+}
 
 func main() {
 	var (
@@ -45,8 +87,18 @@ func main() {
 		quiet     = flag.Bool("q", false, "suppress progress output (with -faults)")
 		workers   = flag.Int("workers", 1, "goroutines simulating trace shards (results are identical for any value)")
 		shards    = flag.Int("shards", 0, "trace shards (0 = workers); results depend on shards, not workers")
+		pprofOut  = flag.String("pprof", "", "write a CPU profile to this file")
+		traceOut  = flag.String("trace-out", "", "write a runtime execution trace to this file")
+		counters  = flag.Bool("counters", false, "dump the process-wide counter registry after the run")
+		walkTrace = flag.Int("walk-trace", 0, "capture per-walk trace events and print the last N")
 	)
 	flag.Parse()
+
+	obs.PublishExpvar()
+	defer startProfiling(*pprofOut, *traceOut)()
+	if *counters {
+		defer func() { fmt.Print("\nprocess counters:\n" + obs.Default.Dump()) }()
+	}
 
 	var env sim.Environment
 	switch *envName {
@@ -98,6 +150,7 @@ func main() {
 		Env: env, Design: sim.Design(*design), THP: *thp, Workload: wl,
 		WSBytes: uint64(*wsMiB) << 20, Ops: *ops, Seed: *seed, CacheScale: *scale,
 		Workers: *workers, Shards: *shards,
+		Trace: *walkTrace > 0,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -107,6 +160,11 @@ func main() {
 	fmt.Printf("trace ops:         %d\n", res.Ops)
 	fmt.Printf("TLB miss ratio:    %.4f (%d misses)\n", res.MissRatio(), res.TLBMisses)
 	fmt.Printf("avg walk latency:  %.1f cycles\n", res.AvgWalkCycles())
+	if res.WalkHist != nil && res.WalkHist.Count > 0 {
+		fmt.Printf("walk latency tail: p50<=%d p90<=%d p99<=%d max=%d cycles\n",
+			res.WalkPercentile(50), res.WalkPercentile(90),
+			res.WalkPercentile(99), res.WalkHist.Max)
+	}
 	fmt.Printf("avg seq refs/walk: %.2f (total refs/walk %.2f)\n",
 		res.AvgSeqRefs(), float64(res.TotalRefs)/float64(max64(res.Walks, 1)))
 	fmt.Printf("register coverage: %.2f%%\n", res.Coverage*100)
@@ -122,6 +180,17 @@ func main() {
 			fmt.Printf("  %-10s %8.2f cyc  %5.1f%%  (%d hits)\n", s.Label,
 				float64(s.Cycles)/float64(res.Walks),
 				100*float64(s.Cycles)/float64(max64(res.WalkCycles, 1)), s.Count)
+		}
+	}
+	if *walkTrace > 0 {
+		events := res.Trace
+		if len(events) > *walkTrace {
+			events = events[len(events)-*walkTrace:]
+		}
+		fmt.Printf("\nwalk trace (last %d of %d captured, %d total):\n",
+			len(events), len(res.Trace), res.TraceTotal)
+		for i := range events {
+			fmt.Println("  " + events[i].String())
 		}
 	}
 }

@@ -27,6 +27,7 @@ func main() {
 		fig       = flag.Int("fig", 0, "figure to regenerate (4, 5, 14, 15, 16, 17)")
 		table     = flag.Int("table", 0, "table to regenerate (1, 5, 6)")
 		overheads = flag.Bool("overheads", false, "run the §6.3 overhead analyses")
+		tails     = flag.Bool("tails", false, "render the walk-latency tail table (p50/p90/p99/max)")
 		faults    = flag.Bool("faults", false, "run the fault-injection degradation campaign")
 		all       = flag.Bool("all", false, "regenerate everything")
 		ops       = flag.Int("ops", 400_000, "trace length per configuration")
@@ -60,7 +61,7 @@ func main() {
 	}
 	r := experiments.NewRunner(opt)
 
-	nothing := *fig == 0 && *table == 0 && !*overheads && !*faults
+	nothing := *fig == 0 && *table == 0 && !*overheads && !*faults && !*tails
 	want := func(selected bool) bool { return *all || nothing || selected }
 
 	type job struct {
@@ -79,6 +80,7 @@ func main() {
 		{"Table 5", func() (string, error) { return experiments.Table5(r) }, *table == 5},
 		{"Table 6", func() (string, error) { return experiments.Table6(r) }, *table == 6},
 		{"§6.3 overheads", func() (string, error) { return experiments.Overheads(r) }, *overheads},
+		{"Walk-latency tails", func() (string, error) { return experiments.LatencyTails(r) }, *tails},
 	}
 	ran := false
 	// The fault campaign runs only on explicit request: it spans every

@@ -186,6 +186,23 @@ func NewWalker(m *Mirror, guestPT, hostPT *pagetable.Table, hier *cache.Hierarch
 // Name implements core.Walker.
 func (w *Walker) Name() string { return "AgilePaging" }
 
+// EmitCounters implements core.CounterSource: walk count, shadow-mirror
+// sync activity, and the host-dimension MMU-cache splits.
+func (w *Walker) EmitCounters(emit func(name string, value uint64)) {
+	emit("agile.walks", w.Walks)
+	if w.Mirror != nil {
+		emit("agile.mirror_syncs", w.Mirror.Syncs)
+	}
+	if w.HostPWC != nil {
+		emit("agile.host_pwc_hits", w.HostPWC.Hits)
+		emit("agile.host_pwc_misses", w.HostPWC.Misses)
+	}
+	if w.NestedC != nil {
+		emit("agile.ncache_hits", w.NestedC.Hits)
+		emit("agile.ncache_misses", w.NestedC.Misses)
+	}
+}
+
 // seal fixes up the outcome's Refs for sink mode at every return point.
 func (w *Walker) seal(out core.WalkOutcome) core.WalkOutcome {
 	if w.Sink != nil {

@@ -63,6 +63,18 @@ type Walker struct {
 // Name implements core.Walker.
 func (w *Walker) Name() string { return "ASAP+" + w.Inner.Name() }
 
+// EmitCounters implements core.CounterSource: the prefetcher's issue/cold/
+// late attribution plus the wrapped walker's own counters.
+func (w *Walker) EmitCounters(emit func(name string, value uint64)) {
+	emit("asap.walks", w.Walks)
+	emit("asap.prefetches", w.Prefetches)
+	emit("asap.cold_prefetches", w.ColdPrefetches)
+	emit("asap.late_prefetches", w.LatePrefetches)
+	if w.Inner != nil {
+		core.EmitChained(w.Inner, emit)
+	}
+}
+
 // Walk implements core.Walker.
 func (w *Walker) Walk(va mem.VAddr) core.WalkOutcome {
 	w.Walks++

@@ -166,6 +166,11 @@ type Walker struct {
 // Name implements core.Walker.
 func (w *Walker) Name() string { return "ECPT" }
 
+// EmitCounters implements core.CounterSource.
+func (w *Walker) EmitCounters(emit func(name string, value uint64)) {
+	emit("ecpt.walks", w.Walks)
+}
+
 // Walk implements core.Walker.
 func (w *Walker) Walk(va mem.VAddr) core.WalkOutcome {
 	w.Walks++
@@ -212,6 +217,11 @@ type cand struct {
 
 // Name implements core.Walker.
 func (w *VirtWalker) Name() string { return "NestedECPT" }
+
+// EmitCounters implements core.CounterSource.
+func (w *VirtWalker) EmitCounters(emit func(name string, value uint64)) {
+	emit("ecpt_virt.walks", w.Walks)
+}
 
 // seal fixes up the outcome's Refs for sink mode at every return point.
 func (w *VirtWalker) seal(out core.WalkOutcome) core.WalkOutcome {

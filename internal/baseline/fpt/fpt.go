@@ -202,6 +202,11 @@ type Walker struct {
 // Name implements core.Walker.
 func (w *Walker) Name() string { return "FPT" }
 
+// EmitCounters implements core.CounterSource.
+func (w *Walker) EmitCounters(emit func(name string, value uint64)) {
+	emit("fpt.walks", w.Walks)
+}
+
 // Walk implements core.Walker.
 func (w *Walker) Walk(va mem.VAddr) core.WalkOutcome {
 	w.Walks++
@@ -259,6 +264,11 @@ type VirtWalker struct {
 
 // Name implements core.Walker.
 func (w *VirtWalker) Name() string { return "FPT-virt" }
+
+// EmitCounters implements core.CounterSource.
+func (w *VirtWalker) EmitCounters(emit func(name string, value uint64)) {
+	emit("fpt_virt.walks", w.Walks)
+}
 
 // Walk implements core.Walker.
 func (w *VirtWalker) Walk(gva mem.VAddr) core.WalkOutcome {

@@ -48,6 +48,28 @@ func NewDMTWalker(mgr *tea.Manager, pool *pagetable.Pool, h *cache.Hierarchy, fa
 // Name implements Walker.
 func (w *DMTWalker) Name() string { return "DMT" }
 
+// EmitCounters implements CounterSource: the fetcher's register-file hit
+// attribution plus the TEA manager's structural activity (migrations,
+// splits, allocation failures — what the fault injector perturbs), then
+// the fallback chain's own counters.
+func (w *DMTWalker) EmitCounters(emit func(name string, value uint64)) {
+	emit("dmt.register_hits", w.RegisterHits)
+	emit("dmt.fallback_walks", w.FallbackWalks)
+	emit("dmt.parallel_fetch2", w.ParallelFetch2)
+	if w.Mgr != nil {
+		s := &w.Mgr.Stats
+		emit("tea.created", s.Created)
+		emit("tea.deleted", s.Deleted)
+		emit("tea.merges", s.Merges)
+		emit("tea.splits", s.Splits)
+		emit("tea.migrations", s.Migrations)
+		emit("tea.alloc_failures", s.AllocFailures)
+	}
+	if w.Fallback != nil {
+		EmitChained(w.Fallback, emit)
+	}
+}
+
 // Walk implements Walker.
 func (w *DMTWalker) Walk(va mem.VAddr) WalkOutcome {
 	reg := w.Mgr.Lookup(va)

@@ -76,6 +76,17 @@ func (w *RadixWalker) Walk(va mem.VAddr) WalkOutcome {
 	return out
 }
 
+// EmitCounters implements CounterSource. The dim qualifier separates
+// multiple radix walkers in one machine (e.g. the shadow-table walker's
+// "s" dimension from a native "n" walker).
+func (w *RadixWalker) EmitCounters(emit func(name string, value uint64)) {
+	emit("radix."+w.Dim+".walks", w.Walks)
+	if w.PWC != nil {
+		emit("radix."+w.Dim+".pwc_hits", w.PWC.Hits)
+		emit("radix."+w.Dim+".pwc_misses", w.PWC.Misses)
+	}
+}
+
 // refillPWC installs skip entries for the internal levels traversed: after
 // fetching the level-L entry we know the physical base of the level-(L-1)
 // node, which is what a PWC entry at level L records.

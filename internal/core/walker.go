@@ -53,3 +53,22 @@ type Walker interface {
 	// Walk translates va, charging PTE fetches to the memory hierarchy.
 	Walk(va mem.VAddr) WalkOutcome
 }
+
+// CounterSource is implemented by walkers that export named counters to
+// the observability layer (internal/obs): per-design walk counts, PWC and
+// register-file hit attribution, fallback and prefetch statistics. Emit is
+// invoked once per run when the instance finishes — never on the walk hot
+// path — so implementations may format names freely. A walker owning an
+// inner or fallback walker emits that walker's counters too, so the
+// simulation harness only queries the top of the chain.
+type CounterSource interface {
+	EmitCounters(emit func(name string, value uint64))
+}
+
+// EmitChained forwards to w's EmitCounters when it exports counters; the
+// helper keeps fallback-chain emission one line at every call site.
+func EmitChained(w Walker, emit func(name string, value uint64)) {
+	if cs, ok := w.(CounterSource); ok {
+		cs.EmitCounters(emit)
+	}
+}

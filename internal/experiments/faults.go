@@ -52,7 +52,7 @@ func faultCampaignFor(opt Options, wl workload.Spec) (string, error) {
 		Title: fmt.Sprintf("Fault campaign: graceful degradation under injected faults (%s, %d ops, seed %d)",
 			wl.Name, opt.Ops, opt.Seed),
 		Header: []string{"Env", "Design", "Schedule", "Faults", "Refaults",
-			"Coverage", "Fallback rate", "Walk infl.", "Checks"},
+			"Coverage", "Fallback rate", "Walk infl.", "p99", "Max", "Checks"},
 	}
 	totalChecked := uint64(0)
 	for _, env := range []sim.Environment{sim.EnvNative, sim.EnvVirt, sim.EnvNested} {
@@ -88,6 +88,8 @@ func faultCampaignFor(opt Options, wl workload.Spec) (string, error) {
 					fmt.Sprintf("%.1f%%", res.Coverage*100),
 					fmt.Sprintf("%.2f%%", fallbackRate(res)*100),
 					fmt.Sprintf("%.2fx", inflation(res, base)),
+					res.WalkPercentile(99),
+					res.WalkHist.Max,
 					res.Checked)
 			}
 		}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dmt/internal/sim"
+	"dmt/internal/stats"
+	"dmt/internal/workload"
+)
+
+// tailDesigns is the headline comparison per environment — the same cells
+// Figures 14/15/17 report means for, so a LatencyTails run after the figure
+// set reuses every simulation through the Runner's memoization.
+func tailDesigns(env sim.Environment) []sim.Design {
+	switch env {
+	case sim.EnvNative:
+		return []sim.Design{sim.DesignVanilla, sim.DesignDMT}
+	case sim.EnvVirt:
+		return []sim.Design{sim.DesignVanilla, sim.DesignShadow, sim.DesignDMT, sim.DesignPvDMT}
+	case sim.EnvNested:
+		return []sim.Design{sim.DesignVanilla, sim.DesignPvDMT}
+	}
+	return nil
+}
+
+// LatencyTails renders the walk-latency distribution table from the
+// observability histograms (DESIGN.md §10): per (environment × design ×
+// workload), the mean plus the p50/p90/p99/max simulated walk cycles and
+// the p99/p50 tail ratio. The paper reports means; the tails show what the
+// means hide — a register hit is flat, while radix walks under pressure
+// stretch into the memory-latency tail.
+func LatencyTails(r *Runner) (string, error) {
+	var out string
+	for _, wl := range r.Options().Workloads {
+		t := &stats.Table{
+			Title: fmt.Sprintf("Walk-latency tails (%s, simulated cycles per walk)", wl.Name),
+			Header: []string{"Env", "Design", "Mean", "p50", "p90", "p99", "Max", "p99/p50"},
+		}
+		for _, env := range []sim.Environment{sim.EnvNative, sim.EnvVirt, sim.EnvNested} {
+			if err := tailRows(t, r, env, wl); err != nil {
+				return "", err
+			}
+		}
+		out += t.String() + "\n"
+	}
+	return out, nil
+}
+
+func tailRows(t *stats.Table, r *Runner, env sim.Environment, wl workload.Spec) error {
+	for _, d := range tailDesigns(env) {
+		res, err := r.Run(env, d, false, wl)
+		if err != nil {
+			return fmt.Errorf("tails %v/%s %s: %w", env, d, wl.Name, err)
+		}
+		if res.WalkHist == nil || res.WalkHist.Count == 0 {
+			return fmt.Errorf("tails %v/%s %s: no walk histogram", env, d, wl.Name)
+		}
+		p50, p99 := res.WalkPercentile(50), res.WalkPercentile(99)
+		ratio := 0.0
+		if p50 > 0 {
+			ratio = float64(p99) / float64(p50)
+		}
+		t.Add(env.String(), string(d), res.AvgWalkCycles(),
+			p50, res.WalkPercentile(90), p99, res.WalkHist.Max,
+			fmt.Sprintf("%.2fx", ratio))
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dmt/internal/workload"
+)
+
+func TestLatencyTails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	opt := Options{
+		Ops: 4_000, WSBytes: 24 << 20, CacheScale: 1, Seed: 42,
+		Workloads: []workload.Spec{workload.GUPS()},
+	}
+	s, err := LatencyTails(NewRunner(opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Walk-latency tails", "p99/p50", "pvdmt", "nested", "shadow"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("tails output missing %q:\n%s", frag, s)
+		}
+	}
+	// The quantiles come straight from the deterministic walk histograms,
+	// so the rendered table must be bit-for-bit repeatable.
+	s2, err := LatencyTails(NewRunner(opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != s2 {
+		t.Error("latency-tail table is not deterministic")
+	}
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// decodeSamples turns fuzz bytes into a sample stream plus a split point,
+// so one input exercises both halves of a merge.
+func decodeSamples(data []byte) (a, b []uint64) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	split := int(data[0])
+	data = data[1:]
+	var all []uint64
+	for len(data) >= 8 {
+		all = append(all, binary.LittleEndian.Uint64(data[:8]))
+		data = data[8:]
+	}
+	if len(all) == 0 {
+		return nil, nil
+	}
+	cut := split % (len(all) + 1)
+	return all[:cut], all[cut:]
+}
+
+// FuzzHistMergeQuantiles pins the histogram-merge contract: merge(a,b) ==
+// merge(b,a) bit-for-bit, merged counts/extrema are exact, and every
+// quantile of the merged histogram is within one power-of-two bucket of
+// the exact order statistic of the combined sample set.
+func FuzzHistMergeQuantiles(f *testing.F) {
+	f.Add([]byte{3, 1, 0, 0, 0, 0, 0, 0, 0, 200, 1, 0, 0, 0, 0, 0, 0})
+	seed := make([]byte, 1, 1+8*6)
+	seed[0] = 2
+	for _, v := range []uint64{0, 1, 7, 255, 1 << 40, ^uint64(0)} {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		seed = append(seed, buf[:]...)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		as, bs := decodeSamples(data)
+		if len(as)+len(bs) == 0 {
+			return
+		}
+		var ha, hb Hist
+		for _, v := range as {
+			ha.Observe(v)
+		}
+		for _, v := range bs {
+			hb.Observe(v)
+		}
+		m1 := ha
+		m1.Merge(&hb)
+		m2 := hb
+		m2.Merge(&ha)
+		if !reflect.DeepEqual(m1, m2) {
+			t.Fatal("merge is not commutative")
+		}
+		all := append(append([]uint64(nil), as...), bs...)
+		if m1.Count != uint64(len(all)) {
+			t.Fatalf("merged Count = %d, want %d", m1.Count, len(all))
+		}
+		min, max := all[0], all[0]
+		for _, v := range all {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if m1.Min != min || m1.Max != max {
+			t.Fatalf("merged Min/Max = %d/%d, want %d/%d", m1.Min, m1.Max, min, max)
+		}
+		prev := uint64(0)
+		for _, p := range []float64{0, 25, 50, 90, 99, 100} {
+			got := m1.Quantile(p)
+			if got < prev {
+				t.Fatalf("Quantile(%v) = %d < previous %d: not monotonic in p", p, got, prev)
+			}
+			prev = got
+			exact := exactPercentile(all, p)
+			if !withinOneBucket(exact, got) {
+				t.Fatalf("Quantile(%v) = %d, exact %d: outside one bucket", p, got, exact)
+			}
+			if got < min || got > max {
+				t.Fatalf("Quantile(%v) = %d outside [%d, %d]", p, got, min, max)
+			}
+		}
+	})
+}

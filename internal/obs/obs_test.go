@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestHistExactExtremaAndMean(t *testing.T) {
+	var h Hist
+	samples := []uint64{0, 1, 7, 8, 100, 1000, 1000, 65536}
+	var sum uint64
+	for _, s := range samples {
+		h.Observe(s)
+		sum += s
+	}
+	if h.Count != uint64(len(samples)) {
+		t.Fatalf("Count = %d, want %d", h.Count, len(samples))
+	}
+	if h.Min != 0 || h.Max != 65536 {
+		t.Fatalf("Min/Max = %d/%d, want 0/65536", h.Min, h.Max)
+	}
+	if got, want := h.Mean(), float64(sum)/float64(len(samples)); got != want {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	if h.Quantile(100) != h.Max {
+		t.Fatalf("Quantile(100) = %d, want Max %d", h.Quantile(100), h.Max)
+	}
+}
+
+// exactPercentile mirrors stats.Percentile's nearest-rank definition.
+func exactPercentile(xs []uint64, p float64) uint64 {
+	sorted := append([]uint64(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// withinOneBucket reports whether approx is in the same power-of-two
+// bucket as exact or above it by at most the bucket's width (the histogram
+// reports the containing bucket's upper bound).
+func withinOneBucket(exact, approx uint64) bool {
+	if exact == approx {
+		return true
+	}
+	if approx < exact {
+		return false
+	}
+	// approx must be < 2*exact+2 (same bucket upper bound).
+	return approx <= 2*exact+1
+}
+
+func TestHistQuantileWithinOneBucket(t *testing.T) {
+	samples := []uint64{3, 5, 9, 17, 33, 120, 121, 122, 4000, 4096, 9999}
+	var h Hist
+	for _, s := range samples {
+		h.Observe(s)
+	}
+	for _, p := range []float64{0, 10, 50, 90, 99, 100} {
+		exact := exactPercentile(samples, p)
+		got := h.Quantile(p)
+		if !withinOneBucket(exact, got) {
+			t.Errorf("Quantile(%v) = %d, exact %d: outside one bucket", p, got, exact)
+		}
+	}
+}
+
+func TestHistMergeCommutes(t *testing.T) {
+	var a, b Hist
+	for i := uint64(0); i < 100; i++ {
+		a.Observe(i * 3)
+		b.Observe(i*7 + 1)
+	}
+	m1 := a
+	m1.Merge(&b)
+	m2 := b
+	m2.Merge(&a)
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatal("merge(a,b) != merge(b,a)")
+	}
+	if m1.Count != a.Count+b.Count {
+		t.Fatalf("merged Count = %d, want %d", m1.Count, a.Count+b.Count)
+	}
+	var empty Hist
+	m3 := a
+	m3.Merge(&empty)
+	if !reflect.DeepEqual(m3, a) {
+		t.Fatal("merging an empty histogram changed the receiver")
+	}
+}
+
+func TestRingWrapAndOrder(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		e := r.Next()
+		if e == nil {
+			t.Fatal("Next returned nil for positive capacity")
+		}
+		if e.Seq != uint64(i) {
+			t.Fatalf("Seq = %d, want %d", e.Seq, i)
+		}
+		e.VA = uint64(100 + i)
+		e.NumSteps = 0
+	}
+	if r.Total() != 10 || r.Dropped() != 6 {
+		t.Fatalf("Total/Dropped = %d/%d, want 10/6", r.Total(), r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(6+i) {
+			t.Fatalf("event %d has Seq %d, want %d (oldest-first)", i, e.Seq, 6+i)
+		}
+	}
+}
+
+func TestRingZeroCapacity(t *testing.T) {
+	r := NewRing(0)
+	if e := r.Next(); e != nil {
+		t.Fatal("zero-capacity ring returned a slot")
+	}
+	if r.Total() != 1 || len(r.Events()) != 0 {
+		t.Fatal("zero-capacity ring retained events")
+	}
+}
+
+func TestMergeEventsDeterministicOrder(t *testing.T) {
+	mk := func(shard int32, seqs ...uint64) []WalkEvent {
+		var out []WalkEvent
+		for _, s := range seqs {
+			out = append(out, WalkEvent{Shard: shard, Seq: s})
+		}
+		return out
+	}
+	a := mk(0, 0, 1, 2)
+	b := mk(1, 0, 1)
+	ab := MergeEvents(a, b)
+	ba := MergeEvents(b, a)
+	if !reflect.DeepEqual(ab, ba) {
+		t.Fatal("MergeEvents depends on input order")
+	}
+	for i := 1; i < len(ab); i++ {
+		p, q := ab[i-1], ab[i]
+		if p.Shard > q.Shard || (p.Shard == q.Shard && p.Seq >= q.Seq) {
+			t.Fatalf("merged events out of (shard, seq) order at %d", i)
+		}
+	}
+}
+
+func TestCountersMergeAndDump(t *testing.T) {
+	a := Counters{"x": 1, "y": 2}
+	b := Counters{"y": 3, "z": 4}
+	a.Merge(b)
+	want := Counters{"x": 1, "y": 5, "z": 4}
+	if !reflect.DeepEqual(a, want) {
+		t.Fatalf("merged = %v, want %v", a, want)
+	}
+	d := a.Dump()
+	if !strings.Contains(d, "x") || !strings.Contains(d, "5") {
+		t.Fatalf("dump missing entries:\n%s", d)
+	}
+	lines := strings.Split(strings.TrimSpace(d), "\n")
+	if len(lines) != 3 || !sort.StringsAreSorted(lines) {
+		t.Fatalf("dump not sorted:\n%s", d)
+	}
+}
+
+func TestRegistryAccumulates(t *testing.T) {
+	r := NewRegistry()
+	r.Add("runs", 1)
+	r.Add("runs", 2)
+	r.Set("gauge", 7)
+	r.AddAll(Counters{"runs": 1, "other": 5})
+	snap := r.Snapshot()
+	if snap["runs"] != 4 || snap["gauge"] != 7 || snap["other"] != 5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	r.Reset()
+	if len(r.Snapshot()) != 0 {
+		t.Fatal("Reset left counters behind")
+	}
+}
+
+func TestWalkEventString(t *testing.T) {
+	e := WalkEvent{Shard: 2, Seq: 9, VA: 0x1000, Cycles: 42, Fallback: true, NumSteps: 2}
+	e.Steps[0] = StepTrace{Dim: "g", Step: 1, Level: 4, Served: 3, Cycles: 20}
+	e.Steps[1] = StepTrace{Dim: "h", Step: 2, Level: 1, Served: 0, Cycles: 4}
+	s := e.String()
+	for _, frag := range []string{"s2#9", "va=0x1000", "cyc=42", "fallback", "1:gL4@Mem", "2:hL1@L1"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("event string %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestHistRender(t *testing.T) {
+	var h Hist
+	for i := uint64(1); i <= 64; i++ {
+		h.Observe(i)
+	}
+	out := h.Render("latency", 20)
+	if !strings.Contains(out, "latency") || !strings.Contains(out, "#") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	var empty Hist
+	if !strings.Contains(empty.Render("", 10), "empty") {
+		t.Fatal("empty render should say so")
+	}
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MaxSteps bounds the per-event step array: large enough for the deepest
+// modeled walk (the 24-step nested 2D walk plus fan-out probes) without
+// per-event allocation. Walks issuing more references set Truncated and
+// keep the first MaxSteps.
+const MaxSteps = 48
+
+// StepTrace is one PTE fetch of a traced walk: the architectural step
+// number and level, the walk dimension ("n" native, "g" guest, "h" host,
+// "s" shadow, "L2"/"L1"/"L0" nested), which cache level served the fetch
+// (the per-level hit/miss attribution: 0 = L1 … 3 = memory), and its
+// latency contribution.
+type StepTrace struct {
+	Dim    string
+	Step   int16
+	Level  int16
+	Served uint8
+	Cycles uint32
+}
+
+// WalkEvent is one traced page walk. Events are fixed-size so the ring
+// captures them without allocating; Steps beyond NumSteps are stale slots
+// from earlier laps and must be accessed through StepSlice.
+type WalkEvent struct {
+	// Shard and Seq identify the event globally: Seq is the 0-based walk
+	// index within the shard, so merged traces order deterministically
+	// regardless of worker scheduling.
+	Shard int32
+	Seq   uint64
+	// VA is the translated virtual address.
+	VA uint64
+	// Cycles is the whole walk's latency; Fallback marks an accelerated
+	// design falling back to the legacy walker.
+	Cycles    uint32
+	Fallback  bool
+	Truncated bool
+	NumSteps  int32
+	Steps     [MaxSteps]StepTrace
+}
+
+// StepSlice returns the valid steps of the event.
+func (e *WalkEvent) StepSlice() []StepTrace { return e.Steps[:e.NumSteps] }
+
+// String renders one event as a compact single line.
+func (e *WalkEvent) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "s%d#%d va=%#x cyc=%d", e.Shard, e.Seq, e.VA, e.Cycles)
+	if e.Fallback {
+		b.WriteString(" fallback")
+	}
+	for i := range e.StepSlice() {
+		s := &e.Steps[i]
+		b.WriteString(" ")
+		if s.Step > 0 {
+			fmt.Fprintf(&b, "%d:", s.Step)
+		}
+		fmt.Fprintf(&b, "%sL%d@%s", s.Dim, s.Level, serveName(s.Served))
+	}
+	if e.Truncated {
+		b.WriteString(" …")
+	}
+	return b.String()
+}
+
+func serveName(level uint8) string {
+	switch level {
+	case 0:
+		return "L1"
+	case 1:
+		return "L2"
+	case 2:
+		return "LLC"
+	}
+	return "Mem"
+}
+
+// Ring is a fixed-capacity overwrite-oldest buffer of walk events. One ring
+// serves one shard: capture claims the next slot in place (no allocation,
+// no locking — shards never share a ring), and Events returns the retained
+// window oldest-first. The zero-capacity ring is valid and retains nothing.
+type Ring struct {
+	events []WalkEvent
+	total  uint64
+}
+
+// NewRing builds a ring retaining up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Ring{events: make([]WalkEvent, capacity)}
+}
+
+// Next claims the slot for the next event, overwriting the oldest when the
+// ring is full, and stamps its Seq. The caller fills the remaining fields.
+// Returns nil when the ring retains nothing.
+func (r *Ring) Next() *WalkEvent {
+	if len(r.events) == 0 {
+		r.total++
+		return nil
+	}
+	e := &r.events[r.total%uint64(len(r.events))]
+	e.Seq = r.total
+	r.total++
+	return e
+}
+
+// Total counts every event offered to the ring, including overwritten ones.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Dropped counts events lost to overwriting.
+func (r *Ring) Dropped() uint64 {
+	if r.total <= uint64(len(r.events)) {
+		return 0
+	}
+	return r.total - uint64(len(r.events))
+}
+
+// Events returns a copy of the retained events, oldest first.
+func (r *Ring) Events() []WalkEvent {
+	n := r.total
+	if n > uint64(len(r.events)) {
+		n = uint64(len(r.events))
+	}
+	out := make([]WalkEvent, 0, n)
+	start := r.total - n
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.events[(start+i)%uint64(len(r.events))])
+	}
+	return out
+}
+
+// MergeEvents combines per-shard event slices into one deterministic
+// stream ordered by (Shard, Seq) — the trace analogue of sim.MergeShards:
+// input order never matters, so any worker scheduling produces the same
+// merged trace.
+func MergeEvents(parts ...[]WalkEvent) []WalkEvent {
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]WalkEvent, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Shard != out[j].Shard {
+			return out[i].Shard < out[j].Shard
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}

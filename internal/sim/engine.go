@@ -9,6 +9,7 @@ import (
 	"dmt/internal/core"
 	"dmt/internal/fault"
 	"dmt/internal/mem"
+	"dmt/internal/obs"
 	"dmt/internal/tlb"
 )
 
@@ -27,15 +28,17 @@ import (
 // machine construction out of the timed region; the engine uses it as the
 // unit of shard execution.
 type Instance struct {
-	cfg  Config
-	m    *machine
-	mmu  *core.MMU
-	inj  *fault.Injector
-	chk  *check.Checker
-	res  *Result
-	op   int
-	ops  int
-	done bool
+	cfg   Config
+	m     *machine
+	mmu   *core.MMU
+	inj   *fault.Injector
+	chk   *check.Checker
+	res   *Result
+	ring  *obs.Ring
+	shard int
+	op    int
+	ops   int
+	done  bool
 }
 
 // NewInstance builds the machine for cfg and returns an unstarted instance
@@ -69,6 +72,7 @@ func newShardInstance(cfg Config, shard, shards int) (*Instance, error) {
 // bit-identical to cold builds.
 func buildMachine(scfg Config) (*machine, error) {
 	if scfg.ColdBuild {
+		obs.Default.Add("build.cold_forced", 1)
 		return coldBuild(scfg)
 	}
 	proto, err := cachedPrototype(scfg)
@@ -97,8 +101,17 @@ func coldBuild(scfg Config) (*machine, error) {
 // run-level config the Result reports; scfg is the shard-level config
 // (sliced ops, per-shard trace seed) the instance executes.
 func assembleInstance(cfg, scfg Config, m *machine, shard, shards int) (*Instance, error) {
-	res := &Result{Config: cfg, breakdown: map[string]*StepAgg{}}
-	rec := &recordingWalker{inner: m.walker, res: res, sink: m.sink, labels: map[labelKey]*StepAgg{}}
+	res := &Result{Config: cfg, breakdown: map[string]*StepAgg{}, WalkHist: &obs.Hist{}}
+	rec := &recordingWalker{inner: m.walker, res: res, sink: m.sink, hist: res.WalkHist, labels: map[labelKey]*StepAgg{}}
+	var ring *obs.Ring
+	if cfg.Trace {
+		cap := cfg.TraceCap
+		if cap == 0 {
+			cap = 4096
+		}
+		ring = obs.NewRing(cap)
+		rec.ring = ring
+	}
 	dtlb, err := tlb.New(scaledTLB(cfg.CacheScale))
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
@@ -130,7 +143,7 @@ func assembleInstance(cfg, scfg Config, m *machine, shard, shards int) (*Instanc
 		plan := shardPlan(*cfg.FaultPlan, cfg.Ops, scfg.Ops, shard, shards)
 		inj = fault.New(plan, m.target)
 	}
-	return &Instance{cfg: cfg, m: m, mmu: mmu, inj: inj, chk: chk, res: res, ops: scfg.Ops}, nil
+	return &Instance{cfg: cfg, m: m, mmu: mmu, inj: inj, chk: chk, res: res, ring: ring, shard: shard, ops: scfg.Ops}, nil
 }
 
 // Ops returns the instance's op budget (the shard's slice of Config.Ops).
@@ -212,7 +225,57 @@ func (in *Instance) Finish() (*Result, error) {
 	if in.m.footer != nil {
 		in.m.footer(res)
 	}
+	in.sealObservability(res)
 	return res, nil
+}
+
+// sealObservability snapshots the instance's named counters and trace ring
+// into the Result. It runs once, at Finish, so the walk hot path never
+// formats a counter name; everything recorded here merges commutatively
+// across shards (MergeShards) and is a pure function of (Config, shard) —
+// cross-run machine state like prototype-cache warmth stays out and goes to
+// the process-global obs.Default registry instead.
+func (in *Instance) sealObservability(res *Result) {
+	c := obs.Counters{}
+	if t := in.mmu.TLB; t != nil {
+		c.Add("tlb.l1_hits", t.L1Hits)
+		c.Add("tlb.l2_hits", t.L2Hits)
+		c.Add("tlb.misses", t.Misses)
+	}
+	c.Add("mmu.lookups", in.mmu.Lookups)
+	if h := in.m.hier; h != nil {
+		c.Add("cache.l1d_hits", h.L1D.Hits)
+		c.Add("cache.l1d_misses", h.L1D.Misses)
+		c.Add("cache.l2_hits", h.L2.Hits)
+		c.Add("cache.l2_misses", h.L2.Misses)
+		c.Add("cache.llc_hits", h.LLC.Hits)
+		c.Add("cache.llc_misses", h.LLC.Misses)
+		c.Add("cache.accesses", h.Accesses)
+		c.Add("cache.mem_fetches", h.MemFetches)
+	}
+	core.EmitChained(in.m.walker, c.Add)
+	if in.inj != nil {
+		c.Add("fault.applied", uint64(in.inj.Applied))
+		c.Add("fault.skipped", uint64(in.inj.Skipped))
+		c.Add("fault.refaults", uint64(in.inj.Refaults))
+		c.Add("fault.demand", res.DemandFaults)
+	}
+	if in.chk != nil {
+		c.Add("check.checked", res.Checked)
+		c.Add("check.mismatches", res.Mismatches)
+	}
+	c.Add("hyp.vmexits", res.VMExits)
+	c.Add("hyp.hypercalls", res.Hypercalls)
+	c.Add("hyp.shadow_syncs", res.ShadowSyncs)
+	c.Add("hyp.isolation_faults", res.IsolationFaults)
+	res.Counters = c
+	if in.ring != nil {
+		res.Trace = in.ring.Events()
+		for i := range res.Trace {
+			res.Trace[i].Shard = int32(in.shard)
+		}
+		res.TraceTotal = in.ring.Total()
+	}
 }
 
 // ShardResult pairs one shard's Result with its index so merge order never
@@ -313,7 +376,8 @@ func MergeShards(cfg Config, parts []ShardResult) (*Result, error) {
 	}
 
 	cfg = cfg.withDefaults()
-	out := &Result{Config: cfg, breakdown: map[string]*StepAgg{}}
+	out := &Result{Config: cfg, breakdown: map[string]*StepAgg{}, WalkHist: &obs.Hist{}, Counters: obs.Counters{}}
+	traces := make([][]obs.WalkEvent, 0, len(sorted))
 	for _, p := range sorted {
 		r := p.Res
 		out.Ops += r.Ops
@@ -336,6 +400,12 @@ func MergeShards(cfg Config, parts []ShardResult) (*Result, error) {
 		out.covHits += r.covHits
 		out.covTotal += r.covTotal
 		out.covSet = out.covSet || r.covSet
+		out.WalkHist.Merge(r.WalkHist)
+		out.Counters.Merge(r.Counters)
+		if len(r.Trace) > 0 {
+			traces = append(traces, r.Trace)
+		}
+		out.TraceTotal += r.TraceTotal
 		for label, agg := range r.breakdown {
 			dst := out.breakdown[label]
 			if dst == nil {
@@ -352,6 +422,9 @@ func MergeShards(cfg Config, parts []ShardResult) (*Result, error) {
 	// Structural footprint: every shard builds an identical replica, so the
 	// figure comes from one of them rather than summing copies.
 	out.PTEBytes = sorted[0].Res.PTEBytes
+	if len(traces) > 0 {
+		out.Trace = obs.MergeEvents(traces...)
+	}
 	if out.covSet {
 		if out.covTotal == 0 {
 			out.Coverage = 0
@@ -404,6 +477,17 @@ func shardPlan(p fault.Plan, totalOps, ops, shard, shards int) fault.Plan {
 		at := e.At
 		if totalOps > 0 {
 			at = int(int64(e.At) * int64(ops) / int64(totalOps))
+			// Clamp into the shard's op range: an event at the end of the
+			// full trace (At == totalOps-1) scales to at == ops on shorter
+			// shards, which would never fire in-trace — the injector would
+			// only apply it in Drain, after the last walk, silently
+			// weakening the schedule on every shard count > 1.
+			if at >= ops {
+				at = ops - 1
+			}
+			if at < 0 {
+				at = 0
+			}
 		}
 		e.At = at
 		events[i] = e

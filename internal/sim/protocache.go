@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"dmt/internal/obs"
 )
 
 // This file implements build-once, clone-many machine construction. A
@@ -174,9 +176,11 @@ func cachedPrototype(cfg Config) (*Prototype, error) {
 	e, ok := protoCache.entries[key]
 	if ok {
 		protoCache.stats.Hits++
+		obs.Default.Add("build.clone", 1)
 		touchLocked(key)
 	} else {
 		protoCache.stats.Misses++
+		obs.Default.Add("build.cold", 1)
 		e = &protoEntry{}
 		protoCache.entries[key] = e
 		protoCache.order = append(protoCache.order, key)

@@ -15,6 +15,7 @@ import (
 	"dmt/internal/core"
 	"dmt/internal/fault"
 	"dmt/internal/mem"
+	"dmt/internal/obs"
 	"dmt/internal/tlb"
 	"dmt/internal/workload"
 )
@@ -109,6 +110,17 @@ type Config struct {
 	// enforce it — so this exists for those tests and for benchmarking
 	// the cold path, not for correctness.
 	ColdBuild bool
+	// Trace enables per-walk structured trace capture (internal/obs): each
+	// shard records its walks into a fixed-size overwrite-oldest ring, and
+	// MergeShards concatenates the rings ordered by (shard, seq) into
+	// Result.Trace. Off by default — the ring is the only observability
+	// feature with per-walk hot-path cost (the latency histogram and the
+	// Finish-time counter snapshot are always on and allocation-free).
+	Trace bool
+	// TraceCap bounds each shard's trace ring (default 4096 events when
+	// Trace is set; ignored otherwise). Result.TraceTotal counts every
+	// walk offered, so TraceTotal - len(Trace) were overwritten.
+	TraceCap int
 
 	// traceSeed, when non-zero, overrides Seed for trace generation only;
 	// the engine sets it per shard so machine construction (layout,
@@ -190,6 +202,22 @@ type Result struct {
 	Checked       uint64
 	Mismatches    uint64
 
+	// WalkHist is the power-of-two-bucketed walk-latency histogram
+	// (internal/obs): exact count/sum/extrema, quantiles within one bucket
+	// of the true order statistic. Always collected — observing is one
+	// array increment — and merged bucket-wise across shards.
+	WalkHist *obs.Hist
+	// Counters is the named-counter snapshot taken at Finish: TLB, PWC and
+	// cache hit splits, walker-chain attribution (core.CounterSource),
+	// hypervisor exits, fault and verification outcomes. Shard merging
+	// sums per name.
+	Counters obs.Counters
+	// Trace holds the merged per-walk events when Config.Trace is set,
+	// ordered by (shard, seq); TraceTotal counts every walk offered to the
+	// rings, including overwritten ones.
+	Trace      []obs.WalkEvent
+	TraceTotal uint64
+
 	breakdown map[string]*StepAgg
 
 	// covHits/covTotal are the integer counters behind Coverage; shard
@@ -215,6 +243,17 @@ func (r *Result) AvgSeqRefs() float64 {
 		return 0
 	}
 	return float64(r.SeqRefs) / float64(r.Walks)
+}
+
+// WalkPercentile returns the p-th percentile walk latency in cycles from
+// the walk-latency histogram: the upper bound of the containing
+// power-of-two bucket, clamped to the observed extrema (so p=0 and p=100
+// are exact).
+func (r *Result) WalkPercentile(p float64) uint64 {
+	if r.WalkHist == nil {
+		return 0
+	}
+	return r.WalkHist.Quantile(p)
 }
 
 // MissRatio is the TLB miss ratio of the trace.
@@ -245,6 +284,12 @@ type recordingWalker struct {
 	res   *Result
 	chk   *check.Checker
 	sink  *core.RefSink
+
+	// hist observes every walk's latency; ring (nil unless Config.Trace)
+	// captures per-walk structured events. Both are per-shard and merged
+	// by the engine, like every other counter.
+	hist *obs.Hist
+	ring *obs.Ring
 
 	// labels interns (step, level, dim) → aggregate so the hot path skips
 	// refLabel's Sprintf (and its allocations) after the first encounter.
@@ -291,7 +336,44 @@ func (w *recordingWalker) Walk(va mem.VAddr) core.WalkOutcome {
 		agg.Cycles += uint64(ref.Cycles)
 		agg.Count++
 	}
+	if w.hist != nil {
+		w.hist.Observe(uint64(out.Cycles))
+	}
+	if w.ring != nil {
+		w.capture(va, &out)
+	}
 	return out
+}
+
+// capture records one walk into the trace ring: VA, whole-walk latency,
+// fallback flag, and up to obs.MaxSteps per-fetch step records (dimension,
+// architectural step, level, serving cache level, cycles). The slot is
+// reused in place across ring laps, so every field — including the step
+// prefix — is overwritten here.
+func (w *recordingWalker) capture(va mem.VAddr, out *core.WalkOutcome) {
+	ev := w.ring.Next()
+	if ev == nil {
+		return
+	}
+	ev.VA = uint64(va)
+	ev.Cycles = uint32(out.Cycles)
+	ev.Fallback = out.Fallback
+	n := len(out.Refs)
+	ev.Truncated = n > obs.MaxSteps
+	if n > obs.MaxSteps {
+		n = obs.MaxSteps
+	}
+	ev.NumSteps = int32(n)
+	for i := 0; i < n; i++ {
+		ref := &out.Refs[i]
+		ev.Steps[i] = obs.StepTrace{
+			Dim:    ref.Dim,
+			Step:   int16(ref.Step),
+			Level:  int16(ref.Level),
+			Served: uint8(ref.Served),
+			Cycles: uint32(ref.Cycles),
+		}
+	}
 }
 
 func refLabel(ref core.MemRef) string {
@@ -337,7 +419,14 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return MergeShards(cfg, parts)
+	res, err := MergeShards(cfg, parts)
+	if err != nil {
+		return nil, err
+	}
+	// Fold the run's counter snapshot into the process-global registry the
+	// expvar endpoint exports; Result.Counters itself stays per-run.
+	obs.Default.AddAll(res.Counters)
+	return res, nil
 }
 
 // scaledTLB divides the Table 3 TLB capacities by scale.

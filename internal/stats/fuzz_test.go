@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// decodeFloats turns fuzz bytes into a bounded sample set of finite floats
+// (8-byte little-endian chunks; NaN/Inf chunks are mapped into range so the
+// properties below are well-defined for every input).
+func decodeFloats(data []byte) []float64 {
+	var xs []float64
+	for len(data) >= 8 && len(xs) < 256 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))
+		data = data[8:]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = float64(len(xs))
+		}
+		xs = append(xs, v)
+	}
+	return xs
+}
+
+// FuzzPercentile pins the nearest-rank percentile contract: results stay
+// within the sample bounds, are monotonic in p, hit the exact min/max at
+// the extremes, and never depend on input order.
+func FuzzPercentile(f *testing.F) {
+	f.Add([]byte{})
+	seed := make([]byte, 0, 8*5)
+	for _, v := range []float64{3, 1, 4, 1, 5} {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		seed = append(seed, buf[:]...)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xs := decodeFloats(data)
+		if len(xs) == 0 {
+			if got := Percentile(xs, 50); got != 0 {
+				t.Fatalf("Percentile(empty, 50) = %v, want 0", got)
+			}
+			return
+		}
+		min, max := xs[0], xs[0]
+		for _, v := range xs {
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+		prev := math.Inf(-1)
+		for _, p := range []float64{0, 1, 25, 50, 75, 90, 99, 100} {
+			got := Percentile(xs, p)
+			if got < min || got > max {
+				t.Fatalf("Percentile(%v) = %v outside [%v, %v]", p, got, min, max)
+			}
+			if got < prev {
+				t.Fatalf("Percentile(%v) = %v < Percentile at lower p (%v): not monotonic", p, got, prev)
+			}
+			prev = got
+		}
+		if got := Percentile(xs, 0); got != min {
+			t.Fatalf("Percentile(0) = %v, want min %v", got, min)
+		}
+		if got := Percentile(xs, 100); got != max {
+			t.Fatalf("Percentile(100) = %v, want max %v", got, max)
+		}
+		// Permutation invariance: percentiles are order statistics.
+		perm := append([]float64(nil), xs...)
+		rand.New(rand.NewSource(int64(len(xs)))).Shuffle(len(perm), func(i, j int) {
+			perm[i], perm[j] = perm[j], perm[i]
+		})
+		for _, p := range []float64{25, 50, 99} {
+			if a, b := Percentile(xs, p), Percentile(perm, p); a != b {
+				t.Fatalf("Percentile(%v) differs across permutations: %v vs %v", p, a, b)
+			}
+		}
+	})
+}
+
+// FuzzCDF pins the empirical-CDF contract: values sorted ascending,
+// fractions strictly positive, monotonically non-decreasing, ending at
+// exactly 1, with one point per sample.
+func FuzzCDF(f *testing.F) {
+	f.Add([]byte{})
+	seed := make([]byte, 0, 8*4)
+	for _, v := range []float64{2, -7, 2, 0.5} {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		seed = append(seed, buf[:]...)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xs := decodeFloats(data)
+		vals, fracs := CDF(xs)
+		if len(xs) == 0 {
+			if vals != nil || fracs != nil {
+				t.Fatalf("CDF(empty) = %v, %v, want nil, nil", vals, fracs)
+			}
+			return
+		}
+		if len(vals) != len(xs) || len(fracs) != len(xs) {
+			t.Fatalf("CDF returned %d/%d points for %d samples", len(vals), len(fracs), len(xs))
+		}
+		if !sort.Float64sAreSorted(vals) {
+			t.Fatalf("CDF values not sorted: %v", vals)
+		}
+		for i, fr := range fracs {
+			if fr <= 0 || fr > 1 {
+				t.Fatalf("frac[%d] = %v outside (0, 1]", i, fr)
+			}
+			if i > 0 && fr < fracs[i-1] {
+				t.Fatalf("fracs not monotone at %d: %v", i, fracs)
+			}
+		}
+		if fracs[len(fracs)-1] != 1 {
+			t.Fatalf("terminal fraction = %v, want 1", fracs[len(fracs)-1])
+		}
+		// The CDF's values are the sorted samples; the input is untouched.
+		sortedIn := append([]float64(nil), xs...)
+		sort.Float64s(sortedIn)
+		for i := range vals {
+			if vals[i] != sortedIn[i] {
+				t.Fatalf("CDF values diverge from sorted samples at %d: %v vs %v", i, vals[i], sortedIn[i])
+			}
+		}
+	})
+}

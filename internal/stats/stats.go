@@ -99,13 +99,23 @@ func (t *Table) String() string {
 	if t.Title != "" {
 		fmt.Fprintf(&b, "%s\n", t.Title)
 	}
-	widths := make([]int, len(t.Header))
+	// Size the width pass to the widest row, not the header: a row with
+	// more cells than the header must still have every cell measured (and
+	// padded — indexing widths by header length would panic on its
+	// non-final extra cells).
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, r := range t.Rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}

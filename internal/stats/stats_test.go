@@ -85,6 +85,36 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+// TestTableWideRows is the regression test for the width computation: rows
+// with more cells than the header used to be skipped by the width pass (and
+// a non-final extra cell crashed rendering with an index out of range).
+// Widths must size to the widest row, pad every column, and extend the
+// separator accordingly.
+func TestTableWideRows(t *testing.T) {
+	tb := &Table{Header: []string{"design", "cycles"}}
+	tb.Add("vanilla", 10, "p99=120", "max=400")
+	tb.Add("dmt", 3, "p99=9", "max=21")
+	s := tb.String()
+	if !strings.Contains(s, "p99=120") || !strings.Contains(s, "max=400") {
+		t.Fatalf("extra cells missing from render:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 { // header, rule, 2 rows
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), s)
+	}
+	// Every extra column must be padded so the wide rows align: the cell
+	// "p99=9" is followed by two spaces plus padding to len("p99=120").
+	if !strings.Contains(lines[3], "p99=9    ") {
+		t.Fatalf("extra column not padded to widest row:\n%s", s)
+	}
+	// The separator spans all columns of the widest row, not just the
+	// header's: len("vanilla")+2+len("cycles")+2+len("p99=120")+2+len("max=400").
+	rule := lines[1]
+	if want := 7 + 2 + 6 + 2 + 7 + 2 + 7; len(rule) != want {
+		t.Fatalf("separator is %d chars, want %d:\n%s", len(rule), want, s)
+	}
+}
+
 func TestBar(t *testing.T) {
 	if b := Bar(5, 10, 10); b != "#####" {
 		t.Fatalf("Bar = %q", b)

@@ -92,6 +92,29 @@ var pvSizes = [...]mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G}
 // Name implements core.Walker.
 func (w *DMTVirtWalker) Name() string { return "DMT-virt" }
 
+// EmitCounters implements core.CounterSource: the three-fetch fast path's
+// hit/fallback split, both TEA managers' structural activity, and the
+// nested baseline it falls back to.
+func (w *DMTVirtWalker) EmitCounters(emit func(name string, value uint64)) {
+	emit("dmtvirt.register_hits", w.RegisterHits)
+	emit("dmtvirt.fallback_walks", w.FallbackWalks)
+	if w.Guest != nil {
+		s := &w.Guest.Stats
+		emit("dmtvirt.guest.tea.migrations", s.Migrations)
+		emit("dmtvirt.guest.tea.splits", s.Splits)
+		emit("dmtvirt.guest.tea.alloc_failures", s.AllocFailures)
+	}
+	if w.Host != nil {
+		s := &w.Host.Stats
+		emit("dmtvirt.host.tea.migrations", s.Migrations)
+		emit("dmtvirt.host.tea.splits", s.Splits)
+		emit("dmtvirt.host.tea.alloc_failures", s.AllocFailures)
+	}
+	if w.Fallback != nil {
+		core.EmitChained(w.Fallback, emit)
+	}
+}
+
 // Walk implements core.Walker.
 func (w *DMTVirtWalker) Walk(gva mem.VAddr) core.WalkOutcome {
 	greg := w.Guest.Lookup(gva)

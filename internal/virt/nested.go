@@ -52,6 +52,24 @@ func NewNestedWalker(guestPT, hostPT *pagetable.Table, h *cache.Hierarchy, asid 
 // Name implements core.Walker.
 func (w *NestedWalker) Name() string { return "nested-2D" }
 
+// EmitCounters implements core.CounterSource: the 2D walk count plus every
+// MMU-cache hit split the walker consults (guest/host PWC, nested cache).
+func (w *NestedWalker) EmitCounters(emit func(name string, value uint64)) {
+	emit("nested.walks", w.Walks)
+	if w.GuestPWC != nil {
+		emit("nested.guest_pwc_hits", w.GuestPWC.Hits)
+		emit("nested.guest_pwc_misses", w.GuestPWC.Misses)
+	}
+	if w.HostPWC != nil {
+		emit("nested.host_pwc_hits", w.HostPWC.Hits)
+		emit("nested.host_pwc_misses", w.HostPWC.Misses)
+	}
+	if w.Nested != nil {
+		emit("nested.ncache_hits", w.Nested.Hits)
+		emit("nested.ncache_misses", w.Nested.Misses)
+	}
+}
+
 // Walk implements core.Walker.
 func (w *NestedWalker) Walk(gva mem.VAddr) core.WalkOutcome {
 	w.Walks++

@@ -1,6 +1,8 @@
 package virt
 
 import (
+	"fmt"
+
 	"dmt/internal/cache"
 	"dmt/internal/core"
 	"dmt/internal/mem"
@@ -49,6 +51,27 @@ func (w *PvDMTWalker) Name() string {
 		return "pvDMT-nested"
 	}
 	return "pvDMT"
+}
+
+// EmitCounters implements core.CounterSource: the paravirtual fetcher's
+// hit/fallback split, each level's TEA-manager activity, then the nested
+// baseline it falls back to.
+func (w *PvDMTWalker) EmitCounters(emit func(name string, value uint64)) {
+	emit("pvdmt.register_hits", w.RegisterHits)
+	emit("pvdmt.fallback_walks", w.FallbackWalks)
+	for i, lvl := range w.Levels {
+		if lvl.Mgr == nil {
+			continue
+		}
+		prefix := fmt.Sprintf("pvdmt.l%d.tea.", i)
+		s := &lvl.Mgr.Stats
+		emit(prefix+"migrations", s.Migrations)
+		emit(prefix+"splits", s.Splits)
+		emit(prefix+"alloc_failures", s.AllocFailures)
+	}
+	if w.Fallback != nil {
+		core.EmitChained(w.Fallback, emit)
+	}
 }
 
 // Walk implements core.Walker.
