@@ -1,0 +1,128 @@
+// Command dmtserved is the long-running simulation service: it accepts
+// (environment × design × workload) jobs over HTTP/JSON, runs them on the
+// sharded engine with request coalescing layered on the prototype cache,
+// and drains gracefully on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	dmtserved [-addr :7677] [-queue 64] [-job-workers 2] [-job-timeout 2m]
+//	          [-max-ops 50000000] [-drain-timeout 30s]
+//
+// Endpoints (see DESIGN.md §11 and the README "Serving" section):
+//
+//	POST /run      submit a job and wait for its result
+//	GET  /healthz  liveness + queue occupancy (503 while draining)
+//	GET  /metrics  process-wide counters as "name value" text lines
+//
+// Admission control: a full queue answers 429 (with Retry-After); during a
+// drain new jobs get 503 while in-flight jobs run to completion. Identical
+// concurrent requests are coalesced onto one simulation.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dmt/internal/obs"
+	"dmt/internal/serve"
+)
+
+type cliFlags struct {
+	queue      int
+	jobWorkers int
+	maxOps     int
+	jobTimeout time.Duration
+	drainT     time.Duration
+}
+
+// validate rejects nonsensical sizing up front (exit 2), mirroring dmtsim.
+func (f cliFlags) validate() error {
+	switch {
+	case f.queue < 1:
+		return fmt.Errorf("-queue must be >= 1 (got %d)", f.queue)
+	case f.jobWorkers < 1:
+		return fmt.Errorf("-job-workers must be >= 1 (got %d)", f.jobWorkers)
+	case f.maxOps < 0:
+		return fmt.Errorf("-max-ops must be >= 0 (got %d)", f.maxOps)
+	case f.jobTimeout < 0:
+		return fmt.Errorf("-job-timeout must be >= 0 (got %v)", f.jobTimeout)
+	case f.drainT <= 0:
+		return fmt.Errorf("-drain-timeout must be positive (got %v)", f.drainT)
+	}
+	return nil
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7677", "listen address")
+		queue      = flag.Int("queue", 64, "job queue depth (admission bound; full answers 429)")
+		jobWorkers = flag.Int("job-workers", 2, "jobs executing concurrently")
+		jobTimeout = flag.Duration("job-timeout", 2*time.Minute, "per-job execution deadline (0 disables)")
+		maxOps     = flag.Int("max-ops", 50_000_000, "largest trace length admitted (0 disables the cap)")
+		drainT     = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain may take before jobs are cancelled")
+	)
+	flag.Parse()
+	f := cliFlags{queue: *queue, jobWorkers: *jobWorkers, maxOps: *maxOps,
+		jobTimeout: *jobTimeout, drainT: *drainT}
+	if err := f.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "dmtserved: %v\n", err)
+		os.Exit(2)
+	}
+
+	obs.PublishExpvar()
+	timeout := *jobTimeout
+	if timeout == 0 {
+		timeout = -1 // serve.Config treats 0 as "use default"; negative disables
+	}
+	cap := *maxOps
+	if cap == 0 {
+		cap = -1
+	}
+	srv := serve.New(serve.Config{
+		QueueDepth: *queue,
+		Workers:    *jobWorkers,
+		JobTimeout: timeout,
+		MaxOps:     cap,
+		Registry:   obs.Default,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("dmtserved listening on %s (queue %d, %d job workers, job timeout %v)",
+		*addr, *queue, *jobWorkers, *jobTimeout)
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting (new jobs answer 503), let in-flight
+	// work finish within the drain budget, then shut the listener and the
+	// worker pool down. A second signal — NotifyContext has been released
+	// by stop() below — kills the process the default way.
+	stop()
+	log.Printf("dmtserved draining (up to %v) ...", *drainT)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		log.Printf("dmtserved drain incomplete: %v (cancelling remaining jobs)", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("dmtserved http shutdown: %v", err)
+	}
+	srv.Close()
+	log.Printf("dmtserved stopped")
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	good := cliFlags{queue: 64, jobWorkers: 2, maxOps: 50_000_000,
+		jobTimeout: 2 * time.Minute, drainT: 30 * time.Second}
+	if err := good.validate(); err != nil {
+		t.Fatalf("validate() rejected the defaults: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*cliFlags)
+		wantErr string
+	}{
+		{"zero queue", func(f *cliFlags) { f.queue = 0 }, "-queue"},
+		{"negative workers", func(f *cliFlags) { f.jobWorkers = -1 }, "-job-workers"},
+		{"negative max-ops", func(f *cliFlags) { f.maxOps = -1 }, "-max-ops"},
+		{"negative timeout", func(f *cliFlags) { f.jobTimeout = -time.Second }, "-job-timeout"},
+		{"zero drain", func(f *cliFlags) { f.drainT = 0 }, "-drain-timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := good
+			tc.mutate(&f)
+			if err := f.validate(); err == nil {
+				t.Fatalf("validate() accepted %+v", f)
+			} else if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate() error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

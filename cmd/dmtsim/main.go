@@ -18,6 +18,11 @@
 // live page tables, and prints the graceful-degradation table. The output
 // is deterministic for a fixed -seed.
 //
+// Flag values are validated up front: nonsensical sizing (-ops 0, a
+// negative -workers, ...) exits with status 2 and a one-line message
+// instead of running — or silently misrunning — the simulation. SIGINT /
+// SIGTERM cancel the run at its next step batch.
+//
 // Observability (see DESIGN.md §10):
 //
 //	-pprof f      write a CPU profile of the run to f
@@ -25,21 +30,83 @@
 //	-counters     dump the process-wide counter registry after the run
 //	              (also published as the "dmtsim" expvar)
 //	-walk-trace N capture per-walk trace events and print the last N
+//	-trace-cap N  bound each shard's walk-trace ring (default 4096)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime/pprof"
 	"runtime/trace"
+	"syscall"
 
 	"dmt/internal/experiments"
 	"dmt/internal/obs"
 	"dmt/internal/sim"
 	"dmt/internal/workload"
 )
+
+// cliFlags collects every user-supplied value so validation is a pure,
+// testable function rather than scattered log.Fatalf calls.
+type cliFlags struct {
+	envName   string
+	design    string
+	wlName    string
+	thp       bool
+	ops       int
+	wsMiB     int
+	scale     int
+	seed      int64
+	breakdown bool
+	faults    bool
+	quiet     bool
+	workers   int
+	shards    int
+	pprofOut  string
+	traceOut  string
+	counters  bool
+	walkTrace int
+	traceCap  int
+}
+
+// validate rejects nonsensical sizing and unknown names up front. It
+// returns the parsed environment, design, and workload so the happy path
+// never re-parses; main maps any error to exit status 2.
+func (f cliFlags) validate() (sim.Environment, sim.Design, workload.Spec, error) {
+	switch {
+	case f.ops <= 0:
+		return 0, "", workload.Spec{}, fmt.Errorf("-ops must be positive (got %d)", f.ops)
+	case f.workers < 0:
+		return 0, "", workload.Spec{}, fmt.Errorf("-workers must be >= 0 (got %d; 0 means 1)", f.workers)
+	case f.shards < 0:
+		return 0, "", workload.Spec{}, fmt.Errorf("-shards must be >= 0 (got %d; 0 means -workers)", f.shards)
+	case f.wsMiB < 0:
+		return 0, "", workload.Spec{}, fmt.Errorf("-ws must be >= 0 (got %d; 0 means the scaled default)", f.wsMiB)
+	case f.scale < 1:
+		return 0, "", workload.Spec{}, fmt.Errorf("-scale must be >= 1 (got %d)", f.scale)
+	case f.walkTrace < 0:
+		return 0, "", workload.Spec{}, fmt.Errorf("-walk-trace must be >= 0 (got %d)", f.walkTrace)
+	case f.traceCap < 0:
+		return 0, "", workload.Spec{}, fmt.Errorf("-trace-cap must be >= 0 (got %d; 0 means the default ring)", f.traceCap)
+	}
+	env, err := sim.ParseEnvironment(f.envName)
+	if err != nil {
+		return 0, "", workload.Spec{}, err
+	}
+	design, err := sim.ParseDesign(f.design)
+	if err != nil {
+		return 0, "", workload.Spec{}, err
+	}
+	wl, err := workload.ByName(f.wlName)
+	if err != nil {
+		return 0, "", workload.Spec{}, err
+	}
+	return env, design, wl, nil
+}
 
 // startProfiling opens the -pprof / -trace-out sinks and returns the
 // stop function to defer; a zero-value pair of flags is a no-op.
@@ -73,53 +140,46 @@ func startProfiling(pprofPath, tracePath string) func() {
 }
 
 func main() {
-	var (
-		envName   = flag.String("env", "native", "environment: native, virt, nested")
-		design    = flag.String("design", "vanilla", "translation design")
-		wlName    = flag.String("workload", "GUPS", "benchmark name (Table 4)")
-		thp       = flag.Bool("thp", false, "enable transparent huge pages")
-		ops       = flag.Int("ops", 400_000, "trace length")
-		wsMiB     = flag.Int("ws", 0, "working set in MiB (0 = scaled default)")
-		scale     = flag.Int("scale", 16, "cache/TLB scaling divisor")
-		seed      = flag.Int64("seed", 42, "trace seed")
-		breakdown = flag.Bool("breakdown", false, "print the per-step walk breakdown")
-		faults    = flag.Bool("faults", false, "run the fault-injection campaign and print the degradation table")
-		quiet     = flag.Bool("q", false, "suppress progress output (with -faults)")
-		workers   = flag.Int("workers", 1, "goroutines simulating trace shards (results are identical for any value)")
-		shards    = flag.Int("shards", 0, "trace shards (0 = workers); results depend on shards, not workers")
-		pprofOut  = flag.String("pprof", "", "write a CPU profile to this file")
-		traceOut  = flag.String("trace-out", "", "write a runtime execution trace to this file")
-		counters  = flag.Bool("counters", false, "dump the process-wide counter registry after the run")
-		walkTrace = flag.Int("walk-trace", 0, "capture per-walk trace events and print the last N")
-	)
+	var f cliFlags
+	flag.StringVar(&f.envName, "env", "native", "environment: native, virt, nested")
+	flag.StringVar(&f.design, "design", "vanilla", "translation design")
+	flag.StringVar(&f.wlName, "workload", "GUPS", "benchmark name (Table 4)")
+	flag.BoolVar(&f.thp, "thp", false, "enable transparent huge pages")
+	flag.IntVar(&f.ops, "ops", 400_000, "trace length")
+	flag.IntVar(&f.wsMiB, "ws", 0, "working set in MiB (0 = scaled default)")
+	flag.IntVar(&f.scale, "scale", 16, "cache/TLB scaling divisor")
+	flag.Int64Var(&f.seed, "seed", 42, "trace seed")
+	flag.BoolVar(&f.breakdown, "breakdown", false, "print the per-step walk breakdown")
+	flag.BoolVar(&f.faults, "faults", false, "run the fault-injection campaign and print the degradation table")
+	flag.BoolVar(&f.quiet, "q", false, "suppress progress output (with -faults)")
+	flag.IntVar(&f.workers, "workers", 1, "goroutines simulating trace shards (results are identical for any value)")
+	flag.IntVar(&f.shards, "shards", 0, "trace shards (0 = workers); results depend on shards, not workers")
+	flag.StringVar(&f.pprofOut, "pprof", "", "write a CPU profile to this file")
+	flag.StringVar(&f.traceOut, "trace-out", "", "write a runtime execution trace to this file")
+	flag.BoolVar(&f.counters, "counters", false, "dump the process-wide counter registry after the run")
+	flag.IntVar(&f.walkTrace, "walk-trace", 0, "capture per-walk trace events and print the last N")
+	flag.IntVar(&f.traceCap, "trace-cap", 0, "bound each shard's walk-trace ring (0 = default 4096)")
 	flag.Parse()
 
-	obs.PublishExpvar()
-	defer startProfiling(*pprofOut, *traceOut)()
-	if *counters {
-		defer func() { fmt.Print("\nprocess counters:\n" + obs.Default.Dump()) }()
+	env, design, wl, err := f.validate()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmtsim: %v\n", err)
+		os.Exit(2)
 	}
 
-	var env sim.Environment
-	switch *envName {
-	case "native":
-		env = sim.EnvNative
-	case "virt", "virtualized":
-		env = sim.EnvVirt
-	case "nested":
-		env = sim.EnvNested
-	default:
-		log.Fatalf("unknown environment %q", *envName)
+	obs.PublishExpvar()
+	defer startProfiling(f.pprofOut, f.traceOut)()
+	if f.counters {
+		defer func() { fmt.Print("\nprocess counters:\n" + obs.Default.Dump()) }()
 	}
-	wl, err := workload.ByName(*wlName)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *faults {
-		campaignOps := *ops
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	if f.faults {
+		campaignOps := f.ops
 		opsSet := false
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "ops" {
+		flag.Visit(func(fl *flag.Flag) {
+			if fl.Name == "ops" {
 				opsSet = true
 			}
 		})
@@ -129,34 +189,34 @@ func main() {
 			campaignOps = 40_000
 		}
 		opt := experiments.Options{
-			Ops: campaignOps, WSBytes: uint64(*wsMiB) << 20,
-			CacheScale: *scale, Seed: *seed,
+			Ops: campaignOps, WSBytes: uint64(f.wsMiB) << 20,
+			CacheScale: f.scale, Seed: f.seed,
 			Workloads: []workload.Spec{wl},
-			Workers:   *workers,
+			Workers:   f.workers,
 		}
-		if !*quiet {
+		if !f.quiet {
 			opt.Logf = func(format string, args ...interface{}) {
 				fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
 			}
 		}
-		out, err := experiments.FaultCampaign(experiments.NewRunner(opt))
+		out, err := experiments.FaultCampaignCtx(ctx, experiments.NewRunner(opt))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Print(out)
 		return
 	}
-	res, err := sim.Run(sim.Config{
-		Env: env, Design: sim.Design(*design), THP: *thp, Workload: wl,
-		WSBytes: uint64(*wsMiB) << 20, Ops: *ops, Seed: *seed, CacheScale: *scale,
-		Workers: *workers, Shards: *shards,
-		Trace: *walkTrace > 0,
+	res, err := sim.RunCtx(ctx, sim.Config{
+		Env: env, Design: design, THP: f.thp, Workload: wl,
+		WSBytes: uint64(f.wsMiB) << 20, Ops: f.ops, Seed: f.seed, CacheScale: f.scale,
+		Workers: f.workers, Shards: f.shards,
+		Trace: f.walkTrace > 0, TraceCap: f.traceCap,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("config:            %s / %s / %s (THP=%v)\n", *envName, *design, wl.Name, *thp)
+	fmt.Printf("config:            %s / %s / %s (THP=%v)\n", f.envName, design, wl.Name, f.thp)
 	fmt.Printf("trace ops:         %d\n", res.Ops)
 	fmt.Printf("TLB miss ratio:    %.4f (%d misses)\n", res.MissRatio(), res.TLBMisses)
 	fmt.Printf("avg walk latency:  %.1f cycles\n", res.AvgWalkCycles())
@@ -174,7 +234,7 @@ func main() {
 		fmt.Printf("hypercalls:        %d, VM exits: %d, shadow syncs: %d\n",
 			res.Hypercalls, res.VMExits, res.ShadowSyncs)
 	}
-	if *breakdown {
+	if f.breakdown {
 		fmt.Println("\nper-step breakdown (amortized cycles/walk, share of walk latency):")
 		for _, s := range res.Breakdown() {
 			fmt.Printf("  %-10s %8.2f cyc  %5.1f%%  (%d hits)\n", s.Label,
@@ -182,10 +242,10 @@ func main() {
 				100*float64(s.Cycles)/float64(max64(res.WalkCycles, 1)), s.Count)
 		}
 	}
-	if *walkTrace > 0 {
+	if f.walkTrace > 0 {
 		events := res.Trace
-		if len(events) > *walkTrace {
-			events = events[len(events)-*walkTrace:]
+		if len(events) > f.walkTrace {
+			events = events[len(events)-f.walkTrace:]
 		}
 		fmt.Printf("\nwalk trace (last %d of %d captured, %d total):\n",
 			len(events), len(res.Trace), res.TraceTotal)

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// goodFlags is a baseline that must validate; each case below perturbs it.
+func goodFlags() cliFlags {
+	return cliFlags{
+		envName: "native", design: "vanilla", wlName: "GUPS",
+		ops: 400_000, scale: 16, seed: 42, workers: 1,
+	}
+}
+
+func TestValidateRejectsNonsense(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*cliFlags)
+		wantErr string
+	}{
+		{"zero ops", func(f *cliFlags) { f.ops = 0 }, "-ops must be positive"},
+		{"negative ops", func(f *cliFlags) { f.ops = -5 }, "-ops must be positive"},
+		{"negative workers", func(f *cliFlags) { f.workers = -1 }, "-workers must be >= 0"},
+		{"negative shards", func(f *cliFlags) { f.shards = -4 }, "-shards must be >= 0"},
+		{"negative ws", func(f *cliFlags) { f.wsMiB = -1 }, "-ws must be >= 0"},
+		{"zero scale", func(f *cliFlags) { f.scale = 0 }, "-scale must be >= 1"},
+		{"negative walk-trace", func(f *cliFlags) { f.walkTrace = -3 }, "-walk-trace must be >= 0"},
+		{"negative trace-cap", func(f *cliFlags) { f.traceCap = -1 }, "-trace-cap must be >= 0"},
+		{"unknown env", func(f *cliFlags) { f.envName = "bare-metal" }, "unknown environment"},
+		{"unknown design", func(f *cliFlags) { f.design = "radix64" }, "unknown design"},
+		{"unknown workload", func(f *cliFlags) { f.wlName = "STREAM" }, "workload"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := goodFlags()
+			tc.mutate(&f)
+			if _, _, _, err := f.validate(); err == nil {
+				t.Fatalf("validate() accepted %+v", f)
+			} else if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate() error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	f := goodFlags()
+	env, design, wl, err := f.validate()
+	if err != nil {
+		t.Fatalf("validate() rejected the defaults: %v", err)
+	}
+	if env.String() != "native" || string(design) != "vanilla" || wl.Name != "GUPS" {
+		t.Fatalf("validate() parsed (%v, %s, %s)", env, design, wl.Name)
+	}
+	// Zero values that mean "use the default" must stay accepted.
+	f.workers, f.shards, f.wsMiB, f.walkTrace, f.traceCap = 0, 0, 0, 0, 0
+	if _, _, _, err := f.validate(); err != nil {
+		t.Fatalf("validate() rejected zero defaults: %v", err)
+	}
+	// Env aliases accepted by the serving API parse here too.
+	for _, alias := range []string{"virt", "virtualized", "nested"} {
+		f := goodFlags()
+		f.envName = alias
+		if _, _, _, err := f.validate(); err != nil {
+			t.Fatalf("validate() rejected env %q: %v", alias, err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -35,10 +36,17 @@ func faultDesigns(env sim.Environment) []sim.Design {
 // Results are deterministic for a fixed Options.Seed: schedules carry
 // their own seeds and the simulator introduces no other randomness.
 func FaultCampaign(r *Runner) (string, error) {
+	return FaultCampaignCtx(context.Background(), r)
+}
+
+// FaultCampaignCtx is FaultCampaign under a context: cancellation aborts the
+// in-flight cell at its next step batch and the campaign returns the context
+// error instead of a partial table.
+func FaultCampaignCtx(ctx context.Context, r *Runner) (string, error) {
 	var b strings.Builder
 	opt := r.Options()
 	for _, wl := range opt.Workloads {
-		s, err := faultCampaignFor(opt, wl)
+		s, err := faultCampaignFor(ctx, opt, wl)
 		if err != nil {
 			return "", err
 		}
@@ -47,7 +55,7 @@ func FaultCampaign(r *Runner) (string, error) {
 	return b.String(), nil
 }
 
-func faultCampaignFor(opt Options, wl workload.Spec) (string, error) {
+func faultCampaignFor(ctx context.Context, opt Options, wl workload.Spec) (string, error) {
 	t := &stats.Table{
 		Title: fmt.Sprintf("Fault campaign: graceful degradation under injected faults (%s, %d ops, seed %d)",
 			wl.Name, opt.Ops, opt.Seed),
@@ -57,13 +65,16 @@ func faultCampaignFor(opt Options, wl workload.Spec) (string, error) {
 	totalChecked := uint64(0)
 	for _, env := range []sim.Environment{sim.EnvNative, sim.EnvVirt, sim.EnvNested} {
 		for _, d := range faultDesigns(env) {
+			if err := ctx.Err(); err != nil {
+				return "", err
+			}
 			cfg := sim.Config{
 				Env: env, Design: d, THP: true, Workload: wl,
 				WSBytes: opt.WSBytes, Ops: opt.Ops, Seed: opt.Seed,
 				CacheScale: opt.CacheScale,
 			}
 			opt.Logf("fault campaign baseline %v/%s %s ...", env, d, wl.Name)
-			base, err := sim.Run(cfg)
+			base, err := sim.RunCtx(ctx, cfg)
 			if err != nil {
 				return "", fmt.Errorf("baseline %v/%s: %w", env, d, err)
 			}
@@ -73,7 +84,7 @@ func faultCampaignFor(opt Options, wl workload.Spec) (string, error) {
 				fcfg.FaultPlan = &p
 				fcfg.Verify = true
 				opt.Logf("fault campaign %v/%s/%s %s ...", env, d, plan.Name, wl.Name)
-				res, err := sim.Run(fcfg)
+				res, err := sim.RunCtx(ctx, fcfg)
 				if err != nil {
 					return "", fmt.Errorf("%v/%s/%s: %w", env, d, plan.Name, err)
 				}

@@ -3,6 +3,8 @@ package obs
 import (
 	"expvar"
 	"fmt"
+	"io"
+	"net/http"
 	"sort"
 	"strings"
 	"sync"
@@ -103,6 +105,16 @@ func (r *Registry) Reset() {
 
 // Dump renders the registry as sorted text lines.
 func (r *Registry) Dump() string { return r.Snapshot().Dump() }
+
+// Handler returns an http.Handler rendering the registry as sorted
+// "name value" text lines — the plain-text counterpart of the expvar
+// export, mounted by the serving layer as /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, r.Dump())
+	})
+}
 
 var publishOnce sync.Once
 

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /run      submit a simulation and wait for its result
+//	GET  /healthz  liveness + queue occupancy (503 while draining)
+//	GET  /metrics  the obs registry as sorted "name value" text lines
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+	cfg, err := req.Config(s.cfg.MaxOps)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx := r.Context()
+	if req.TimeoutMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		defer cancel()
+	}
+	res, coalesced, err := s.Submit(ctx, cfg)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		// The job's own deadline, or this requester's timeout_ms.
+		writeError(w, http.StatusGatewayTimeout, err.Error())
+		return
+	case errors.Is(err, context.Canceled):
+		// Server shutdown aborted the run (a disconnected client never
+		// reads this code).
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := ResponseFor(res)
+	resp.Coalesced = coalesced
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		// Response already committed; nothing sane to send.
+		return
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	queued, capacity, inflight := s.queueStats()
+	status, code := "ok", http.StatusOK
+	if s.Draining() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]interface{}{
+		"status":    status,
+		"queued":    queued,
+		"queue_cap": capacity,
+		"inflight":  inflight,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	queued, _, inflight := s.queueStats()
+	s.reg.Set("serve.queue_depth", uint64(queued))
+	s.reg.Set("serve.inflight", uint64(inflight))
+	s.reg.Handler().ServeHTTP(w, r)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,279 @@
+// Package serve turns the sharded simulation engine into a long-running
+// HTTP/JSON service: a bounded job queue with admission control (429 when
+// full), singleflight coalescing of identical configurations layered on the
+// engine's prototype cache, per-job deadlines, graceful drain, and
+// /healthz + /metrics endpoints backed by the internal/obs registry. The
+// service contract — queue bounds, the coalescing key, cancellation
+// granularity, drain semantics — is documented in DESIGN.md §11.
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"dmt/internal/obs"
+	"dmt/internal/sim"
+)
+
+// Config sizes the service.
+type Config struct {
+	// QueueDepth bounds how many distinct jobs may be admitted but not yet
+	// started; a full queue rejects new work (HTTP 429). Coalesced requests
+	// ride an existing job and never consume a slot. Default 64.
+	QueueDepth int
+	// Workers is how many jobs execute concurrently (each job additionally
+	// runs its shards on its own sim worker pool). Default 2.
+	Workers int
+	// JobTimeout bounds one job's execution, measured from the moment a
+	// worker picks it up (queue wait is bounded by the requester's own
+	// timeout instead). Default 2 minutes; negative disables.
+	JobTimeout time.Duration
+	// MaxOps caps the trace length a request may ask for. Default 50M;
+	// negative disables.
+	MaxOps int
+	// Registry receives the service counters and backs /metrics.
+	// Default obs.Default.
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 2 * time.Minute
+	}
+	if c.MaxOps == 0 {
+		c.MaxOps = 50_000_000
+	}
+	if c.Registry == nil {
+		c.Registry = obs.Default
+	}
+	return c
+}
+
+// Sentinel admission errors; the HTTP layer maps them to 503 and 429.
+var (
+	ErrDraining  = errors.New("serve: draining, not accepting new jobs")
+	ErrQueueFull = errors.New("serve: job queue full")
+)
+
+// flight is one admitted simulation shared by every request that coalesced
+// onto it. Its context is detached from any single requester: it dies when
+// the last waiter abandons it, when its per-job deadline expires, or when
+// the server closes — never when just one of several waiters goes away.
+type flight struct {
+	key     jobKey
+	cfg     sim.Config
+	ctx     context.Context
+	cancel  context.CancelFunc
+	done    chan struct{}
+	res     *sim.Result
+	err     error
+	waiters int // guarded by Server.mu
+}
+
+// Server is the long-running simulation service. Create with New, mount
+// Handler on an http.Server, and shut down with Drain then Close.
+type Server struct {
+	cfg     Config
+	reg     *obs.Registry
+	baseCtx context.Context
+	stop    context.CancelFunc
+
+	mu       sync.Mutex
+	flights  map[jobKey]*flight // admitted or running, coalescing targets
+	draining bool
+	closed   bool
+
+	queue   chan *flight
+	workers sync.WaitGroup // worker goroutines
+	jobs    sync.WaitGroup // admitted jobs not yet finished
+}
+
+// New starts a server's worker pool and returns it ready to admit jobs.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		baseCtx: ctx,
+		stop:    stop,
+		flights: map[jobKey]*flight{},
+		queue:   make(chan *flight, cfg.QueueDepth),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit admits (or coalesces) one job and waits for its result or for
+// reqCtx to expire. The bool reports whether the request coalesced onto a
+// flight another requester started. cfg is normalized internally.
+func (s *Server) Submit(reqCtx context.Context, cfg sim.Config) (*sim.Result, bool, error) {
+	cfg = cfg.Normalized()
+	f, coalesced, err := s.admit(keyFor(cfg), cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	select {
+	case <-f.done:
+		return f.res, coalesced, f.err
+	case <-reqCtx.Done():
+		s.abandon(f)
+		return nil, coalesced, reqCtx.Err()
+	}
+}
+
+// admit either attaches the request to an in-flight identical job or
+// enqueues a new one, enforcing drain and queue bounds.
+func (s *Server) admit(key jobKey, cfg sim.Config) (*flight, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.reg.Add("serve.rejected_draining", 1)
+		return nil, false, ErrDraining
+	}
+	if f, ok := s.flights[key]; ok {
+		f.waiters++
+		s.reg.Add("serve.coalesced", 1)
+		return f, true, nil
+	}
+	fctx, fcancel := context.WithCancel(s.baseCtx)
+	f := &flight{key: key, cfg: cfg, ctx: fctx, cancel: fcancel, done: make(chan struct{}), waiters: 1}
+	select {
+	case s.queue <- f:
+	default:
+		fcancel()
+		s.reg.Add("serve.rejected_full", 1)
+		return nil, false, ErrQueueFull
+	}
+	s.flights[key] = f
+	s.jobs.Add(1)
+	s.reg.Add("serve.admitted", 1)
+	return f, false, nil
+}
+
+// abandon detaches one waiter. The last waiter out cancels the flight —
+// nobody wants the result — and frees its key so a later identical request
+// starts fresh instead of coalescing onto a dying run.
+func (s *Server) abandon(f *flight) {
+	s.mu.Lock()
+	f.waiters--
+	orphaned := f.waiters == 0
+	if orphaned && s.flights[f.key] == f {
+		delete(s.flights, f.key)
+	}
+	s.mu.Unlock()
+	if orphaned {
+		f.cancel()
+		s.reg.Add("serve.abandoned", 1)
+	}
+}
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for f := range s.queue {
+		s.runFlight(f)
+		s.jobs.Done()
+	}
+}
+
+// runFlight executes one job under its per-job deadline and publishes the
+// result. The key is released before done is closed, so a submission racing
+// the completion either coalesces onto the still-useful result or starts a
+// fresh flight — never attaches to a closed one.
+func (s *Server) runFlight(f *flight) {
+	defer f.cancel()
+	ctx := f.ctx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		f.err = err // abandoned or shut down while queued; skip the run
+	} else {
+		f.res, f.err = sim.RunCtx(ctx, f.cfg)
+	}
+	s.mu.Lock()
+	if s.flights[f.key] == f {
+		delete(s.flights, f.key)
+	}
+	s.mu.Unlock()
+	close(f.done)
+	switch {
+	case f.err == nil:
+		s.reg.Add("serve.completed", 1)
+		s.reg.Add("serve.run_ns", uint64(time.Since(start).Nanoseconds()))
+	case errors.Is(f.err, context.DeadlineExceeded):
+		s.reg.Add("serve.deadline_exceeded", 1)
+	case errors.Is(f.err, context.Canceled):
+		s.reg.Add("serve.cancelled", 1)
+	default:
+		s.reg.Add("serve.failed", 1)
+	}
+}
+
+// Draining reports whether the server has stopped admitting jobs.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops admission — new submissions fail with ErrDraining (HTTP 503)
+// — and waits until every already-admitted job has finished, or until ctx
+// expires. In-flight jobs run to completion; nothing is aborted.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.jobs.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close shuts the server down: admission stops, every still-running job is
+// cancelled (its waiters observe context.Canceled), and the worker pool is
+// joined. Graceful shutdown is Drain (finish in-flight work) then Close;
+// Close alone is the abrupt path. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	s.closed = true
+	// Safe: admissions send under the same mutex and draining is already
+	// set, so no send can follow this close.
+	close(s.queue)
+	s.mu.Unlock()
+	s.stop()
+	s.workers.Wait()
+}
+
+// queueStats snapshots queue occupancy for /healthz and /metrics gauges.
+func (s *Server) queueStats() (queued, capacity, inflight int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue), cap(s.queue), len(s.flights)
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -285,19 +287,49 @@ type ShardResult struct {
 	Res   *Result
 }
 
+// stepBatch is how many trace operations a shard executes between context
+// checks. Cancellation therefore lands within one batch of simulated work
+// per running shard: prompt at simulation timescales, while keeping the
+// per-step overhead to one modulo and one predictable branch (the walk hot
+// path itself — Instance.Step — never touches the context).
+const stepBatch = 1024
+
 // RunShards executes every shard of cfg — concurrently when cfg.Workers > 1
 // — and returns the per-shard results. Each part depends only on (cfg,
 // shard), never on scheduling, so callers may merge them in any order.
 func RunShards(cfg Config) ([]ShardResult, error) {
+	return RunShardsCtx(context.Background(), cfg)
+}
+
+// RunShardsCtx is RunShards under a context: cancellation (or deadline
+// expiry) aborts every shard at its next step-batch boundary and returns
+// ctx.Err(). When one shard fails on its own, its siblings are aborted the
+// same way — finishing them cannot change the outcome, only burn the full
+// simulation cost — and the error reported is deterministically the
+// lowest-shard real failure, never a sibling's abort echo.
+func RunShardsCtx(ctx context.Context, cfg Config) ([]ShardResult, error) {
 	cfg = cfg.withDefaults()
 	shards := cfg.Shards
 	parts := make([]ShardResult, shards)
-	runShard := func(s int) error {
+	runShard := func(ctx context.Context, s int) error {
+		if err := ctx.Err(); err != nil {
+			obs.Default.Add("engine.shard_aborts", 1)
+			return err
+		}
 		in, err := newShardInstance(cfg, s, shards)
 		if err != nil {
 			return err
 		}
+		// Account executed steps once per shard (off the hot path); the
+		// abort regression tests bound this across a failing campaign.
+		defer func() { obs.Default.Add("engine.steps_run", uint64(in.op)) }()
 		for i := 0; i < in.ops; i++ {
+			if i > 0 && i%stepBatch == 0 {
+				if err := ctx.Err(); err != nil {
+					obs.Default.Add("engine.shard_aborts", 1)
+					return err
+				}
+			}
 			if err := in.Step(); err != nil {
 				return err
 			}
@@ -309,6 +341,14 @@ func RunShards(cfg Config) ([]ShardResult, error) {
 		parts[s] = ShardResult{Shard: s, Res: res}
 		return nil
 	}
+	// wrapShard annotates a shard's own failure with its index; the classic
+	// single-shard run keeps its historical error text.
+	wrapShard := func(s int, err error) error {
+		if shards == 1 {
+			return err
+		}
+		return fmt.Errorf("shard %d: %w", s, err)
+	}
 
 	workers := cfg.Workers
 	if workers > shards {
@@ -316,13 +356,20 @@ func RunShards(cfg Config) ([]ShardResult, error) {
 	}
 	if workers <= 1 {
 		for s := 0; s < shards; s++ {
-			if err := runShard(s); err != nil {
-				return nil, err
+			if err := runShard(ctx, s); err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, cerr
+				}
+				return nil, wrapShard(s, err)
 			}
 		}
 		return parts, nil
 	}
 
+	// ictx aborts the sibling pool on the first shard failure; the parent
+	// ctx still distinguishes caller-initiated cancellation afterwards.
+	ictx, cancelSiblings := context.WithCancel(ctx)
+	defer cancelSiblings()
 	errs := make([]error, shards)
 	work := make(chan int)
 	var wg sync.WaitGroup
@@ -331,7 +378,10 @@ func RunShards(cfg Config) ([]ShardResult, error) {
 		go func() {
 			defer wg.Done()
 			for s := range work {
-				errs[s] = runShard(s)
+				if err := runShard(ictx, s); err != nil {
+					errs[s] = err
+					cancelSiblings()
+				}
 			}
 		}()
 	}
@@ -340,10 +390,24 @@ func RunShards(cfg Config) ([]ShardResult, error) {
 	}
 	close(work)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// The caller cancelled (or timed out): report that, not whichever
+		// shard noticed first.
+		return nil, err
+	}
+	// Deterministic error selection: the lowest-shard real failure wins.
+	// Shards that returned context.Canceled were aborted on a sibling's
+	// behalf (the parent context is live here) — their echoes must not mask
+	// the failure that triggered the abort.
 	for s := 0; s < shards; s++ {
-		// First error by shard order, so failures are deterministic too.
+		if errs[s] == nil || errors.Is(errs[s], context.Canceled) {
+			continue
+		}
+		return nil, wrapShard(s, errs[s])
+	}
+	for s := 0; s < shards; s++ {
 		if errs[s] != nil {
-			return nil, errs[s]
+			return nil, wrapShard(s, errs[s])
 		}
 	}
 	return parts, nil

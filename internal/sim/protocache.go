@@ -64,12 +64,22 @@ type Prototype struct {
 	nested *nestedParts
 }
 
+// buildFailureHook, when non-nil, may veto a prototype build. Tests install
+// it to simulate transient build failures (exhausted physical layouts,
+// backend pressure) and prove they do not wedge the cache.
+var buildFailureHook func(Config) error
+
 // NewPrototype builds the substrate for cfg once, uncached. Most callers
 // want the engine's transparent cache (just run with ColdBuild unset);
 // this entry point exists for benchmarks and tests that need to measure or
 // isolate a single build.
 func NewPrototype(cfg Config) (*Prototype, error) {
 	cfg = cfg.withDefaults()
+	if buildFailureHook != nil {
+		if err := buildFailureHook(cfg); err != nil {
+			return nil, err
+		}
+	}
 	p := &Prototype{cfg: cfg}
 	var err error
 	switch cfg.Env {
@@ -200,6 +210,24 @@ func cachedPrototype(cfg Config) (*Prototype, error) {
 		protoCache.mu.Unlock()
 	})
 	if e.err != nil {
+		// Errors are not memoized: a failed build must not poison its key
+		// for the life of the process. Concurrent waiters on this entry all
+		// observe the failure (they asked while it was in flight), but the
+		// entry is dropped so the next lookup re-probes the build —
+		// transient failures heal on retry instead of wedging every
+		// subsequent identical run.
+		protoCache.mu.Lock()
+		if cur, ok := protoCache.entries[key]; ok && cur == e {
+			delete(protoCache.entries, key)
+			for i, k := range protoCache.order {
+				if k == key {
+					protoCache.order = append(protoCache.order[:i], protoCache.order[i+1:]...)
+					break
+				}
+			}
+		}
+		protoCache.mu.Unlock()
+		obs.Default.Add("build.failed", 1)
 		return nil, e.err
 	}
 	return e.proto, nil

@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -41,6 +42,20 @@ func (e Environment) String() string {
 	return fmt.Sprintf("Environment(%d)", int(e))
 }
 
+// ParseEnvironment maps an environment name (as accepted by the CLIs and
+// the serving API) to its Environment.
+func ParseEnvironment(name string) (Environment, error) {
+	switch name {
+	case "native":
+		return EnvNative, nil
+	case "virt", "virtualized":
+		return EnvVirt, nil
+	case "nested":
+		return EnvNested, nil
+	}
+	return 0, fmt.Errorf("sim: unknown environment %q (want native, virt, nested)", name)
+}
+
 // Design selects the translation design under test.
 type Design string
 
@@ -58,6 +73,16 @@ const (
 	DesignAgile   Design = "agile"
 	DesignASAP    Design = "asap"
 )
+
+// ParseDesign validates a design name against the known set.
+func ParseDesign(name string) (Design, error) {
+	switch d := Design(name); d {
+	case DesignVanilla, DesignShadow, DesignDMT, DesignPvDMT,
+		DesignECPT, DesignFPT, DesignAgile, DesignASAP:
+		return d, nil
+	}
+	return "", fmt.Errorf("sim: unknown design %q (want vanilla, shadow, dmt, pvdmt, ecpt, fpt, agile, asap)", name)
+}
 
 // Config describes one run.
 type Config struct {
@@ -154,6 +179,13 @@ func (c Config) withDefaults() Config {
 	}
 	return c
 }
+
+// Normalized returns the configuration with the engine's defaults applied
+// — the form in which every result-determining field is explicit. Two
+// configurations with equal normalized result-determining fields (Workers
+// aside, which only schedules) produce bit-identical Results; the serving
+// layer keys request coalescing on exactly this form.
+func (c Config) Normalized() Config { return c.withDefaults() }
 
 // genSeed is the seed driving this configuration's trace generator.
 func (c Config) genSeed() int64 {
@@ -414,8 +446,17 @@ type machine struct {
 // cfg.Workers goroutines and merged order-independently (engine.go); with
 // the defaults (one shard, one worker) this is the classic serial run.
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run under a context: cancellation or deadline expiry aborts
+// every shard at its next step-batch boundary (engine.go) and returns
+// ctx.Err(). An aborted run leaves no residue — the prototype cache keeps
+// only successfully built machines, so the same configuration re-runs
+// cleanly afterwards.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	parts, err := RunShards(cfg)
+	parts, err := RunShardsCtx(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
