@@ -11,7 +11,9 @@
 // Endpoints (see DESIGN.md §11 and the README "Serving" section):
 //
 //	POST /run      submit a job and wait for its result
-//	GET  /healthz  liveness + queue occupancy (503 while draining)
+//	GET  /livez    liveness (200 even while draining — in-flight jobs finish)
+//	GET  /readyz   readiness (503 while draining; coordinators stop routing)
+//	GET  /healthz  back-compat alias for /readyz
 //	GET  /metrics  process-wide counters as "name value" text lines
 //
 // Admission control: a full queue answers 429 (with Retry-After); during a

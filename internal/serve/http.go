@@ -12,12 +12,19 @@ import (
 // Handler returns the service's HTTP surface:
 //
 //	POST /run      submit a simulation and wait for its result
-//	GET  /healthz  liveness + queue occupancy (503 while draining)
+//	GET  /livez    liveness: 200 as long as the process serves requests,
+//	               even while draining (in-flight jobs are still finishing)
+//	GET  /readyz   readiness: 200 while admitting new jobs, 503 once
+//	               draining — load balancers and the sweep coordinator stop
+//	               routing here without killing in-flight work
+//	GET  /healthz  back-compat alias for /readyz
 //	GET  /metrics  the obs registry as sorted "name value" text lines
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /run", s.handleRun)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /livez", s.handleLivez)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /healthz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -55,9 +62,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		// The job's own deadline, or this requester's timeout_ms.
 		writeError(w, http.StatusGatewayTimeout, err.Error())
 		return
-	case errors.Is(err, context.Canceled):
-		// Server shutdown aborted the run (a disconnected client never
-		// reads this code).
+	case errors.Is(err, ErrAborted), errors.Is(err, context.Canceled):
+		// Server-side abort (shutdown or abandoned flight) — transient; a
+		// retry lands on a fresh flight, so advertise it (a disconnected
+		// client never reads this code, but a coalesced or relaying one
+		// does).
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	default:
@@ -73,7 +83,25 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+// handleLivez is the liveness probe: 200 for as long as the process can
+// answer HTTP at all. A draining server is still live — its in-flight jobs
+// are finishing — so orchestrators must not kill it off this endpoint.
+func (s *Server) handleLivez(w http.ResponseWriter, _ *http.Request) {
+	queued, capacity, inflight := s.queueStats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]interface{}{
+		"status":    "ok",
+		"queued":    queued,
+		"queue_cap": capacity,
+		"inflight":  inflight,
+	})
+}
+
+// handleReadyz is the readiness probe: 200 while the server admits new
+// jobs, 503 once draining. The sweep coordinator routes cells only to
+// ready workers, so a draining daemon stops receiving work while its
+// in-flight cells run to completion (it stays live — see handleLivez).
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	queued, capacity, inflight := s.queueStats()
 	status, code := "ok", http.StatusOK
 	if s.Draining() {

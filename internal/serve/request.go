@@ -94,6 +94,24 @@ type jobKey struct {
 	verify bool
 }
 
+// CanonicalKey renders the result-determining subset of a configuration —
+// the same fields as the in-memory coalescing jobKey, in the same spirit —
+// as one stable text line. It is the durable identity of a simulation: the
+// sweep fabric's cell key and the content address of the persistent result
+// store (internal/store) are both derived from it, so a result computed by
+// any worker anywhere can be recognized by any coordinator later. The
+// leading version tag invalidates every stored entry if the key schema
+// ever changes. Workers is excluded (it schedules, never changes results);
+// the engine-only knobs the wire does not expose (fault plans, TEA
+// ablations, fragmentation targets) are zero by construction for every
+// request that can reach this layer.
+func CanonicalKey(cfg sim.Config) string {
+	cfg = cfg.Normalized()
+	return fmt.Sprintf("v1 env=%s design=%s thp=%t wl=%s ws=%d scale=%d ops=%d seed=%d shards=%d verify=%t",
+		cfg.Env, cfg.Design, cfg.THP, cfg.Workload.Name, cfg.WSBytes,
+		cfg.CacheScale, cfg.Ops, cfg.Seed, cfg.Shards, cfg.Verify)
+}
+
 // keyFor derives the coalescing key; cfg must already be normalized.
 func keyFor(cfg sim.Config) jobKey {
 	return jobKey{

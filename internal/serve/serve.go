@@ -10,6 +10,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -62,6 +63,15 @@ var (
 	ErrDraining  = errors.New("serve: draining, not accepting new jobs")
 	ErrQueueFull = errors.New("serve: job queue full")
 )
+
+// ErrAborted marks a run the server gave up on before completion — the last
+// waiter abandoned the flight, or the server shut down mid-run. It is a
+// transient condition: the same configuration re-submitted later succeeds,
+// so retrying clients (the sweep fabric's classifier, internal/sweep) treat
+// it as retryable. Errors carrying it also carry context.Canceled, keeping
+// the existing counter and status mapping intact. The HTTP layer answers
+// 503 with Retry-After.
+var ErrAborted = errors.New("serve: run aborted server-side")
 
 // flight is one admitted simulation shared by every request that coalesced
 // onto it. Its context is detached from any single requester: it dies when
@@ -204,6 +214,12 @@ func (s *Server) runFlight(f *flight) {
 		f.err = err // abandoned or shut down while queued; skip the run
 	} else {
 		f.res, f.err = sim.RunCtx(ctx, f.cfg)
+	}
+	if f.err != nil && errors.Is(f.err, context.Canceled) && !errors.Is(f.err, context.DeadlineExceeded) {
+		// A server-side abort (abandoned flight or shutdown), not the job
+		// deadline: type it so waiters — and through the HTTP layer, the
+		// sweep retry classifier — can tell transient from permanent.
+		f.err = fmt.Errorf("%w: %w", ErrAborted, f.err)
 	}
 	s.mu.Lock()
 	if s.flights[f.key] == f {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -345,6 +346,174 @@ func TestServeValidation(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("%s: status %d", path, resp.StatusCode)
 		}
+	}
+}
+
+// TestServeLivezReadyz: liveness stays 200 through a drain (in-flight work
+// is still finishing) while readiness — and its back-compat alias /healthz
+// — flips to 503, so a coordinator stops routing without killing the
+// worker.
+func TestServeLivezReadyz(t *testing.T) {
+	goroutinesBefore := runtime.NumGoroutine()
+	reg := obs.NewRegistry()
+	srv := New(Config{QueueDepth: 4, Workers: 1, Registry: reg})
+	ts := httptest.NewServer(srv.Handler())
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	for _, path := range []string{"/livez", "/readyz", "/healthz"} {
+		if code := get(path); code != http.StatusOK {
+			t.Fatalf("%s while idle: status %d, want 200", path, code)
+		}
+	}
+
+	// Keep one slow job in flight so the drain below has work to wait on —
+	// the liveness probe must stay green exactly in that window.
+	slow := RunRequest{
+		Env: "native", Design: "vanilla", Workload: "GUPS", THP: true,
+		Ops: 800_000, Seed: 7, WSMiB: 24, Workers: 1, Shards: 1,
+	}
+	inflight := make(chan int, 1)
+	go func() {
+		status, _, _ := postRun(t, ts.Client(), ts.URL, slow)
+		inflight <- status
+	}()
+	waitFor(t, time.Second, func() bool { return reg.Snapshot()["serve.admitted"] >= 1 })
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(context.Background()) }()
+	waitFor(t, time.Second, func() bool { return srv.Draining() })
+
+	if code := get("/livez"); code != http.StatusOK {
+		t.Fatalf("/livez while draining: status %d, want 200 (draining is live)", code)
+	}
+	for _, path := range []string{"/readyz", "/healthz"} {
+		if code := get(path); code != http.StatusServiceUnavailable {
+			t.Fatalf("%s while draining: status %d, want 503", path, code)
+		}
+	}
+
+	if status := <-inflight; status != http.StatusOK {
+		t.Fatalf("in-flight job during drain: status %d, want 200", status)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	ts.Close()
+	srv.Close()
+	waitForGoroutines(t, goroutinesBefore)
+}
+
+// TestServeAbortedTyped: a run the server abandons mid-flight surfaces as
+// ErrAborted — typed and retryable — still carrying context.Canceled, and
+// the HTTP layer answers 503 with Retry-After so a retry classifier sees a
+// transient failure, not a permanent one.
+func TestServeAbortedTyped(t *testing.T) {
+	goroutinesBefore := runtime.NumGoroutine()
+	reg := obs.NewRegistry()
+	srv := New(Config{QueueDepth: 4, Workers: 1, Registry: reg})
+
+	cfg, err := (&RunRequest{
+		Env: "native", Design: "vanilla", Workload: "GUPS", THP: true,
+		Ops: 40_000_000, Seed: 11, WSMiB: 24, Workers: 1, Shards: 1,
+	}).Config(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := srv.Submit(context.Background(), cfg)
+		errc <- err
+	}()
+	waitFor(t, 5*time.Second, func() bool { return reg.Snapshot()["serve.admitted"] >= 1 })
+	srv.Close() // abrupt shutdown cancels the in-flight run
+	got := <-errc
+	if !errors.Is(got, ErrAborted) {
+		t.Fatalf("aborted run returned %v, want errors.Is(_, ErrAborted)", got)
+	}
+	if !errors.Is(got, context.Canceled) {
+		t.Fatalf("aborted run returned %v, want it to still carry context.Canceled", got)
+	}
+	if reg.Snapshot()["serve.cancelled"] != 1 {
+		t.Fatalf("serve.cancelled = %d, want 1", reg.Snapshot()["serve.cancelled"])
+	}
+	waitForGoroutines(t, goroutinesBefore)
+
+	// Same condition over HTTP: 503 + Retry-After, error body names the
+	// abort.
+	srv2 := New(Config{QueueDepth: 4, Workers: 1, Registry: obs.NewRegistry()})
+	ts := httptest.NewServer(srv2.Handler())
+	body, _ := json.Marshal(RunRequest{
+		Env: "native", Design: "vanilla", Workload: "GUPS", THP: true,
+		Ops: 40_000_000, Seed: 12, WSMiB: 24, Workers: 1, Shards: 1,
+	})
+	type httpReply struct {
+		status     int
+		retryAfter string
+		msg        string
+	}
+	replyc := make(chan httpReply, 1)
+	go func() {
+		resp, err := ts.Client().Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Errorf("POST /run: %v", err)
+			replyc <- httpReply{}
+			return
+		}
+		defer resp.Body.Close()
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		replyc <- httpReply{resp.StatusCode, resp.Header.Get("Retry-After"), e["error"]}
+	}()
+	waitFor(t, 5*time.Second, func() bool { return srv2.reg.Snapshot()["serve.admitted"] >= 1 })
+	srv2.Close()
+	r := <-replyc
+	if r.status != http.StatusServiceUnavailable {
+		t.Fatalf("aborted run over HTTP: status %d (%s), want 503", r.status, r.msg)
+	}
+	if r.retryAfter == "" {
+		t.Fatal("aborted run over HTTP: no Retry-After header")
+	}
+	if !strings.Contains(r.msg, "aborted") {
+		t.Fatalf("aborted run over HTTP: error %q does not name the abort", r.msg)
+	}
+	ts.Close() // also closes the test client's idle keep-alive conns
+	waitForGoroutines(t, goroutinesBefore)
+}
+
+// TestCanonicalKeyStable: the durable cell identity is normalization-
+// invariant (defaults applied or not, Workers ignored) and distinguishes
+// every result-determining field.
+func TestCanonicalKeyStable(t *testing.T) {
+	req := RunRequest{Env: "native", Design: "dmt", Workload: "GUPS", THP: true,
+		Ops: 20_000, Seed: 3, WSMiB: 24, Shards: 2}
+	cfg, err := req.Config(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CanonicalKey(cfg)
+	want := "v1 env=native design=dmt thp=true wl=GUPS ws=25165824 scale=16 ops=20000 seed=3 shards=2 verify=false"
+	if key != want {
+		t.Fatalf("CanonicalKey = %q, want %q", key, want)
+	}
+	workers := cfg
+	workers.Workers = 8
+	if CanonicalKey(workers) != key {
+		t.Fatal("CanonicalKey must ignore Workers (scheduling only)")
+	}
+	if CanonicalKey(cfg.Normalized()) != key {
+		t.Fatal("CanonicalKey must be normalization-invariant")
+	}
+	seed := cfg
+	seed.Seed = 4
+	if CanonicalKey(seed) == key {
+		t.Fatal("CanonicalKey must distinguish seeds")
 	}
 }
 

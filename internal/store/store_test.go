@@ -1,0 +1,201 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"dmt/internal/obs"
+)
+
+const testKey = "v1 env=native design=dmt thp=true wl=GUPS ws=25165824 scale=16 ops=20000 seed=3 shards=2 verify=false"
+
+func openTest(t *testing.T) (*Store, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	s, err := Open(t.TempDir(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, reg
+}
+
+func TestStoreRoundtrip(t *testing.T) {
+	s, reg := openTest(t)
+	payload := json.RawMessage(`{"env":"native","walks":12345,"counters":{"tlb.l1_hits":7}}`)
+
+	if _, ok := s.Get(testKey); ok {
+		t.Fatal("Get on an empty store reported a hit")
+	}
+	if err := s.Put(testKey, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(testKey)
+	if !ok {
+		t.Fatal("Get after Put missed")
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload round-trip: got %s, want %s", got, payload)
+	}
+	snap := reg.Snapshot()
+	if snap["store.hits"] != 1 || snap["store.misses"] != 1 || snap["store.puts"] != 1 {
+		t.Fatalf("counters hits=%d misses=%d puts=%d, want 1/1/1",
+			snap["store.hits"], snap["store.misses"], snap["store.puts"])
+	}
+
+	// Overwrite: a second Put replaces the entry.
+	payload2 := json.RawMessage(`{"env":"native","walks":99}`)
+	if err := s.Put(testKey, payload2); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(testKey); !ok || string(got) != string(payload2) {
+		t.Fatalf("overwritten entry: ok=%v got %s, want %s", ok, got, payload2)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d (%v), want 1", n, err)
+	}
+}
+
+// TestStoreCorruptBitFlip is the integrity regression: flipping any single
+// bit of a stored entry must turn it into a miss — never a served result —
+// and the entry must be removed so a re-simulation overwrites it cleanly.
+func TestStoreCorruptBitFlip(t *testing.T) {
+	payload := json.RawMessage(`{"env":"native","design":"dmt","walks":4242,"avg_walk_cycles":31.25}`)
+	s, _ := openTest(t)
+	if err := s.Put(testKey, payload); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(s.path(testKey))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every byte position, one flipped bit: exhaustive over the whole
+	// envelope (structure, key, checksum, payload).
+	for pos := 0; pos < len(raw); pos++ {
+		reg := obs.NewRegistry()
+		s2, err := Open(t.TempDir(), reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flipped := append([]byte(nil), raw...)
+		flipped[pos] ^= 0x10
+		if flipped[pos] == raw[pos] { // same byte (cannot happen with a real xor, but be safe)
+			continue
+		}
+		entry := s2.path(testKey)
+		if err := os.MkdirAll(filepath.Dir(entry), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(entry, flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := s2.Get(testKey); ok {
+			t.Fatalf("bit flip at byte %d served a result: %s", pos, got)
+		}
+		snap := reg.Snapshot()
+		if snap["store.corrupt"] != 1 {
+			t.Fatalf("bit flip at byte %d: store.corrupt = %d, want 1", pos, snap["store.corrupt"])
+		}
+		if _, err := os.Stat(entry); !os.IsNotExist(err) {
+			t.Fatalf("bit flip at byte %d: corrupt entry not removed (stat err %v)", pos, err)
+		}
+		// Re-simulating overwrites the quarantined entry and it reads back.
+		if err := s2.Put(testKey, payload); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := s2.Get(testKey); !ok || string(got) != string(payload) {
+			t.Fatalf("bit flip at byte %d: re-put entry unreadable (ok=%v got %s)", pos, ok, got)
+		}
+	}
+}
+
+// TestStoreTruncated: a partially written entry (crash mid-write without
+// the atomic rename) is a miss, not a result.
+func TestStoreTruncated(t *testing.T) {
+	payload := json.RawMessage(`{"walks":1}`)
+	s, reg := openTest(t)
+	if err := s.Put(testKey, payload); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(s.path(testKey))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, keep := range []int{0, 1, len(raw) / 2, len(raw) - 1} {
+		if err := os.WriteFile(s.path(testKey), raw[:keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := s.Get(testKey); ok {
+			t.Fatalf("truncated entry (%d of %d bytes) served a result: %s", keep, len(raw), got)
+		}
+	}
+	if snap := reg.Snapshot(); snap["store.corrupt"] == 0 {
+		t.Fatal("truncation never counted as corruption")
+	}
+}
+
+// TestStoreMisfiledEntry: an entry whose embedded key disagrees with its
+// address (e.g. a hand-copied file) is rejected even though its checksum
+// is internally consistent.
+func TestStoreMisfiledEntry(t *testing.T) {
+	s, reg := openTest(t)
+	if err := s.Put(testKey, json.RawMessage(`{"walks":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	otherKey := strings.Replace(testKey, "seed=3", "seed=4", 1)
+	raw, err := os.ReadFile(s.path(testKey))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(s.path(otherKey)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(otherKey), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(otherKey); ok {
+		t.Fatalf("misfiled entry served a result: %s", got)
+	}
+	if snap := reg.Snapshot(); snap["store.corrupt"] != 1 {
+		t.Fatalf("store.corrupt = %d, want 1", snap["store.corrupt"])
+	}
+}
+
+// TestStoreConcurrent: concurrent writers and readers of overlapping keys
+// never observe a torn entry (atomic rename) — run under -race in CI.
+func TestStoreConcurrent(t *testing.T) {
+	s, _ := openTest(t)
+	const writers, keys = 8, 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				k := fmt.Sprintf("v1 key=%d", (w+i)%keys)
+				payload := json.RawMessage(fmt.Sprintf(`{"walks":%d}`, (w+i)%keys))
+				if err := s.Put(k, payload); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if got, ok := s.Get(k); ok {
+					// Entries are pure functions of their key, so any
+					// winning writer stored exactly this payload.
+					if string(got) != string(payload) {
+						t.Errorf("torn read for %q: %s", k, got)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n, err := s.Len(); err != nil || n != keys {
+		t.Fatalf("Len = %d (%v), want %d", n, err, keys)
+	}
+}

@@ -1,0 +1,77 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"syscall"
+)
+
+// Class is the retry verdict for one failed attempt.
+type Class int
+
+const (
+	// ClassPermanent failures do not improve with retries: validation
+	// rejections (400), unknown routes, decode failures, server bugs
+	// (500), or the coordinator's own shutdown. The cell fails now.
+	ClassPermanent Class = iota
+	// ClassTransient failures are expected to clear: admission pushback
+	// (429), drain/abort (503), deadline (504), gateway hiccups (502),
+	// and every transport-level error a crashed or unreachable worker
+	// produces (connection refused/reset, timeouts, torn responses). The
+	// cell retries with backoff, on another worker when one is ready.
+	ClassTransient
+)
+
+func (c Class) String() string {
+	if c == ClassTransient {
+		return "transient"
+	}
+	return "permanent"
+}
+
+// ErrNoWorkers reports that no worker passed its readiness probe (or none
+// are configured) while local fallback is disabled. Transient: workers
+// recover, drains end.
+var ErrNoWorkers = errors.New("sweep: no ready workers")
+
+// Classify maps one attempt's outcome to its retry class — the sweep
+// fabric's retry taxonomy (DESIGN.md §12). status is the HTTP status when
+// a response arrived (0 otherwise); err is the attempt error. An HTTP
+// status, when present, decides by itself: 429/502/503/504 are transient,
+// everything else is permanent (a 200 with a non-nil err is a response
+// the coordinator could not decode — permanent, the payload will not
+// improve on retry).
+func Classify(status int, err error) Class {
+	switch status {
+	case 0:
+		// Transport-level failure; classify by error below.
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return ClassTransient
+	default:
+		return ClassPermanent
+	}
+	switch {
+	case err == nil:
+		return ClassPermanent
+	case errors.Is(err, context.Canceled):
+		// The coordinator itself is shutting down; retrying fights it.
+		return ClassPermanent
+	case errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, ErrNoWorkers),
+		errors.Is(err, io.EOF),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.EPIPE):
+		return ClassTransient
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return ClassTransient
+	}
+	return ClassPermanent
+}

@@ -1,0 +1,122 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestClassifyTable pins the retry taxonomy of DESIGN.md §12: admission
+// pushback, drains, timeouts, and transport-level failures retry;
+// validation errors, server bugs, and undecodable payloads do not.
+func TestClassifyTable(t *testing.T) {
+	// A real connection-refused error, as the coordinator would see one
+	// from a crashed worker.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + l.Addr().String()
+	l.Close()
+	_, connRefused := (&http.Client{Timeout: 2 * time.Second}).Get(deadURL + "/run")
+	if connRefused == nil {
+		t.Fatal("request to a closed port unexpectedly succeeded")
+	}
+
+	synthetic := errors.New("worker said so")
+	cases := []struct {
+		name   string
+		status int
+		err    error
+		want   Class
+	}{
+		{"429 admission pushback", http.StatusTooManyRequests, synthetic, ClassTransient},
+		{"502 gateway hiccup", http.StatusBadGateway, synthetic, ClassTransient},
+		{"503 draining or aborted", http.StatusServiceUnavailable, synthetic, ClassTransient},
+		{"504 job deadline", http.StatusGatewayTimeout, synthetic, ClassTransient},
+		{"400 validation", http.StatusBadRequest, synthetic, ClassPermanent},
+		{"404 unknown route", http.StatusNotFound, synthetic, ClassPermanent},
+		{"500 server bug", http.StatusInternalServerError, synthetic, ClassPermanent},
+		{"200 undecodable payload", http.StatusOK, synthetic, ClassPermanent},
+		{"conn refused", 0, connRefused, ClassTransient},
+		{"conn reset", 0, fmt.Errorf("read tcp: %w", syscall.ECONNRESET), ClassTransient},
+		{"broken pipe", 0, fmt.Errorf("write tcp: %w", syscall.EPIPE), ClassTransient},
+		{"torn response", 0, io.ErrUnexpectedEOF, ClassTransient},
+		{"eof", 0, io.EOF, ClassTransient},
+		{"attempt deadline", 0, context.DeadlineExceeded, ClassTransient},
+		{"no ready workers", 0, fmt.Errorf("cell: %w", ErrNoWorkers), ClassTransient},
+		{"coordinator shutdown", 0, context.Canceled, ClassPermanent},
+		{"unknown local error", 0, synthetic, ClassPermanent},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Classify(tc.status, tc.err); got != tc.want {
+				t.Fatalf("Classify(%d, %v) = %v, want %v", tc.status, tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestTemplateExpand: deterministic order, full cartesian coverage, and
+// dedupe by canonical key.
+func TestTemplateExpand(t *testing.T) {
+	tmpl := Template{
+		Envs:    []string{"native", "virt"},
+		Designs: []string{"vanilla", "dmt"},
+		Seeds:   []int64{1, 2, 3},
+		Ops:     10_000, WSMiB: 24, Shards: 2,
+	}
+	cells, err := tmpl.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2*2*3 {
+		t.Fatalf("expanded %d cells, want 12", len(cells))
+	}
+	seen := map[string]bool{}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d has Index %d", i, c.Index)
+		}
+		if seen[c.Key] {
+			t.Fatalf("duplicate key %q", c.Key)
+		}
+		seen[c.Key] = true
+	}
+	// Outermost axis varies slowest.
+	if cells[0].Req.Env != "native" || cells[len(cells)-1].Req.Env != "virt" {
+		t.Fatalf("expansion order broken: first env %q, last env %q",
+			cells[0].Req.Env, cells[len(cells)-1].Req.Env)
+	}
+
+	// Re-listed axis values dedupe instead of double-scheduling.
+	tmpl.Envs = []string{"native", "native", "virt"}
+	again, err := tmpl.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(cells) {
+		t.Fatalf("dedupe failed: %d cells, want %d", len(again), len(cells))
+	}
+
+	// Invalid combinations are rejected at expansion, not at run time.
+	bad := Template{Envs: []string{"bare-metal"}}
+	if _, err := bad.Expand(); err == nil {
+		t.Fatal("expanding an unknown environment did not fail")
+	}
+
+	// The zero template is a valid one-cell sweep.
+	one, err := Template{}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 {
+		t.Fatalf("zero template expanded to %d cells, want 1", len(one))
+	}
+}

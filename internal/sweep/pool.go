@@ -1,0 +1,174 @@
+package sweep
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"dmt/internal/obs"
+)
+
+// worker is one dmtserved endpoint with its circuit-breaker state. The
+// circuit is closed (routable) while openUntil is zero; consecutive
+// transient failures at or beyond the pool's threshold open it — the
+// worker is evicted from rotation — and after the cooldown the next pick
+// re-probes readiness (GET /readyz) before readmitting it.
+type worker struct {
+	url string
+
+	// Guarded by pool.mu.
+	consecFails int
+	openUntil   time.Time
+	probing     bool
+}
+
+// pool schedules cells across workers round-robin, skipping open circuits
+// and workers mid-probe. It is the coordinator's only view of worker
+// health: pick returning nil means "no worker is reachable right now" and
+// triggers the local-fallback / backoff path.
+type pool struct {
+	client       *http.Client
+	reg          *obs.Registry
+	failLimit    int
+	cooldown     time.Duration
+	probeTimeout time.Duration
+
+	mu      sync.Mutex
+	workers []*worker
+	rr      int
+}
+
+func newPool(urls []string, client *http.Client, reg *obs.Registry, failLimit int, cooldown, probeTimeout time.Duration) *pool {
+	p := &pool{
+		client: client, reg: reg,
+		failLimit: failLimit, cooldown: cooldown, probeTimeout: probeTimeout,
+	}
+	for _, u := range urls {
+		p.workers = append(p.workers, &worker{url: u})
+	}
+	return p
+}
+
+// probeAll readiness-checks every worker concurrently (sweep start):
+// workers that are down or draining begin the sweep evicted and rejoin
+// through the normal cooldown → re-probe path if they recover.
+func (p *pool) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, w := range p.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			if p.probe(ctx, w.url) {
+				return
+			}
+			p.mu.Lock()
+			w.openUntil = time.Now().Add(p.cooldown)
+			p.mu.Unlock()
+			p.reg.Add("sweep.worker_unready", 1)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// probe asks one worker's readiness endpoint; only a 200 within the probe
+// budget readmits it. A draining dmtserved answers 503 here while staying
+// live for its in-flight cells, which is exactly the distinction the
+// coordinator needs.
+func (p *pool) probe(ctx context.Context, url string) bool {
+	pctx, cancel := context.WithTimeout(ctx, p.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, url+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// pick returns the next routable worker round-robin, excluding exclude
+// (hedging never doubles onto the straggler's own worker). When the only
+// candidates are cooled-down open circuits, pick re-probes one — at most
+// one probe per call, outside the lock — and readmits it on a 200. nil
+// means nothing is reachable.
+func (p *pool) pick(ctx context.Context, exclude *worker) *worker {
+	p.mu.Lock()
+	n := len(p.workers)
+	var reprobe *worker
+	now := time.Now()
+	for i := 0; i < n; i++ {
+		w := p.workers[(p.rr+i)%n]
+		if w == exclude || w.probing {
+			continue
+		}
+		if w.openUntil.IsZero() {
+			p.rr = (p.rr + i + 1) % n
+			p.mu.Unlock()
+			return w
+		}
+		if reprobe == nil && now.After(w.openUntil) {
+			reprobe = w
+		}
+	}
+	if reprobe == nil {
+		p.mu.Unlock()
+		return nil
+	}
+	reprobe.probing = true
+	p.mu.Unlock()
+
+	ok := p.probe(ctx, reprobe.url)
+
+	p.mu.Lock()
+	reprobe.probing = false
+	if ok {
+		reprobe.openUntil = time.Time{}
+		reprobe.consecFails = 0
+		p.mu.Unlock()
+		p.reg.Add("sweep.worker_readmitted", 1)
+		return reprobe
+	}
+	reprobe.openUntil = time.Now().Add(p.cooldown)
+	p.mu.Unlock()
+	p.reg.Add("sweep.probe_failures", 1)
+	return nil
+}
+
+// success closes the failure streak after a completed cell.
+func (p *pool) success(w *worker) {
+	p.mu.Lock()
+	w.consecFails = 0
+	p.mu.Unlock()
+}
+
+// failure records one transient failure; reaching the threshold opens the
+// circuit and evicts the worker for a cooldown.
+func (p *pool) failure(w *worker) {
+	p.mu.Lock()
+	w.consecFails++
+	evicted := w.consecFails >= p.failLimit && w.openUntil.IsZero()
+	if evicted {
+		w.openUntil = time.Now().Add(p.cooldown)
+	}
+	p.mu.Unlock()
+	if evicted {
+		p.reg.Add("sweep.worker_evictions", 1)
+	}
+}
+
+// ready counts closed-circuit workers (CLI/metrics surface).
+func (p *pool) ready() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, w := range p.workers {
+		if w.openUntil.IsZero() {
+			n++
+		}
+	}
+	return n
+}

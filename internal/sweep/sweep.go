@@ -1,0 +1,584 @@
+// Package sweep is the fault-tolerant distributed sweep fabric: it
+// expands a configuration template into cells (env × design × workload ×
+// THP × seed), schedules them across a fleet of dmtserved workers over
+// HTTP, and survives the failures a real fleet produces — worker crashes,
+// drains, timeouts, stragglers, and coordinator restarts — without
+// silently losing or recomputing cells.
+//
+// The machinery, cell by cell:
+//
+//   - dedupe/resume: a durable content-addressed result store
+//     (internal/store, keyed on serve.CanonicalKey) is consulted first;
+//     completed cells cost one verified file read, so a restarted
+//     coordinator re-runs only what is missing.
+//   - retry: transient failures (Classify: 429/502/503/504 and every
+//     transport-level error) retry with capped exponential backoff plus
+//     seeded jitter; permanent failures fail the cell immediately.
+//   - worker health: consecutive transient failures open a worker's
+//     circuit (eviction); after a cooldown it is readmitted only by a
+//     readiness probe (GET /readyz), which a draining worker fails while
+//     staying live for its in-flight cells.
+//   - hedging: a cell still running after HedgeAfter launches a second
+//     attempt on a different worker; first success wins and cancels the
+//     loser (whose abandoned flight the worker aborts server-side).
+//   - degradation: with zero reachable workers the coordinator runs cells
+//     in-process through sim.RunCtx (unless DisableLocal), so a sweep
+//     always makes progress.
+//
+// Results are canonical JSON payloads — identical bytes whether a cell
+// came from a worker, the local fallback, or the store — so resumed and
+// uninterrupted sweeps are bit-identical. The contract (cell identity,
+// retry taxonomy, resume semantics, store layout) is DESIGN.md §12.
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"dmt/internal/obs"
+	"dmt/internal/serve"
+	"dmt/internal/sim"
+	"dmt/internal/store"
+)
+
+// Config sizes the coordinator.
+type Config struct {
+	// Workers lists dmtserved base URLs. Empty means every cell runs
+	// in-process (a purely local sweep, still store-backed).
+	Workers []string
+	// Store, when non-nil, is the durable result store: consulted before
+	// scheduling, written after every completed cell.
+	Store *store.Store
+	// Registry receives the sweep.* counters. Default obs.Default.
+	Registry *obs.Registry
+	// Concurrency bounds how many cells are in flight at once.
+	// Default 2×len(Workers), minimum 2.
+	Concurrency int
+	// CellTimeout bounds one attempt (HTTP round-trip or local run).
+	// Default 2 minutes.
+	CellTimeout time.Duration
+	// MaxAttempts bounds tries per cell, the first included. Default 4.
+	MaxAttempts int
+	// BackoffBase/BackoffMax shape the retry backoff: equal-jitter
+	// exponential, base·2^(attempt-1) capped at max, halved and topped up
+	// with seeded uniform jitter. Defaults 100ms / 5s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// JitterSeed seeds the backoff jitter (deterministic tests). Default 1.
+	JitterSeed int64
+	// HedgeAfter launches a second attempt on another worker when the
+	// first has been running this long. 0 disables hedging.
+	HedgeAfter time.Duration
+	// FailThreshold is the consecutive-transient-failure count that opens
+	// a worker's circuit. Default 3.
+	FailThreshold int
+	// Cooldown is how long an evicted worker stays out before a readiness
+	// probe may readmit it. Default 5s.
+	Cooldown time.Duration
+	// ProbeTimeout bounds one readiness probe. Default 2s.
+	ProbeTimeout time.Duration
+	// DisableLocal forbids the in-process fallback: with no reachable
+	// worker, cells fail with ErrNoWorkers (after retries) instead of
+	// degrading to local execution.
+	DisableLocal bool
+	// HTTPClient performs worker requests and probes. Default: a fresh
+	// http.Client (per-attempt contexts carry the deadlines).
+	HTTPClient *http.Client
+	// OnUpdate, when non-nil, streams per-cell progress. Calls are
+	// serialized by the coordinator.
+	OnUpdate func(Update)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Registry == nil {
+		c.Registry = obs.Default
+	}
+	if c.Concurrency == 0 {
+		c.Concurrency = 2 * len(c.Workers)
+		if c.Concurrency < 2 {
+			c.Concurrency = 2
+		}
+	}
+	if c.CellTimeout == 0 {
+		c.CellTimeout = 2 * time.Minute
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.JitterSeed == 0 {
+		c.JitterSeed = 1
+	}
+	if c.FailThreshold == 0 {
+		c.FailThreshold = 3
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Concurrency < 1:
+		return fmt.Errorf("sweep: Concurrency must be >= 1 (got %d)", c.Concurrency)
+	case c.MaxAttempts < 1:
+		return fmt.Errorf("sweep: MaxAttempts must be >= 1 (got %d)", c.MaxAttempts)
+	case c.CellTimeout < 0 || c.BackoffBase < 0 || c.BackoffMax < 0 || c.HedgeAfter < 0 ||
+		c.Cooldown < 0 || c.ProbeTimeout < 0:
+		return errors.New("sweep: durations must be >= 0")
+	case len(c.Workers) == 0 && c.DisableLocal:
+		return errors.New("sweep: no workers configured and local fallback disabled — nothing can run")
+	}
+	return nil
+}
+
+// Event tags one progress update.
+type Event string
+
+const (
+	EventStoreHit Event = "store-hit" // served from the durable store
+	EventAttempt  Event = "attempt"   // scheduled on a worker
+	EventRetry    Event = "retry"     // transient failure, backing off
+	EventHedge    Event = "hedge"     // straggler hedged onto another worker
+	EventLocal    Event = "local"     // degraded to in-process execution
+	EventDone     Event = "done"      // cell completed
+	EventFailed   Event = "failed"    // cell permanently failed
+)
+
+// Update is one streamed progress record.
+type Update struct {
+	Cell    int // cell index (expansion order)
+	Total   int
+	Key     string
+	Event   Event
+	Attempt int
+	Worker  string // URL for worker events, "" otherwise
+	Err     string // failure detail for retry/failed
+}
+
+// Source records where a cell's result came from.
+type Source string
+
+const (
+	SourceStore  Source = "store"
+	SourceWorker Source = "worker"
+	SourceLocal  Source = "local"
+)
+
+// CellResult is one cell's outcome. Payload is the canonical result JSON
+// (bit-identical across sources); Resp is its decoded form. Err non-nil
+// means the cell failed permanently (Payload empty).
+type CellResult struct {
+	Cell     Cell
+	Payload  json.RawMessage
+	Resp     serve.RunResponse
+	Source   Source
+	Worker   string
+	Attempts int
+	Err      error
+}
+
+// Result is a completed (or interrupted) sweep.
+type Result struct {
+	Cells []CellResult // expansion order
+
+	FromStore, RanWorker, RanLocal, Failed int
+}
+
+// ErrInterrupted marks cells never attempted because the sweep's context
+// ended first; a resumed sweep picks them up from where the store left off.
+var ErrInterrupted = errors.New("sweep: interrupted before this cell was attempted")
+
+// Coordinator drives sweeps. One coordinator may run sweeps sequentially;
+// each Run call owns its cells for the duration.
+type Coordinator struct {
+	cfg  Config
+	reg  *obs.Registry
+	pool *pool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	updateMu sync.Mutex
+}
+
+// New validates the configuration and builds a coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Coordinator{
+		cfg: cfg,
+		reg: cfg.Registry,
+		pool: newPool(cfg.Workers, cfg.HTTPClient, cfg.Registry,
+			cfg.FailThreshold, cfg.Cooldown, cfg.ProbeTimeout),
+		rng: rand.New(rand.NewSource(cfg.JitterSeed)),
+	}, nil
+}
+
+// Run executes the sweep: every cell is resolved from the store, a
+// worker, or the local fallback, under the fabric's retry/eviction/hedge
+// machinery. On context cancellation it returns the partial Result along
+// with ctx.Err(); cells already completed are durably in the store, so a
+// later Run with the same cells resumes instead of recomputing.
+func (c *Coordinator) Run(ctx context.Context, cells []Cell) (*Result, error) {
+	total := len(cells)
+	c.reg.Add("sweep.cells_total", uint64(total))
+	if len(c.cfg.Workers) > 0 {
+		c.pool.probeAll(ctx)
+	}
+
+	res := &Result{Cells: make([]CellResult, total)}
+	for i := range cells {
+		res.Cells[i] = CellResult{Cell: cells[i], Err: ErrInterrupted}
+	}
+
+	idxc := make(chan int)
+	var wg sync.WaitGroup
+	conc := c.cfg.Concurrency
+	if conc > total {
+		conc = total
+	}
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range idxc {
+				res.Cells[idx] = c.runCell(ctx, cells[idx], total)
+			}
+		}()
+	}
+feed:
+	for i := range cells {
+		select {
+		case idxc <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idxc)
+	wg.Wait()
+
+	for i := range res.Cells {
+		r := &res.Cells[i]
+		switch {
+		case r.Err != nil:
+			res.Failed++
+		case r.Source == SourceStore:
+			res.FromStore++
+		case r.Source == SourceWorker:
+			res.RanWorker++
+		case r.Source == SourceLocal:
+			res.RanLocal++
+		}
+	}
+	return res, ctx.Err()
+}
+
+// update streams one progress record, serialized.
+func (c *Coordinator) update(u Update) {
+	if c.cfg.OnUpdate == nil {
+		return
+	}
+	c.updateMu.Lock()
+	defer c.updateMu.Unlock()
+	c.cfg.OnUpdate(u)
+}
+
+// runCell resolves one cell: store, then worker attempts with retry and
+// hedging, then — when nothing is reachable — the local fallback.
+func (c *Coordinator) runCell(ctx context.Context, cell Cell, total int) CellResult {
+	if err := ctx.Err(); err != nil {
+		return CellResult{Cell: cell, Err: err}
+	}
+	if c.cfg.Store != nil {
+		if payload, ok := c.cfg.Store.Get(cell.Key); ok {
+			var resp serve.RunResponse
+			if err := json.Unmarshal(payload, &resp); err == nil {
+				c.reg.Add("sweep.cells_from_store", 1)
+				c.update(Update{Cell: cell.Index, Total: total, Key: cell.Key, Event: EventStoreHit})
+				return CellResult{Cell: cell, Payload: payload, Resp: resp, Source: SourceStore}
+			}
+			// Checksum-valid but undecodable (schema drift): fall through
+			// and re-simulate; the Put below overwrites the stale entry.
+		}
+	}
+
+	var lastErr error
+	attempt := 0
+	for attempt < c.cfg.MaxAttempts {
+		attempt++
+		if err := ctx.Err(); err != nil {
+			return CellResult{Cell: cell, Attempts: attempt, Err: err}
+		}
+		w := c.pool.pick(ctx, nil)
+		if w == nil {
+			if !c.cfg.DisableLocal {
+				return c.runLocal(ctx, cell, total, attempt)
+			}
+			lastErr = ErrNoWorkers
+			c.reg.Add("sweep.retries", 1)
+			c.update(Update{Cell: cell.Index, Total: total, Key: cell.Key,
+				Event: EventRetry, Attempt: attempt, Err: lastErr.Error()})
+			if !c.backoff(ctx, attempt) {
+				return CellResult{Cell: cell, Attempts: attempt, Err: ctx.Err()}
+			}
+			continue
+		}
+
+		c.update(Update{Cell: cell.Index, Total: total, Key: cell.Key,
+			Event: EventAttempt, Attempt: attempt, Worker: w.url})
+		leg := c.attemptHedged(ctx, cell, w, total, attempt)
+		if leg.err == nil {
+			if c.cfg.Store != nil {
+				if perr := c.cfg.Store.Put(cell.Key, leg.payload); perr != nil {
+					// The result is valid and returned; only durability
+					// suffered. Count it rather than failing the cell.
+					c.reg.Add("sweep.store_put_errors", 1)
+				}
+			}
+			c.reg.Add("sweep.cells_run_worker", 1)
+			c.update(Update{Cell: cell.Index, Total: total, Key: cell.Key,
+				Event: EventDone, Attempt: attempt, Worker: leg.worker.url})
+			return CellResult{Cell: cell, Payload: leg.payload, Resp: leg.resp,
+				Source: SourceWorker, Worker: leg.worker.url, Attempts: attempt}
+		}
+		lastErr = leg.err
+		if Classify(leg.status, leg.err) == ClassPermanent {
+			break
+		}
+		c.reg.Add("sweep.retries", 1)
+		c.update(Update{Cell: cell.Index, Total: total, Key: cell.Key,
+			Event: EventRetry, Attempt: attempt, Worker: leg.worker.url, Err: leg.err.Error()})
+		if !c.backoff(ctx, attempt) {
+			return CellResult{Cell: cell, Attempts: attempt, Err: ctx.Err()}
+		}
+	}
+
+	c.reg.Add("sweep.cells_failed", 1)
+	c.update(Update{Cell: cell.Index, Total: total, Key: cell.Key,
+		Event: EventFailed, Attempt: attempt, Err: fmt.Sprint(lastErr)})
+	return CellResult{Cell: cell, Attempts: attempt, Err: lastErr}
+}
+
+// legResult is one attempt leg's outcome (primary or hedge).
+type legResult struct {
+	payload json.RawMessage
+	resp    serve.RunResponse
+	status  int
+	err     error
+	worker  *worker
+}
+
+// attemptHedged runs one attempt on first and, if it straggles past
+// HedgeAfter, a second leg on a different worker. First success wins and
+// cancels the other leg (the worker aborts the abandoned flight
+// server-side); if every leg fails, the last failure is returned. Worker
+// health is recorded per leg: transient failures count against the
+// circuit, a cancelled loser does not.
+func (c *Coordinator) attemptHedged(ctx context.Context, cell Cell, first *worker, total, attempt int) legResult {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	resc := make(chan legResult, 2)
+	launch := func(w *worker) {
+		go func() {
+			lr := c.post(actx, cell, w)
+			lr.worker = w
+			switch {
+			case lr.err == nil:
+				c.pool.success(w)
+			case errors.Is(lr.err, context.Canceled):
+				// Our own cancellation (hedge loser or shutdown) — not the
+				// worker's fault.
+			case Classify(lr.status, lr.err) == ClassTransient:
+				c.pool.failure(w)
+			}
+			resc <- lr
+		}()
+	}
+	launch(first)
+	inFlight := 1
+
+	var hedgeC <-chan time.Time
+	if c.cfg.HedgeAfter > 0 {
+		timer := time.NewTimer(c.cfg.HedgeAfter)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+	var lastFail legResult
+	for {
+		select {
+		case lr := <-resc:
+			inFlight--
+			if lr.err == nil {
+				cancel() // the loser's flight is abandoned server-side
+				return lr
+			}
+			lastFail = lr
+			if inFlight == 0 {
+				return lastFail
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if w2 := c.pool.pick(actx, first); w2 != nil {
+				c.reg.Add("sweep.hedges", 1)
+				c.update(Update{Cell: cell.Index, Total: total, Key: cell.Key,
+					Event: EventHedge, Attempt: attempt, Worker: w2.url})
+				launch(w2)
+				inFlight++
+			}
+		case <-ctx.Done():
+			// Legs abort via actx; they drain into the buffered channel.
+			return legResult{err: ctx.Err(), worker: first}
+		}
+	}
+}
+
+// post performs one HTTP attempt against a worker and canonicalizes the
+// response: the decoded RunResponse is re-marshalled (Coalesced stripped)
+// so payload bytes are identical no matter which worker — or the local
+// fallback — produced the result.
+func (c *Coordinator) post(ctx context.Context, cell Cell, w *worker) legResult {
+	body, err := json.Marshal(cell.Req)
+	if err != nil {
+		return legResult{err: fmt.Errorf("sweep: encoding cell request: %w", err)}
+	}
+	actx := ctx
+	if c.cfg.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.cfg.CellTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, w.url+"/run", bytes.NewReader(body))
+	if err != nil {
+		return legResult{err: fmt.Errorf("sweep: building request for %s: %w", w.url, err)}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return legResult{err: fmt.Errorf("sweep: worker %s: %w", w.url, err)}
+	}
+	defer httpResp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(httpResp.Body, 8<<20))
+	if err != nil {
+		return legResult{status: httpResp.StatusCode,
+			err: fmt.Errorf("sweep: reading response from %s: %w", w.url, err)}
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		var e map[string]string
+		_ = json.Unmarshal(raw, &e)
+		return legResult{status: httpResp.StatusCode,
+			err: fmt.Errorf("sweep: worker %s: status %d: %s", w.url, httpResp.StatusCode, e["error"])}
+	}
+	var resp serve.RunResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return legResult{status: httpResp.StatusCode,
+			err: fmt.Errorf("sweep: undecodable result from %s: %w", w.url, err)}
+	}
+	resp.Coalesced = false // transport metadata, not part of the result
+	payload, err := json.Marshal(resp)
+	if err != nil {
+		return legResult{status: httpResp.StatusCode,
+			err: fmt.Errorf("sweep: canonicalizing result from %s: %w", w.url, err)}
+	}
+	return legResult{payload: payload, resp: resp, status: httpResp.StatusCode}
+}
+
+// runLocal is the graceful-degradation path: no worker is reachable, so
+// the cell runs in-process through the same engine the workers use. The
+// result is JSON-roundtripped into the identical canonical payload a
+// worker would have produced.
+func (c *Coordinator) runLocal(ctx context.Context, cell Cell, total, attempt int) CellResult {
+	c.update(Update{Cell: cell.Index, Total: total, Key: cell.Key,
+		Event: EventLocal, Attempt: attempt})
+	actx := ctx
+	if c.cfg.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.cfg.CellTimeout)
+		defer cancel()
+	}
+	simRes, err := sim.RunCtx(actx, cell.Cfg)
+	if err != nil {
+		c.reg.Add("sweep.cells_failed", 1)
+		c.update(Update{Cell: cell.Index, Total: total, Key: cell.Key,
+			Event: EventFailed, Attempt: attempt, Err: err.Error()})
+		return CellResult{Cell: cell, Attempts: attempt, Err: err}
+	}
+	payload, err := json.Marshal(serve.ResponseFor(simRes))
+	if err != nil {
+		c.reg.Add("sweep.cells_failed", 1)
+		return CellResult{Cell: cell, Attempts: attempt,
+			Err: fmt.Errorf("sweep: encoding local result: %w", err)}
+	}
+	var resp serve.RunResponse
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		c.reg.Add("sweep.cells_failed", 1)
+		return CellResult{Cell: cell, Attempts: attempt,
+			Err: fmt.Errorf("sweep: roundtripping local result: %w", err)}
+	}
+	if c.cfg.Store != nil {
+		if perr := c.cfg.Store.Put(cell.Key, payload); perr != nil {
+			c.reg.Add("sweep.store_put_errors", 1)
+		}
+	}
+	c.reg.Add("sweep.cells_run_local", 1)
+	c.update(Update{Cell: cell.Index, Total: total, Key: cell.Key,
+		Event: EventDone, Attempt: attempt})
+	return CellResult{Cell: cell, Payload: payload, Resp: resp,
+		Source: SourceLocal, Attempts: attempt}
+}
+
+// backoff sleeps the equal-jitter exponential delay for attempt (1-based):
+// half of base·2^(attempt-1) (capped at max) deterministic, half uniform
+// from the seeded rng. Returns false when ctx ended first.
+func (c *Coordinator) backoff(ctx context.Context, attempt int) bool {
+	d := c.cfg.BackoffBase
+	for i := 1; i < attempt && d < c.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	half := d / 2
+	jitter := time.Duration(0)
+	if half > 0 {
+		c.rngMu.Lock()
+		jitter = time.Duration(c.rng.Int63n(int64(half) + 1))
+		c.rngMu.Unlock()
+	}
+	t := time.NewTimer(half + jitter)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// ReadyWorkers reports how many workers currently have a closed circuit.
+func (c *Coordinator) ReadyWorkers() int { return c.pool.ready() }

@@ -1,0 +1,104 @@
+package sweep
+
+import (
+	"fmt"
+
+	"dmt/internal/serve"
+	"dmt/internal/sim"
+)
+
+// Cell is one schedulable unit of a sweep: a fully validated simulation
+// configuration with its durable identity. Two cells with equal Key are
+// the same simulation (they produce bit-identical results), so expansion
+// dedupes on it and the result store is addressed by it.
+type Cell struct {
+	// Index is the cell's position in deterministic expansion order.
+	Index int
+	// Req is the wire form sent to dmtserved workers.
+	Req serve.RunRequest
+	// Cfg is the validated engine configuration, used for the local
+	// in-process fallback when no worker is reachable.
+	Cfg sim.Config
+	// Key is the canonical result-determining identity
+	// (serve.CanonicalKey) — the store address and dedupe key.
+	Key string
+}
+
+// Template describes a sweep as the cartesian product of its axes: every
+// env × design × workload × THP × seed combination becomes one cell, all
+// sharing the scalar knobs (ops, working set, cache scale, shards,
+// verify). Empty axes default to a single representative value so the
+// zero template is still a valid one-cell sweep.
+type Template struct {
+	Envs      []string
+	Designs   []string
+	Workloads []string
+	THP       []bool
+	Seeds     []int64
+
+	Ops        int
+	WSMiB      int
+	CacheScale int
+	Shards     int
+	Verify     bool
+}
+
+func (t Template) withDefaults() Template {
+	if len(t.Envs) == 0 {
+		t.Envs = []string{"native"}
+	}
+	if len(t.Designs) == 0 {
+		t.Designs = []string{"vanilla"}
+	}
+	if len(t.Workloads) == 0 {
+		t.Workloads = []string{"GUPS"}
+	}
+	if len(t.THP) == 0 {
+		t.THP = []bool{true}
+	}
+	if len(t.Seeds) == 0 {
+		t.Seeds = []int64{1}
+	}
+	return t
+}
+
+// Expand enumerates the template's cells in deterministic order (env,
+// design, workload, THP, seed — outermost to innermost), validating every
+// combination and deduping identical cells by canonical key (first
+// occurrence wins, so re-listed axis values cannot double-schedule a
+// simulation).
+func (t Template) Expand() ([]Cell, error) {
+	t = t.withDefaults()
+	seen := map[string]bool{}
+	var cells []Cell
+	for _, env := range t.Envs {
+		for _, design := range t.Designs {
+			for _, wl := range t.Workloads {
+				for _, thp := range t.THP {
+					for _, seed := range t.Seeds {
+						req := serve.RunRequest{
+							Env: env, Design: design, Workload: wl, THP: thp,
+							Ops: t.Ops, Seed: seed, WSMiB: t.WSMiB,
+							CacheScale: t.CacheScale, Shards: t.Shards,
+							Verify: t.Verify,
+						}
+						cfg, err := req.Config(0)
+						if err != nil {
+							return nil, fmt.Errorf("sweep: cell env=%s design=%s wl=%s seed=%d: %w",
+								env, design, wl, seed, err)
+						}
+						key := serve.CanonicalKey(cfg)
+						if seen[key] {
+							continue
+						}
+						seen[key] = true
+						cells = append(cells, Cell{
+							Index: len(cells), Req: req, Cfg: cfg.Normalized(), Key: key,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}
