@@ -419,7 +419,9 @@ func itoa(v int) string {
 
 // walkBench drives b.N translations through a pre-built machine via the
 // sim.Instance API: construction stays outside the timed region, so ns/op
-// and allocs/op measure the walk hot path alone.
+// and allocs/op measure the walk hot path alone. The driver is the engine's
+// own batched loop (StepBatch, DESIGN.md §13), so these numbers measure
+// exactly the path production runs take.
 func walkBench(b *testing.B, env sim.Environment, d sim.Design) {
 	cfg := benchCfg(env, d, false, workload.GUPS())
 	cfg.Ops = b.N
@@ -429,10 +431,15 @@ func walkBench(b *testing.B, env sim.Environment, d sim.Design) {
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := in.Step(); err != nil {
+	for done := 0; done < b.N; {
+		n, err := in.StepBatch(sim.BatchOps)
+		if err != nil {
 			b.Fatal(err)
 		}
+		if n == 0 {
+			b.Fatal("no progress")
+		}
+		done += n
 	}
 	b.StopTimer()
 	if _, err := in.Finish(); err != nil {

@@ -47,18 +47,23 @@ type Config struct {
 // Sets returns the number of sets implied by the configuration.
 func (c Config) Sets() int { return c.SizeBytes / (c.Ways * mem.CacheLineBytes) }
 
-// Cache is one set-associative LRU cache array.
+// Cache is one set-associative LRU cache array. Tags and LRU stamps live
+// interleaved in one flat array — (tag, stamp) pairs, set-major — rather
+// than per-set slices or parallel arrays: a probe touches one contiguous
+// span per set instead of chasing pointers or straddling a tags array and
+// a stamps array, which matters because every simulated memory access
+// walks these arrays several times and the larger arrays (the LLC's) miss
+// the host's own caches.
 type Cache struct {
-	cfg  Config
-	sets []set
+	cfg   Config
+	ways  int
+	wspan int // ways*2: elements per set in ents
+	nsets uint64
+	mask  uint64   // nsets-1 when nsets is a power of two, else 0 (modulo path)
+	ents  []uint64 // (tag, stamp) pairs; tag 0 = invalid (stored +1)
 
 	Hits   uint64
 	Misses uint64
-}
-
-type set struct {
-	tags  []uint64 // line tag, 0 = invalid (tag stored +1)
-	stamp []uint64 // LRU timestamps
 }
 
 // NewCache builds a cache array from cfg. Size, way count, and line size
@@ -71,12 +76,15 @@ func NewCache(cfg Config) (*Cache, error) {
 	if n <= 0 || cfg.SizeBytes%(cfg.Ways*mem.CacheLineBytes) != 0 {
 		return nil, fmt.Errorf("cache: bad geometry %+v", cfg)
 	}
-	c := &Cache{cfg: cfg, sets: make([]set, n)}
-	for i := range c.sets {
-		c.sets[i] = set{
-			tags:  make([]uint64, cfg.Ways),
-			stamp: make([]uint64, cfg.Ways),
-		}
+	c := &Cache{
+		cfg:   cfg,
+		ways:  cfg.Ways,
+		wspan: cfg.Ways * 2,
+		nsets: uint64(n),
+		ents:  make([]uint64, n*cfg.Ways*2),
+	}
+	if n&(n-1) == 0 {
+		c.mask = uint64(n) - 1
 	}
 	return c, nil
 }
@@ -84,18 +92,28 @@ func NewCache(cfg Config) (*Cache, error) {
 // Config returns the cache geometry.
 func (c *Cache) Config() Config { return c.cfg }
 
-func (c *Cache) locate(pa mem.PAddr) (*set, uint64) {
+// locate returns the first element index of pa's set in ents and its match
+// tag. For power-of-two set counts (every Table 3 geometry, scaled or not)
+// the set index is a mask — bit-identical to the modulo it replaces — so
+// the hot path avoids a hardware divide.
+func (c *Cache) locate(pa mem.PAddr) (int, uint64) {
 	line := uint64(pa) / mem.CacheLineBytes
-	s := &c.sets[line%uint64(len(c.sets))]
-	return s, line + 1 // +1 so tag 0 means invalid
+	var si uint64
+	if c.mask != 0 {
+		si = line & c.mask
+	} else {
+		si = line % c.nsets
+	}
+	return int(si) * c.wspan, line + 1 // +1 so tag 0 means invalid
 }
 
 // Lookup probes for the line holding pa and refreshes LRU state on a hit.
 func (c *Cache) Lookup(pa mem.PAddr, now uint64) bool {
-	s, tag := c.locate(pa)
-	for w, t := range s.tags {
-		if t == tag {
-			s.stamp[w] = now
+	base, tag := c.locate(pa)
+	set := c.ents[base : base+c.wspan]
+	for w := 0; w < len(set); w += 2 {
+		if set[w] == tag {
+			set[w+1] = now
 			c.Hits++
 			return true
 		}
@@ -106,32 +124,31 @@ func (c *Cache) Lookup(pa mem.PAddr, now uint64) bool {
 
 // Insert fills the line holding pa, evicting the LRU victim.
 func (c *Cache) Insert(pa mem.PAddr, now uint64) {
-	s, tag := c.locate(pa)
+	base, tag := c.locate(pa)
+	set := c.ents[base : base+c.wspan]
 	victim, oldest := 0, ^uint64(0)
-	for w, t := range s.tags {
-		if t == tag {
-			s.stamp[w] = now
+	for w := 0; w < len(set); w += 2 {
+		if set[w] == tag {
+			set[w+1] = now
 			return
 		}
-		if t == 0 {
+		if set[w] == 0 {
 			victim, oldest = w, 0
 			break
 		}
-		if s.stamp[w] < oldest {
-			victim, oldest = w, s.stamp[w]
+		if s := set[w+1]; s < oldest {
+			victim, oldest = w, s
 		}
 	}
-	s.tags[victim] = tag
-	s.stamp[victim] = now
+	set[victim] = tag
+	set[victim+1] = now
 }
 
 // Flush invalidates the entire array (used across simulated context
 // switches in tests).
 func (c *Cache) Flush() {
-	for i := range c.sets {
-		for w := range c.sets[i].tags {
-			c.sets[i].tags[w] = 0
-		}
+	for i := 0; i < len(c.ents); i += 2 {
+		c.ents[i] = 0
 	}
 }
 
@@ -255,9 +272,10 @@ func (h *Hierarchy) Prefetch(pa mem.PAddr) Level {
 func (h *Hierarchy) Contains(pa mem.PAddr) bool {
 	// Probe without disturbing LRU or stats: inspect tags directly.
 	for _, c := range []*Cache{h.L1D, h.L2, h.LLC} {
-		s, tag := c.locate(pa)
-		for _, t := range s.tags {
-			if t == tag {
+		base, tag := c.locate(pa)
+		set := c.ents[base : base+c.wspan]
+		for w := 0; w < len(set); w += 2 {
+			if set[w] == tag {
 				return true
 			}
 		}

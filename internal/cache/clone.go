@@ -1,16 +1,11 @@
 package cache
 
-// Clone deep-copies one cache array: tags, LRU stamps, and hit/miss
-// counters, so lookups on the clone age its own sets only.
+// Clone deep-copies one cache array: the interleaved tag/stamp entries and
+// hit/miss counters, so lookups on the clone age its own sets only.
 func (c *Cache) Clone() *Cache {
-	n := &Cache{cfg: c.cfg, sets: make([]set, len(c.sets)), Hits: c.Hits, Misses: c.Misses}
-	for i := range c.sets {
-		n.sets[i] = set{
-			tags:  append([]uint64(nil), c.sets[i].tags...),
-			stamp: append([]uint64(nil), c.sets[i].stamp...),
-		}
-	}
-	return n
+	n := *c
+	n.ents = append([]uint64(nil), c.ents...)
+	return &n
 }
 
 // Clone deep-copies the hierarchy, including the warm state machine

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"dmt/internal/cache"
+	"dmt/internal/mem"
+)
+
+// This file is the batch-walk entry point (DESIGN.md §13). The simulation
+// engine generates trace operations into a reusable buffer and hands whole
+// batches to the walker, so per-op harness work (injector ticks, context
+// checks, histogram flushes) is hoisted to batch boundaries while the
+// per-op machine semantics — TLB probe, walk on miss, TLB refill, data
+// access, in exactly that order for every op — are preserved bit for bit.
+// Ops inside a batch stay fully interleaved: every data access and TLB
+// refill mutates state the next op observes, so batching restructures the
+// loop around the ops, never the ops themselves. What the batch buys is
+// locality (TLB/PWC/cache-set metadata stays hot in host caches across
+// consecutive walks) and the removal of per-op dispatch and bookkeeping.
+
+// Req is one translation request of a batch: the trace operation's virtual
+// address.
+type Req struct {
+	VA mem.VAddr
+}
+
+// Res is the per-op outcome of a batch walk.
+type Res struct {
+	PA     mem.PAddr
+	Cycles int  // translation cycles charged (0 on a TLB hit)
+	Missed bool // the TLB missed and the walker ran
+	OK     bool
+}
+
+// WalkRecorder observes every walker invocation inside a batch — the
+// engine's measurement harness (per-step aggregation, latency capture,
+// trace ring, differential oracle) implements it. RecordWalk runs after
+// the walk and before the TLB refill, exactly where the scalar path's
+// recording wrapper sits.
+type WalkRecorder interface {
+	RecordWalk(va mem.VAddr, out *WalkOutcome)
+}
+
+// TranslateChecker is the per-op oracle assertion (check.Checker satisfies
+// it); nil disables verification.
+type TranslateChecker interface {
+	CheckTranslate(va mem.VAddr, pa mem.PAddr)
+}
+
+// Batch carries the shared machine state a batch of walks runs against.
+// One Batch lives per engine instance and is reused across batches; the
+// DataCycles accumulator is drained by the engine at batch boundaries.
+type Batch struct {
+	MMU  *MMU
+	Hier *cache.Hierarchy
+	// Sink, when set, is reset before every walker invocation, mirroring
+	// the scalar recording wrapper: each outcome's Refs alias the refs of
+	// that walk alone.
+	Sink *RefSink
+	Rec  WalkRecorder
+	Chk  TranslateChecker
+
+	// DataCycles accumulates the data-access charge of completed ops.
+	DataCycles uint64
+
+	// out is the reusable walk-outcome scratch. Passing a stack outcome's
+	// address through the Rec interface would move it to the heap on every
+	// miss; one preallocated slot keeps the loop allocation-free.
+	out WalkOutcome
+}
+
+// NewBatch returns a Batch over the given machine state; rec and chk may be
+// nil (interface fields must stay nil, not hold typed nils, for the loop's
+// presence checks to work).
+func NewBatch(mmu *MMU, hier *cache.Hierarchy, sink *RefSink, rec WalkRecorder, chk TranslateChecker) *Batch {
+	b := &Batch{MMU: mmu, Hier: hier, Sink: sink}
+	if rec != nil {
+		b.Rec = rec
+	}
+	if chk != nil {
+		b.Chk = chk
+	}
+	return b
+}
+
+// BatchWalker is a walker with a batch entry point. The engine feeds any
+// design through the canonical loop via ScalarWalkBatch; designs on the
+// paper's critical path (radix, DMT, pvDMT, nested 2D) implement the
+// interface so their batches run against a concrete walker type.
+type BatchWalker interface {
+	Walker
+	WalkBatch(b *Batch, reqs []Req, res []Res) int
+}
+
+// RunBatch is the canonical batch loop: for each request, in op order —
+// TLB probe; on a miss, walk and refill the TLB; verify; charge the data
+// access. The sequence per op is exactly MMU.Translate plus the engine's
+// per-op epilogue, so a batch of n ops is bit-identical to n scalar steps.
+//
+// It returns the number of fully completed ops. A short return means
+// res[returned] holds a failed translation (out-of-sync page tables, e.g.
+// an injected unmap): the op's TLB probe and walk have been charged, but
+// no TLB refill or data access happened — the caller resolves the fault
+// (demand paging) and resumes from that index, which is precisely the
+// scalar engine's retry behaviour.
+func RunBatch[W Walker](b *Batch, w W, reqs []Req, res []Res) int {
+	m := b.MMU
+	for i := range reqs {
+		va := reqs[i].VA
+		m.Lookups++
+		if pa, _, ok := m.TLB.Lookup(va, m.ASID); ok {
+			res[i] = Res{PA: pa, OK: true}
+			if b.Chk != nil {
+				b.Chk.CheckTranslate(va, pa)
+			}
+			b.DataCycles += uint64(b.Hier.Access(pa).Cycles)
+			continue
+		}
+		m.Misses++
+		if b.Sink != nil {
+			b.Sink.Reset()
+		}
+		out := &b.out
+		*out = w.Walk(va)
+		if b.Rec != nil {
+			b.Rec.RecordWalk(va, out)
+		}
+		if !out.OK {
+			res[i] = Res{Cycles: out.Cycles, Missed: true}
+			return i
+		}
+		m.WalkCycles += uint64(out.Cycles)
+		m.TLB.Insert(va, mem.AlignDownP(out.PA, out.Size.Bytes()), out.Size, m.ASID)
+		res[i] = Res{PA: out.PA, Cycles: out.Cycles, Missed: true, OK: true}
+		if b.Chk != nil {
+			b.Chk.CheckTranslate(va, out.PA)
+		}
+		b.DataCycles += uint64(b.Hier.Access(out.PA).Cycles)
+	}
+	return len(reqs)
+}
+
+// ScalarWalkBatch drives a walker without a batch entry point through the
+// canonical loop — the adapter that keeps every design working under the
+// batched engine.
+func ScalarWalkBatch(b *Batch, w Walker, reqs []Req, res []Res) int {
+	return RunBatch(b, w, reqs, res)
+}

@@ -174,6 +174,18 @@ func (in *Injector) Tick(op int) error {
 // fully executes regardless of op count).
 func (in *Injector) Drain() error { return in.Tick(1 << 62) }
 
+// NextAt returns the trigger op of the next pending event, or a sentinel far
+// beyond any trace once the schedule is exhausted. The batched engine sizes
+// its spans with it: ticking once at the start of a span whose end never
+// overshoots NextAt applies every event at exactly the op a per-op Tick
+// would, because ticks between events are no-ops.
+func (in *Injector) NextAt() int {
+	if in.next >= len(in.plan.Events) {
+		return 1 << 62
+	}
+	return in.plan.Events[in.next].At
+}
+
 func (in *Injector) apply(ev Event) error {
 	switch ev.Kind {
 	case StartMigration:

@@ -52,6 +52,37 @@ func (h *Hist) Observe(v uint64) {
 	h.Buckets[bits.Len64(v)]++
 }
 
+// ObserveBatch records every sample of vs, exactly as if Observe had been
+// called once per element in order: Count, Sum, Min, Max, and every bucket
+// end up bit-identical (TestHistObserveBatchEquivalence pins this). Extrema
+// and the sum are accumulated in locals and folded in once, so the batched
+// engine's per-span histogram flush touches the struct O(1) times.
+func (h *Hist) ObserveBatch(vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	mn, mx := vs[0], vs[0]
+	var sum uint64
+	for _, v := range vs {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+		sum += v
+		h.Buckets[bits.Len64(v)]++
+	}
+	if h.Count == 0 || mn < h.Min {
+		h.Min = mn
+	}
+	if mx > h.Max {
+		h.Max = mx
+	}
+	h.Count += uint64(len(vs))
+	h.Sum += sum
+}
+
 // Merge folds o into h bucket-wise. Merging is commutative and associative,
 // matching the shard-merge contract: merge(a,b) == merge(b,a) for every
 // derived quantity.

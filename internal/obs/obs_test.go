@@ -73,6 +73,64 @@ func TestHistQuantileWithinOneBucket(t *testing.T) {
 	}
 }
 
+// TestHistObserveBatchEquivalence pins the batch-flush contract the
+// engine's batched walk loop relies on: one ObserveBatch call is exactly N
+// scalar Observes — Count, Sum, Min, Max, every bucket, and therefore
+// every quantile — including batches that are empty, all-zero, single
+// element, split at arbitrary points, or appended to a pre-populated
+// histogram.
+func TestHistObserveBatchEquivalence(t *testing.T) {
+	batches := [][]uint64{
+		{},
+		{0},
+		{42},
+		{0, 0, 0},
+		{1, 2, 4, 8, 16, 1 << 40, 7, 7, 7},
+		{math.MaxUint64, 0, math.MaxUint64},
+		{9, 8, 7, 6, 5, 4, 3, 2, 1, 0},
+	}
+	// A deterministic pseudo-random batch, long enough to cross internal
+	// accumulation boundaries.
+	long := make([]uint64, 4096)
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := range long {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		long[i] = x >> (i % 48)
+	}
+	batches = append(batches, long)
+
+	for i, vs := range batches {
+		var scalar, batched Hist
+		for _, v := range vs {
+			scalar.Observe(v)
+		}
+		batched.ObserveBatch(vs)
+		if !reflect.DeepEqual(scalar, batched) {
+			t.Fatalf("batch %d: ObserveBatch diverged from %d Observes:\nscalar:  %+v\nbatched: %+v",
+				i, len(vs), scalar, batched)
+		}
+		for _, p := range []float64{0, 50, 99, 100} {
+			if scalar.Quantile(p) != batched.Quantile(p) {
+				t.Fatalf("batch %d: Quantile(%v) differs", i, p)
+			}
+		}
+
+		// Splitting a batch anywhere must not change anything either —
+		// the engine flushes one batch per StepBatch call, at whatever
+		// span boundaries the fault schedule produced.
+		for _, cut := range []int{0, len(vs) / 3, len(vs) / 2, len(vs)} {
+			var split Hist
+			split.ObserveBatch(vs[:cut])
+			split.ObserveBatch(vs[cut:])
+			if !reflect.DeepEqual(scalar, split) {
+				t.Fatalf("batch %d split at %d diverged:\nscalar: %+v\nsplit:  %+v", i, cut, scalar, split)
+			}
+		}
+	}
+}
+
 func TestHistMergeCommutes(t *testing.T) {
 	var a, b Hist
 	for i := uint64(0); i < 100; i++ {

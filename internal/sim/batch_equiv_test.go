@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"dmt/internal/fault"
+)
+
+// The batch-walk contract (DESIGN.md §13): the batched engine loop is a
+// pure restructuring of the scalar one — every Result field, counter,
+// histogram bucket, and trace event must be bit-identical to the per-op
+// reference path, for every environment, design, fault plan, verification
+// mode, and batch size, including sizes that don't divide the op count.
+// These are metamorphic tests: the scalar leg (Config.scalarWalk) is the
+// oracle for the batched leg, and CI runs the suite under -race.
+
+// batchEquivConfig is detConfig plus the observability surfaces the
+// equivalence must cover: trace capture on (with a small ring so the
+// overwrite path is compared too) and two workers so the batched path also
+// runs concurrently under the race detector.
+func batchEquivConfig(t *testing.T, env Environment, d Design, plan *fault.Plan, verify bool) Config {
+	cfg := detConfig(env, d, plan)
+	cfg.Workload = detWorkload(t)
+	cfg.Verify = verify
+	cfg.Workers = 2
+	cfg.Trace = true
+	cfg.TraceCap = 128
+	return cfg
+}
+
+// runBatchVsScalar runs cfg through both engine loops and asserts
+// bit-identical Results.
+func runBatchVsScalar(t *testing.T, cfg Config) (*Result, *Result) {
+	t.Helper()
+	scfg := cfg
+	scfg.scalarWalk = true
+	want, err := Run(scfg)
+	if err != nil {
+		t.Fatalf("scalar leg: %v", err)
+	}
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("batched leg: %v", err)
+	}
+	requireEqualResults(t, want, got)
+	return want, got
+}
+
+// TestBatchScalarEquivalenceMatrix is the full metamorphic sweep: every
+// (environment × design) cell, with and without a fault plan, with and
+// without the verification oracle, batched at the production span size.
+func TestBatchScalarEquivalenceMatrix(t *testing.T) {
+	suite := fault.Suite(detOps)
+	if len(suite) == 0 {
+		t.Fatal("empty fault suite")
+	}
+	churn := &suite[0]
+
+	for _, env := range []Environment{EnvNative, EnvVirt, EnvNested} {
+		for _, d := range detDesigns(env) {
+			for _, plan := range []*fault.Plan{nil, churn} {
+				for _, verify := range []bool{false, true} {
+					name := fmt.Sprintf("%v/%s/verify=%v", env, d, verify)
+					if plan != nil {
+						name += "/" + plan.Name
+					}
+					t.Run(name, func(t *testing.T) {
+						cfg := batchEquivConfig(t, env, d, plan, verify)
+						want, _ := runBatchVsScalar(t, cfg)
+						if want.Walks == 0 || want.TLBMisses == 0 {
+							t.Fatalf("degenerate run: %d walks, %d misses", want.Walks, want.TLBMisses)
+						}
+						if want.WalkHist == nil || want.WalkHist.Count != want.Walks {
+							t.Fatalf("histogram lost walks: %+v vs %d walks", want.WalkHist, want.Walks)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestBatchCapSweep pins span-size independence on representative cells:
+// awkward caps (1, 7) and the production cap, against an op count chosen so
+// no cap divides it and every shard ends mid-span. The fault plan makes
+// event boundaries land inside, between, and exactly on spans.
+func TestBatchCapSweep(t *testing.T) {
+	const oddOps = 2003 // prime: not divisible by any cap or shard count
+	suite := fault.Suite(oddOps)
+	if len(suite) == 0 {
+		t.Fatal("empty fault suite")
+	}
+	churn := &suite[0]
+
+	cells := []struct {
+		env Environment
+		d   Design
+	}{
+		{EnvNative, DesignDMT},
+		{EnvVirt, DesignVanilla},
+		{EnvVirt, DesignPvDMT},
+		{EnvNested, DesignPvDMT},
+	}
+	for _, cell := range cells {
+		for _, cap := range []int{1, 7, BatchOps} {
+			t.Run(fmt.Sprintf("%v/%s/cap=%d", cell.env, cell.d, cap), func(t *testing.T) {
+				cfg := batchEquivConfig(t, cell.env, cell.d, churn, true)
+				cfg.Ops = oddOps
+				cfg.TraceCap = 32 // exercise ring overwrite on both legs
+				cfg.batchCap = cap
+				want, _ := runBatchVsScalar(t, cfg)
+				if want.Ops != oddOps {
+					t.Fatalf("merged Ops = %d, want %d", want.Ops, oddOps)
+				}
+				if want.FaultsApplied+want.FaultsSkipped == 0 {
+					t.Fatal("no fault events executed")
+				}
+			})
+		}
+	}
+}
+
+// TestBatchInstanceResume pins StepBatch's public contract on a bare
+// instance: arbitrary interleavings of StepBatch sizes (including calls
+// larger than BatchOps, which clamp) finish with the same Result as the
+// scalar Step loop, and a finished instance reports zero further progress.
+func TestBatchInstanceResume(t *testing.T) {
+	cfg := Config{
+		Env: EnvVirt, Design: DesignPvDMT, THP: true, Workload: detWorkload(t),
+		WSBytes: detWS, Ops: 2003, Seed: 7, Verify: true, Shards: 1,
+	}
+
+	scalar, err := NewInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < scalar.Ops(); i++ {
+		if err := scalar.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := scalar.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batched, err := NewInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{1, 7, 100, 3 * BatchOps, 13, 1024}
+	done := 0
+	for i := 0; done < batched.Ops(); i++ {
+		n, err := batched.StepBatch(sizes[i%len(sizes)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatalf("no progress at op %d", done)
+		}
+		if n > BatchOps {
+			t.Fatalf("StepBatch(%d) completed %d ops, above the %d clamp", sizes[i%len(sizes)], n, BatchOps)
+		}
+		done += n
+	}
+	if n, err := batched.StepBatch(BatchOps); err != nil || n != 0 {
+		t.Fatalf("StepBatch on exhausted instance = (%d, %v), want (0, nil)", n, err)
+	}
+	got, err := batched.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualResults(t, want, got)
+}
+
+// FuzzBatchSpan fuzzes the span arithmetic directly: spans always make
+// progress, never exceed the remaining limit, and never cross the next
+// fault-event boundary from below.
+func FuzzBatchSpan(f *testing.F) {
+	f.Add(0, 1024, 500)
+	f.Add(500, 1024, 500)
+	f.Add(0, 1, 0)
+	f.Add(1000, 24, 1<<62)
+	f.Add(7, 0, 3)
+	f.Fuzz(func(t *testing.T, op, limit, nextAt int) {
+		span := batchSpan(op, limit, nextAt)
+		if limit < 1 {
+			if span != 0 {
+				t.Fatalf("batchSpan(%d, %d, %d) = %d, want 0 for empty limit", op, limit, nextAt, span)
+			}
+			return
+		}
+		if span < 1 || span > limit {
+			t.Fatalf("batchSpan(%d, %d, %d) = %d, outside [1, %d]", op, limit, nextAt, span, limit)
+		}
+		if nextAt > op && op+span > nextAt {
+			t.Fatalf("batchSpan(%d, %d, %d) = %d crosses the event at %d", op, limit, nextAt, span, nextAt)
+		}
+	})
+}
+
+// FuzzBatchBoundaries fuzzes the engine's span-slicing loop against a pure
+// model of the scalar tick schedule: for arbitrary op counts, batch caps,
+// and fault-event offsets, every event fires exactly once, at exactly the
+// op a per-op Tick would fire it (no drops, no double-fires, no late fires
+// at batch seams), and the loop always terminates with full coverage.
+func FuzzBatchBoundaries(f *testing.F) {
+	f.Add(uint16(2000), uint8(255), uint16(0), uint16(1023), uint16(1024))
+	f.Add(uint16(5), uint8(1), uint16(0), uint16(0), uint16(4))
+	f.Add(uint16(3000), uint8(7), uint16(1999), uint16(2000), uint16(2001))
+	f.Add(uint16(1), uint8(255), uint16(500), uint16(500), uint16(500))
+	f.Fuzz(func(t *testing.T, rawOps uint16, rawCap uint8, e1, e2, e3 uint16) {
+		ops := int(rawOps)%5000 + 1
+		cap := int(rawCap)%BatchOps + 1
+		events := []int{int(e1) % (ops + 2), int(e2) % (ops + 2), int(e3) % (ops + 2)}
+		sort.Ints(events)
+
+		fired := make([]bool, len(events))
+		nextEvent := func(op int) int {
+			for i, at := range events {
+				if !fired[i] && at > op {
+					return at
+				}
+			}
+			return 1 << 62
+		}
+		op, iter := 0, 0
+		for op < ops {
+			if iter++; iter > 3*ops+len(events)+8 {
+				t.Fatalf("loop failed to terminate: op %d of %d, cap %d, events %v", op, ops, cap, events)
+			}
+			// The tick at the span start: everything due fires now, and
+			// must be due *exactly* now — a later At reached here would be
+			// a premature fire, an earlier unfired At a late one.
+			for i, at := range events {
+				if !fired[i] && at <= op {
+					if at != op {
+						t.Fatalf("event at %d fired late at op %d (cap %d, events %v)", at, op, cap, events)
+					}
+					fired[i] = true
+				}
+			}
+			limit := cap
+			if rem := ops - op; limit > rem {
+				limit = rem
+			}
+			span := batchSpan(op, limit, nextEvent(op))
+			if span < 1 {
+				t.Fatalf("stalled span at op %d (cap %d, events %v)", op, cap, events)
+			}
+			if next := nextEvent(op); next > op && op+span > next {
+				t.Fatalf("span [%d, %d) crosses event at %d (cap %d)", op, op+span, next, cap)
+			}
+			op += span
+		}
+		if op != ops {
+			t.Fatalf("coverage hole: ended at op %d of %d", op, ops)
+		}
+		for i, at := range events {
+			if at < ops && !fired[i] {
+				t.Fatalf("event at %d (< %d ops) never fired at a batch seam (cap %d, events %v)", at, ops, cap, events)
+			}
+			if at >= ops && fired[i] {
+				t.Fatalf("event at %d fired inside a %d-op trace (cap %d, events %v)", at, ops, cap, events)
+			}
+		}
+	})
+}

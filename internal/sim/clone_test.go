@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"dmt/internal/fault"
@@ -192,6 +193,10 @@ func TestDeterminismCloneCostIndependentOfOps(t *testing.T) {
 	allocsAt := func(ops int) float64 {
 		c := cfg
 		c.Ops = ops
+		// Start each measurement from a collected heap: a GC landing inside
+		// one window but not the other empties fmt's internal pools and
+		// shows up as a spurious one-alloc difference.
+		runtime.GC()
 		return testing.AllocsPerRun(3, func() {
 			if _, err := proto.NewInstance(c); err != nil {
 				t.Fatal(err)

@@ -41,6 +41,19 @@ type Instance struct {
 	op    int
 	ops   int
 	done  bool
+
+	// Batched-walk state (DESIGN.md §13): the reusable request/result
+	// buffers trace generation fills per span, the per-instance Batch the
+	// canonical loop runs against, the walker's batch entry point when it
+	// has one, and the latency buffer armed on rec during StepBatch. All
+	// fixed-size and allocated at assembly, so stepping allocates nothing
+	// and clone cost stays independent of trace length.
+	rec   *recordingWalker
+	bw    core.BatchWalker
+	batch *core.Batch
+	reqs  []core.Req
+	bres  []core.Res
+	lats  []uint64
 }
 
 // NewInstance builds the machine for cfg and returns an unstarted instance
@@ -104,7 +117,14 @@ func coldBuild(scfg Config) (*machine, error) {
 // (sliced ops, per-shard trace seed) the instance executes.
 func assembleInstance(cfg, scfg Config, m *machine, shard, shards int) (*Instance, error) {
 	res := &Result{Config: cfg, breakdown: map[string]*StepAgg{}, WalkHist: &obs.Hist{}}
-	rec := &recordingWalker{inner: m.walker, res: res, sink: m.sink, hist: res.WalkHist, labels: map[labelKey]*StepAgg{}}
+	rec := &recordingWalker{
+		inner:  m.walker,
+		res:    res,
+		sink:   m.sink,
+		hist:   res.WalkHist,
+		labels: map[labelKey]*StepAgg{},
+		fast:   make([]*StepAgg, labelFastSize),
+	}
 	var ring *obs.Ring
 	if cfg.Trace {
 		cap := cfg.TraceCap
@@ -145,7 +165,21 @@ func assembleInstance(cfg, scfg Config, m *machine, shard, shards int) (*Instanc
 		plan := shardPlan(*cfg.FaultPlan, cfg.Ops, scfg.Ops, shard, shards)
 		inj = fault.New(plan, m.target)
 	}
-	return &Instance{cfg: cfg, m: m, mmu: mmu, inj: inj, chk: chk, res: res, ring: ring, shard: shard, ops: scfg.Ops}, nil
+	in := &Instance{cfg: cfg, m: m, mmu: mmu, inj: inj, chk: chk, res: res, ring: ring, shard: shard, ops: scfg.Ops}
+	in.rec = rec
+	in.reqs = make([]core.Req, BatchOps)
+	in.bres = make([]core.Res, BatchOps)
+	in.lats = make([]uint64, 0, BatchOps)
+	in.bw, _ = m.walker.(core.BatchWalker)
+	// The checker converts to its interface only when present: boxing a nil
+	// *check.Checker would read as a non-nil TranslateChecker and crash the
+	// loop's presence check.
+	var bchk core.TranslateChecker
+	if chk != nil {
+		bchk = chk
+	}
+	in.batch = core.NewBatch(mmu, m.hier, m.sink, rec, bchk)
+	return in, nil
 }
 
 // Ops returns the instance's op budget (the shard's slice of Config.Ops).
@@ -185,6 +219,111 @@ func (in *Instance) Step() error {
 	in.res.DataCycles += uint64(in.m.hier.Access(pa).Cycles)
 	in.op++
 	return nil
+}
+
+// StepBatch advances the trace by up to n operations through the batched
+// walk path (DESIGN.md §13) and returns how many completed. The batch is
+// split into spans at fault-event boundaries — batchSpan sizes each span so
+// its end never overshoots the injector's next trigger op, which makes one
+// Tick per span bit-identical to the scalar path's per-op Tick (ticks
+// between events are no-ops). Trace generation fills the reusable request
+// buffer, the canonical loop (the walker's own WalkBatch when it has one,
+// the scalar adapter otherwise) runs the span, and failed translations are
+// demand-faulted back in and resumed exactly as Step does. Histogram
+// observation and the data-cycle fold happen once per call, on every exit
+// path. n is clamped to both BatchOps and the remaining op budget.
+func (in *Instance) StepBatch(n int) (int, error) {
+	if n > BatchOps {
+		n = BatchOps
+	}
+	if rem := in.ops - in.op; n > rem {
+		n = rem
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	in.rec.lats = in.lats[:0]
+	defer func() {
+		in.res.DataCycles += in.batch.DataCycles
+		in.batch.DataCycles = 0
+		in.res.WalkHist.ObserveBatch(in.rec.lats)
+		in.lats = in.rec.lats[:0]
+		in.rec.lats = nil
+	}()
+	total := 0
+	for total < n {
+		i := in.op
+		nextAt := 1 << 62
+		if in.inj != nil {
+			before := in.inj.Applied + in.inj.Skipped
+			if err := in.inj.Tick(i); err != nil {
+				return total, fmt.Errorf("sim: %w", err)
+			}
+			if in.chk != nil && in.inj.Applied+in.inj.Skipped != before {
+				in.chk.CheckInvariants()
+			}
+			nextAt = in.inj.NextAt()
+		}
+		span := batchSpan(i, n-total, nextAt)
+		reqs, bres := in.reqs[:span], in.bres[:span]
+		for k := range reqs {
+			reqs[k].VA, _ = in.m.gen()
+		}
+		for k := 0; k < span; {
+			k += in.walkBatch(reqs[k:span], bres[k:span])
+			if k >= span {
+				break
+			}
+			// bres[k] is a failed translation at op i+k: demand paging, as
+			// in Step — fault injected unmaps back in and retry that op once.
+			va := reqs[k].VA
+			if in.inj != nil && in.inj.Unmapped() > 0 {
+				if err := in.inj.Refault(); err != nil {
+					in.op = i + k
+					return total + k, fmt.Errorf("sim: refault at %#x (op %d): %w", uint64(va), i+k, err)
+				}
+				in.res.DemandFaults++
+				if in.walkBatch(reqs[k:k+1], bres[k:k+1]) == 1 {
+					k++
+					continue
+				}
+			}
+			in.op = i + k
+			return total + k, fmt.Errorf("sim: translation fault at %#x (op %d, %v/%v)", uint64(va), i+k, in.cfg.Env, in.cfg.Design)
+		}
+		in.op = i + span
+		total += span
+	}
+	return total, nil
+}
+
+// walkBatch dispatches a span to the walker's batch entry point, falling
+// back to the canonical adapter for designs without one.
+func (in *Instance) walkBatch(reqs []core.Req, res []core.Res) int {
+	if in.bw != nil {
+		return in.bw.WalkBatch(in.batch, reqs, res)
+	}
+	return core.ScalarWalkBatch(in.batch, in.m.walker, reqs, res)
+}
+
+// batchSpan returns how many ops, starting at op, a span may run before the
+// injector must tick again: the remaining limit, shortened so the span
+// never crosses nextAt (the next fault event's trigger op). Pure integer
+// arithmetic — FuzzBatchSpan exercises it directly — and always positive
+// for a positive limit, so the batched loop cannot stall.
+func batchSpan(op, limit, nextAt int) int {
+	if limit < 1 {
+		return 0
+	}
+	if nextAt <= op {
+		// An overdue event (impossible after a Tick at op, but kept safe):
+		// run a single op so the next span re-ticks immediately.
+		return 1
+	}
+	if d := nextAt - op; d < limit {
+		return d
+	}
+	return limit
 }
 
 // Finish drains the fault injector, runs the final invariant sweep, and
@@ -287,12 +426,15 @@ type ShardResult struct {
 	Res   *Result
 }
 
-// stepBatch is how many trace operations a shard executes between context
-// checks. Cancellation therefore lands within one batch of simulated work
-// per running shard: prompt at simulation timescales, while keeping the
-// per-step overhead to one modulo and one predictable branch (the walk hot
-// path itself — Instance.Step — never touches the context).
-const stepBatch = 1024
+// BatchOps is the engine's walk-batch size AND its cancellation
+// granularity: a shard checks its context between batches, never inside
+// one, so cancellation lands within one batch of simulated work per
+// running shard — prompt at simulation timescales — while the walk hot
+// path itself never touches the context. The two roles are deliberately
+// one constant: splitting them would let a batch span multiple
+// cancellation windows (or vice versa) and silently loosen the bound
+// TestRunCtx* pins.
+const BatchOps = 1024
 
 // RunShards executes every shard of cfg — concurrently when cfg.Workers > 1
 // — and returns the per-shard results. Each part depends only on (cfg,
@@ -323,15 +465,35 @@ func RunShardsCtx(ctx context.Context, cfg Config) ([]ShardResult, error) {
 		// Account executed steps once per shard (off the hot path); the
 		// abort regression tests bound this across a failing campaign.
 		defer func() { obs.Default.Add("engine.steps_run", uint64(in.op)) }()
-		for i := 0; i < in.ops; i++ {
-			if i > 0 && i%stepBatch == 0 {
-				if err := ctx.Err(); err != nil {
-					obs.Default.Add("engine.shard_aborts", 1)
+		if cfg.scalarWalk {
+			// The pre-batch reference loop, kept verbatim for the
+			// metamorphic batch-vs-scalar suite.
+			for i := 0; i < in.ops; i++ {
+				if i > 0 && i%BatchOps == 0 {
+					if err := ctx.Err(); err != nil {
+						obs.Default.Add("engine.shard_aborts", 1)
+						return err
+					}
+				}
+				if err := in.Step(); err != nil {
 					return err
 				}
 			}
-			if err := in.Step(); err != nil {
-				return err
+		} else {
+			lim := cfg.batchCap
+			if lim <= 0 || lim > BatchOps {
+				lim = BatchOps
+			}
+			for in.op < in.ops {
+				if in.op > 0 {
+					if err := ctx.Err(); err != nil {
+						obs.Default.Add("engine.shard_aborts", 1)
+						return err
+					}
+				}
+				if _, err := in.StepBatch(lim); err != nil {
+					return err
+				}
 			}
 		}
 		res, err := in.Finish()

@@ -152,6 +152,18 @@ type Config struct {
 	// fragmentation) stays identical across replicas while each shard
 	// draws a decorrelated reference stream.
 	traceSeed int64
+
+	// scalarWalk forces the engine's pre-batch per-op loop (Instance.Step
+	// per trace operation). The batched loop is bit-identical by contract —
+	// the metamorphic suite in batch_equiv_test.go drives both paths over
+	// the full env×design matrix — so this knob exists only as that suite's
+	// reference leg, never for production runs.
+	scalarWalk bool
+	// batchCap, when positive, caps the engine's walk-batch size below
+	// BatchOps. Results are independent of the cap (spans only restructure
+	// the loop around the ops); the metamorphic suite sweeps awkward caps
+	// (1, 7, sizes not dividing Ops) to prove it.
+	batchCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -325,7 +337,18 @@ type recordingWalker struct {
 
 	// labels interns (step, level, dim) → aggregate so the hot path skips
 	// refLabel's Sprintf (and its allocations) after the first encounter.
+	// fast is the first-line intern table: every label emitted by the ten
+	// designs packs into 12 bits (labelIndex), so the common case is one
+	// array load instead of a map probe (hashing the dim string was ~15%
+	// of the pre-batch walk profile). labels remains the fallback for keys
+	// outside the packed range.
 	labels map[labelKey]*StepAgg
+	fast   []*StepAgg
+
+	// lats, when non-nil, buffers walk latencies for a batch-boundary
+	// ObserveBatch flush instead of observing into hist per walk; the
+	// engine arms it around StepBatch and flushes on every exit path.
+	lats []uint64
 }
 
 // labelKey identifies one architectural walk step; it mirrors the fields
@@ -335,6 +358,43 @@ type labelKey struct {
 	dim         string
 }
 
+// labelFastSize bounds the packed label space: 3 bits of dimension code,
+// 3 bits of level, 6 bits of step.
+const labelFastSize = 1 << 12
+
+// labelIndex packs a ref's identity into the fast-table index, or reports
+// that it doesn't fit (unknown dimension, step ≥ 64, level ≥ 8) and must
+// take the map path. The dimension set is closed over the walker
+// implementations: native/guest/host/shadow radix dims, DMT's bare labels,
+// and pvDMT's nested "L0"–"L2" step names.
+func labelIndex(ref *core.MemRef) (int, bool) {
+	var dim int
+	switch ref.Dim {
+	case "n":
+		dim = 0
+	case "g":
+		dim = 1
+	case "h":
+		dim = 2
+	case "s":
+		dim = 3
+	case "":
+		dim = 4
+	case "L0":
+		dim = 5
+	case "L1":
+		dim = 6
+	case "L2":
+		dim = 7
+	default:
+		return 0, false
+	}
+	if uint(ref.Step) >= 64 || uint(ref.Level) >= 8 {
+		return 0, false
+	}
+	return dim<<9 | ref.Level<<6 | ref.Step, true
+}
+
 func (w *recordingWalker) Name() string { return w.inner.Name() }
 
 func (w *recordingWalker) Walk(va mem.VAddr) core.WalkOutcome {
@@ -342,8 +402,19 @@ func (w *recordingWalker) Walk(va mem.VAddr) core.WalkOutcome {
 		w.sink.Reset()
 	}
 	out := w.inner.Walk(va)
+	w.RecordWalk(va, &out)
+	return out
+}
+
+// RecordWalk aggregates one walker invocation: the differential oracle,
+// whole-walk counters, per-step label aggregation, latency observation,
+// and trace-ring capture. It is the measurement half of Walk, factored out
+// so the batched engine (core.RunBatch) can invoke it directly as a
+// core.WalkRecorder at exactly the scalar path's sequence point — after
+// the walk, before the TLB refill.
+func (w *recordingWalker) RecordWalk(va mem.VAddr, out *core.WalkOutcome) {
 	if w.chk != nil {
-		w.chk.CheckWalk(va, out)
+		w.chk.CheckWalk(va, *out)
 	}
 	w.res.Walks++
 	w.res.WalkCycles += uint64(out.Cycles)
@@ -354,27 +425,44 @@ func (w *recordingWalker) Walk(va mem.VAddr) core.WalkOutcome {
 	}
 	for i := range out.Refs {
 		ref := &out.Refs[i]
-		k := labelKey{step: ref.Step, level: ref.Level, dim: ref.Dim}
-		agg := w.labels[k]
-		if agg == nil {
-			label := refLabel(*ref)
-			agg = w.res.breakdown[label]
+		var agg *StepAgg
+		if idx, ok := labelIndex(ref); ok {
+			agg = w.fast[idx]
 			if agg == nil {
-				agg = &StepAgg{Label: label}
-				w.res.breakdown[label] = agg
+				agg = w.intern(ref)
+				w.fast[idx] = agg
 			}
-			w.labels[k] = agg
+		} else {
+			k := labelKey{step: ref.Step, level: ref.Level, dim: ref.Dim}
+			agg = w.labels[k]
+			if agg == nil {
+				agg = w.intern(ref)
+				w.labels[k] = agg
+			}
 		}
 		agg.Cycles += uint64(ref.Cycles)
 		agg.Count++
 	}
-	if w.hist != nil {
+	if w.lats != nil {
+		w.lats = append(w.lats, uint64(out.Cycles))
+	} else if w.hist != nil {
 		w.hist.Observe(uint64(out.Cycles))
 	}
 	if w.ring != nil {
-		w.capture(va, &out)
+		w.capture(va, out)
 	}
-	return out
+}
+
+// intern resolves (or creates) the breakdown aggregate for ref's label;
+// the formatting cost is paid once per distinct label per shard.
+func (w *recordingWalker) intern(ref *core.MemRef) *StepAgg {
+	label := refLabel(*ref)
+	agg := w.res.breakdown[label]
+	if agg == nil {
+		agg = &StepAgg{Label: label}
+		w.res.breakdown[label] = agg
+	}
+	return agg
 }
 
 // capture records one walk into the trace ring: VA, whole-walk latency,

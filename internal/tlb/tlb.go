@@ -12,20 +12,22 @@ import (
 )
 
 // assoc is a small set-associative map from uint64 keys to uint64 values
-// with LRU replacement; it backs TLBs, PWCs, and nested walk caches.
+// with LRU replacement; it backs TLBs, PWCs, and nested walk caches. Keys,
+// values, and stamps live interleaved in one flat set-major array — (key,
+// val, stamp) triplets — so the walk hot path, which probes these
+// structures many times per translation, touches one contiguous span per
+// set: no pointer chase, no hardware divide (power-of-two set counts take
+// a mask), and a hit reads its value and writes its stamp on the cache
+// line it just scanned.
 type assoc struct {
-	sets  []assocSet
+	ents  []uint64 // (key+1, val, stamp) triplets; key 0 = invalid
 	ways  int
+	wspan int // ways*3: elements per set in ents
+	nsets uint64
+	mask  uint64 // nsets-1 when nsets is a power of two, else 0 (modulo path)
 	now   uint64
 	hits  uint64
 	miss  uint64
-	valid map[uint64]struct{} // nil unless tracking needed
-}
-
-type assocSet struct {
-	keys  []uint64 // key+1, 0 = invalid
-	vals  []uint64
-	stamp []uint64
 }
 
 func newAssoc(entries, ways int) (*assoc, error) {
@@ -33,13 +35,14 @@ func newAssoc(entries, ways int) (*assoc, error) {
 		return nil, fmt.Errorf("tlb: bad geometry: %d entries / %d ways", entries, ways)
 	}
 	n := entries / ways
-	a := &assoc{sets: make([]assocSet, n), ways: ways}
-	for i := range a.sets {
-		a.sets[i] = assocSet{
-			keys:  make([]uint64, ways),
-			vals:  make([]uint64, ways),
-			stamp: make([]uint64, ways),
-		}
+	a := &assoc{
+		ents:  make([]uint64, entries*3),
+		ways:  ways,
+		wspan: ways * 3,
+		nsets: uint64(n),
+	}
+	if n&(n-1) == 0 {
+		a.mask = uint64(n) - 1
 	}
 	return a, nil
 }
@@ -62,20 +65,30 @@ func normAssoc(entries, ways int) *assoc {
 	return a
 }
 
-func (a *assoc) set(key uint64) *assocSet {
+// set returns the first element index of key's set in ents. The set index
+// computed by the mask fast path equals the modulo it replaces exactly, so
+// hit/miss patterns — and therefore every simulated metric — are unchanged.
+func (a *assoc) set(key uint64) int {
 	// Mix the key so consecutive VPNs spread across sets.
 	h := key * 0x9e3779b97f4a7c15
-	return &a.sets[(h>>32)%uint64(len(a.sets))]
+	var si uint64
+	if a.mask != 0 {
+		si = (h >> 32) & a.mask
+	} else {
+		si = (h >> 32) % a.nsets
+	}
+	return int(si) * a.wspan
 }
 
 func (a *assoc) lookup(key uint64) (uint64, bool) {
 	a.now++
-	s := a.set(key)
-	for w, k := range s.keys {
-		if k == key+1 {
-			s.stamp[w] = a.now
+	base := a.set(key)
+	set := a.ents[base : base+a.wspan]
+	for w := 0; w < len(set); w += 3 {
+		if set[w] == key+1 {
+			set[w+2] = a.now
 			a.hits++
-			return s.vals[w], true
+			return set[w+1], true
 		}
 	}
 	a.miss++
@@ -84,41 +97,41 @@ func (a *assoc) lookup(key uint64) (uint64, bool) {
 
 func (a *assoc) insert(key, val uint64) {
 	a.now++
-	s := a.set(key)
+	base := a.set(key)
+	set := a.ents[base : base+a.wspan]
 	victim, oldest := 0, ^uint64(0)
-	for w, k := range s.keys {
-		if k == key+1 {
-			s.vals[w] = val
-			s.stamp[w] = a.now
+	for w := 0; w < len(set); w += 3 {
+		if set[w] == key+1 {
+			set[w+1] = val
+			set[w+2] = a.now
 			return
 		}
-		if k == 0 {
+		if set[w] == 0 {
 			victim, oldest = w, 0
 			break
 		}
-		if s.stamp[w] < oldest {
-			victim, oldest = w, s.stamp[w]
+		if s := set[w+2]; s < oldest {
+			victim, oldest = w, s
 		}
 	}
-	s.keys[victim] = key + 1
-	s.vals[victim] = val
-	s.stamp[victim] = a.now
+	set[victim] = key + 1
+	set[victim+1] = val
+	set[victim+2] = a.now
 }
 
 func (a *assoc) invalidate(key uint64) {
-	s := a.set(key)
-	for w, k := range s.keys {
-		if k == key+1 {
-			s.keys[w] = 0
+	base := a.set(key)
+	set := a.ents[base : base+a.wspan]
+	for w := 0; w < len(set); w += 3 {
+		if set[w] == key+1 {
+			set[w] = 0
 		}
 	}
 }
 
 func (a *assoc) flush() {
-	for i := range a.sets {
-		for w := range a.sets[i].keys {
-			a.sets[i].keys[w] = 0
-		}
+	for i := 0; i < len(a.ents); i += 3 {
+		a.ents[i] = 0
 	}
 }
 
