@@ -55,10 +55,14 @@ type BenchWalk struct {
 	MaxWalkCycles float64 `json:"max_walk_cycles,omitempty"`
 }
 
-// BenchMatrix records the figure-matrix wall clock.
+// BenchMatrix records the figure-matrix wall clock. NumCPU is recorded with
+// the cell because workers8_seconds is only meaningful on a multi-core host:
+// on one CPU the eight workers merely oversubscribe the core, and benchcheck
+// skips the workers8 comparison when either side reports numcpu == 1.
 type BenchMatrix struct {
 	SerialSeconds     float64 `json:"serial_seconds"`
 	Workers8Seconds   float64 `json:"workers8_seconds"`
+	NumCPU            int     `json:"numcpu"`
 	SeedSerialSeconds float64 `json:"seed_serial_seconds,omitempty"`
 	SpeedupVsSeed     float64 `json:"speedup_vs_seed,omitempty"`
 }
@@ -100,7 +104,9 @@ var buildBenchCells = []struct {
 // speedup_vs_seed field, not something benchcheck compares across hosts.
 const seedSerialSeconds = 9.49
 
-// walkBenchCells is the pinned subset the regression gate tracks.
+// walkBenchCells is the pinned set the regression gate tracks: one cell per
+// walker design (all ten — the five native designs and the five virt designs
+// whose walkers a native cell doesn't already cover).
 var walkBenchCells = []struct {
 	name string
 	env  sim.Environment
@@ -108,9 +114,14 @@ var walkBenchCells = []struct {
 }{
 	{"NativeVanilla", sim.EnvNative, sim.DesignVanilla},
 	{"NativeDMT", sim.EnvNative, sim.DesignDMT},
+	{"NativeECPT", sim.EnvNative, sim.DesignECPT},
+	{"NativeFPT", sim.EnvNative, sim.DesignFPT},
+	{"NativeASAP", sim.EnvNative, sim.DesignASAP},
 	{"VirtVanilla", sim.EnvVirt, sim.DesignVanilla},
+	{"VirtShadow", sim.EnvVirt, sim.DesignShadow},
+	{"VirtDMT", sim.EnvVirt, sim.DesignDMT},
 	{"VirtPvDMT", sim.EnvVirt, sim.DesignPvDMT},
-	{"NestedPvDMT", sim.EnvNested, sim.DesignPvDMT},
+	{"VirtAgile", sim.EnvVirt, sim.DesignAgile},
 }
 
 // runMatrix regenerates the simulation-backed figure quantities once — the
@@ -246,6 +257,7 @@ func TestEmitBenchJSON(t *testing.T) {
 	doc.Matrix = BenchMatrix{
 		SerialSeconds:     serial,
 		Workers8Seconds:   par,
+		NumCPU:            runtime.NumCPU(),
 		SeedSerialSeconds: seedSerialSeconds,
 		SpeedupVsSeed:     seedSerialSeconds / serial,
 	}

@@ -54,6 +54,10 @@ type benchDoc struct {
 	Matrix struct {
 		SerialSeconds   float64 `json:"serial_seconds"`
 		Workers8Seconds float64 `json:"workers8_seconds"`
+		// NumCPU is recorded with the cell because workers8_seconds only
+		// measures parallel speed on a multi-core host; on one CPU the eight
+		// workers oversubscribe the core and the figure is scheduling noise.
+		NumCPU int `json:"numcpu"`
 	} `json:"matrix"`
 	Build struct {
 		Envs             map[string]buildRecord `json:"envs"`
@@ -138,6 +142,16 @@ func compare(base, cur *benchDoc, tol float64) ([]string, error) {
 	}
 	if base.Matrix.SerialSeconds > 0 && cur.Matrix.SerialSeconds > 0 {
 		times = append(times, timeMetric{"matrix serial seconds", base.Matrix.SerialSeconds, cur.Matrix.SerialSeconds})
+	}
+	// workers8_seconds joins the time pool only when both records come from
+	// multi-core hosts (numcpu recorded with the cell). A single-CPU side
+	// turns the eight-worker run into pure oversubscription — slower than
+	// serial by scheduling noise alone — and comparing it would poison the
+	// host-speed factor for every real metric. Records predating the numcpu
+	// field carry 0 and are likewise skipped.
+	if base.Matrix.Workers8Seconds > 0 && cur.Matrix.Workers8Seconds > 0 &&
+		base.Matrix.NumCPU > 1 && cur.Matrix.NumCPU > 1 {
+		times = append(times, timeMetric{"matrix workers8 seconds", base.Matrix.Workers8Seconds, cur.Matrix.Workers8Seconds})
 	}
 	for name, b := range base.Build.Envs {
 		c, ok := cur.Build.Envs[name]

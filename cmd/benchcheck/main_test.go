@@ -27,7 +27,8 @@ func doc(nsScale float64, allocs float64, extra map[string]float64) *benchDoc {
 		}
 	}
 	d.Matrix.SerialSeconds = 3.0 * nsScale
-	d.Matrix.Workers8Seconds = 8.5 * nsScale
+	d.Matrix.Workers8Seconds = 1.1 * nsScale
+	d.Matrix.NumCPU = 8
 	d.Build.Envs = map[string]buildRecord{}
 	for name, buildNs := range map[string]float64{"native": 1.5e8, "virt": 4e8, "nested": 6e8} {
 		b := buildNs * nsScale
@@ -107,6 +108,39 @@ func TestCompareMatrixRegression(t *testing.T) {
 	bad := mustCompare(t, base, cur, 0.15)
 	if len(bad) != 1 || !strings.Contains(bad[0], "matrix serial") {
 		t.Fatalf("want one matrix violation, got %v", bad)
+	}
+}
+
+func TestCompareWorkers8Regression(t *testing.T) {
+	// With both records from multi-core hosts, the workers8 wall clock is a
+	// real parallel-speed signal and a 60% regression must be flagged.
+	base := doc(1, 0, nil)
+	cur := doc(1, 0, nil)
+	cur.Matrix.Workers8Seconds *= 1.6
+	bad := mustCompare(t, base, cur, 0.15)
+	if len(bad) != 1 || !strings.Contains(bad[0], "workers8") {
+		t.Fatalf("want one workers8 violation, got %v", bad)
+	}
+}
+
+func TestCompareWorkers8SkippedOnSingleCPU(t *testing.T) {
+	// On a 1-CPU host the eight workers oversubscribe the core, so the
+	// workers8 figure is scheduling noise: whichever side reports numcpu==1
+	// (or predates the field, carrying 0) disables the comparison entirely,
+	// no matter how wild the number.
+	for _, ncpu := range []int{0, 1} {
+		base := doc(1, 0, nil)
+		cur := doc(1, 0, nil)
+		cur.Matrix.NumCPU = ncpu
+		cur.Matrix.Workers8Seconds *= 10
+		if bad := mustCompare(t, base, cur, 0.15); len(bad) != 0 {
+			t.Fatalf("numcpu=%d current: workers8 noise flagged: %v", ncpu, bad)
+		}
+		base.Matrix.NumCPU = ncpu
+		base.Matrix.Workers8Seconds /= 10
+		if bad := mustCompare(t, base, doc(1, 0, nil), 0.15); len(bad) != 0 {
+			t.Fatalf("numcpu=%d baseline: workers8 noise flagged: %v", ncpu, bad)
+		}
 	}
 }
 

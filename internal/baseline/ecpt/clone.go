@@ -30,11 +30,12 @@ func (t *Table) Clone(alloc *phys.Allocator) *Table {
 // Clone deep-copies every per-size table onto the cloned allocator.
 func (s *System) Clone(alloc *phys.Allocator) *System {
 	c := &System{
-		tables: make(map[mem.PageSize]*Table, len(s.tables)),
-		sizes:  append([]mem.PageSize(nil), s.sizes...),
+		sizes: append([]mem.PageSize(nil), s.sizes...),
 	}
 	for sz, t := range s.tables {
-		c.tables[sz] = t.Clone(alloc)
+		if t != nil {
+			c.tables[sz] = t.Clone(alloc)
+		}
 	}
 	return c
 }

@@ -11,16 +11,18 @@ import (
 )
 
 // System is the set of per-page-size cuckoo tables replacing one radix page
-// table.
+// table. Tables are held in a dense array indexed by mem.PageSize (a
+// three-value enum) rather than a map: the walk hot path resolves a size's
+// table on every probe, and an array load costs no hashing.
 type System struct {
-	tables map[mem.PageSize]*Table
+	tables [3]*Table
 	sizes  []mem.PageSize
 }
 
 // NewSystem creates tables for the given page sizes, each starting with
 // initialSlots slots per way, allocated from alloc.
 func NewSystem(alloc *phys.Allocator, sizes []mem.PageSize, initialSlots int) (*System, error) {
-	s := &System{tables: map[mem.PageSize]*Table{}, sizes: sizes}
+	s := &System{sizes: sizes}
 	for _, sz := range sizes {
 		t, err := NewTable(sz, initialSlots, alloc)
 		if err != nil {
@@ -39,8 +41,8 @@ func (s *System) Sync(as *kernel.AddressSpace) error {
 			if !ok {
 				continue
 			}
-			t, ok := s.tables[size]
-			if !ok {
+			t := s.tables[size]
+			if t == nil {
 				return fmt.Errorf("ecpt: no table for %v pages", size)
 			}
 			pte := mem.MakePTE(mem.AlignDownP(pa, size.Bytes()), mem.PTEWritable)
@@ -69,8 +71,11 @@ func (s *System) Lookup(va mem.VAddr) (mem.PAddr, mem.PageSize, bool) {
 }
 
 // probe charges the parallel accesses of one full lookup (all ways of all
-// size tables) to the hierarchy, adding refs to g. translate maps a slot's
-// table-space address to the machine address to access (identity natively).
+// size tables) to the hierarchy, adding refs to g, and returns the resolved
+// translation — the same (pa, size, ok) Lookup computes, captured from the
+// matching way's element during the scan so the walkers need no second pass
+// over the tables. translate maps a slot's table-space address to the
+// machine address to access (identity natively).
 //
 // The group's critical-path latency is the *matching* way's line latency:
 // the probes are issued in parallel, the walk continues as soon as the
@@ -79,35 +84,51 @@ func (s *System) Lookup(va mem.VAddr) (mem.PAddr, mem.PageSize, bool) {
 // This is what lets ECPT track DMT closely despite the fan-out — DMT's
 // remaining edge is the hash computation and the pollution (§6.2.1).
 func (s *System) probe(va mem.VAddr, g *groupRecorder, hier *cache.Hierarchy, dim string,
-	translate func(mem.PAddr) (mem.PAddr, bool)) {
+	translate func(mem.PAddr) (mem.PAddr, bool)) (mem.PAddr, mem.PageSize, bool) {
+	var (
+		pa    mem.PAddr
+		psz   mem.PageSize
+		found bool
+	)
 	for _, sz := range s.sizes {
 		t := s.tables[sz]
 		vpn := mem.PageNumber(va, sz)
-		matchWay := t.matchingWay(vpn)
 		for w := 0; w < Ways; w++ {
-			slot := t.SlotAddr(vpn, w)
+			slot, pte, match := t.probeWay(vpn, w)
+			if match && !found {
+				found = true
+				pa = pte.Frame() + mem.PAddr(mem.PageOffset(va, sz))
+				psz = sz
+			}
 			m, ok := translate(slot)
 			if !ok {
 				continue
 			}
 			r := hier.Access(m)
 			g.addMatch(core.MemRef{Addr: m, Cycles: r.Cycles, Served: r.Served, Level: sz.LeafLevel(), Dim: dim},
-				w == matchWay)
+				match)
 		}
 	}
+	return pa, psz, found
 }
 
-// matchingWay returns the way whose element holds a present PTE for vpn,
-// or -1.
-func (t *Table) matchingWay(vpn uint64) int {
+// probeWay resolves one way's probe with a single hash evaluation: the
+// slot's physical address, the element's PTE for vpn, and whether that way
+// holds a present mapping. It fuses what SlotAddr and a content lookup
+// compute separately — both need the same hash(group, way), a
+// multiply-heavy mix ending in a hardware divide, so sharing one
+// evaluation per way removes half the walk's hash work. A group lives in
+// at most one way (the cuckoo relocation invariant), so per-way match
+// flags are equivalent to a first-match scan.
+func (t *Table) probeWay(vpn uint64, w int) (mem.PAddr, mem.PTE, bool) {
 	group := vpn / GroupPages
-	for w := 0; w < Ways; w++ {
-		e := &t.ways[w][t.hash(group, w)]
-		if e.valid && e.group == group && e.ptes[vpn%GroupPages].Present() {
-			return w
-		}
+	slot := t.hash(group, w)
+	e := &t.ways[w][slot]
+	var pte mem.PTE
+	if e.valid && e.group == group {
+		pte = e.ptes[vpn%GroupPages]
 	}
-	return -1
+	return t.bases[w] + mem.PAddr(slot*entryBytes), pte, pte.Present()
 }
 
 type groupRecorder struct {
@@ -176,12 +197,11 @@ func (w *Walker) Walk(va mem.VAddr) core.WalkOutcome {
 	w.Walks++
 	out := core.WalkOutcome{Cycles: HashCycles}
 	g := groupRecorder{sink: w.Sink}
-	w.Sys.probe(va, &g, w.Hier, "n", identity)
+	pa, sz, ok := w.Sys.probe(va, &g, w.Hier, "n", identity)
 	g.commit(&out)
 	if w.Sink != nil {
 		out.Refs = w.Sink.Refs()
 	}
-	pa, sz, ok := w.Sys.Lookup(va)
 	if !ok {
 		return out
 	}
@@ -190,6 +210,14 @@ func (w *Walker) Walk(va mem.VAddr) core.WalkOutcome {
 }
 
 var _ core.Walker = (*Walker)(nil)
+var _ core.BatchWalker = (*Walker)(nil)
+
+// WalkBatch runs a batch of translations through the canonical loop against
+// the concrete walker, keeping the cuckoo ways' cache sets and the size
+// tables' slot lines hot across consecutive ops.
+func (w *Walker) WalkBatch(b *core.Batch, reqs []core.Req, res []core.Res) int {
+	return core.RunBatch(b, w, reqs, res)
+}
 
 // VirtWalker is Nested ECPT (§6.2.1): guest cuckoo tables in guest-physical
 // memory and host cuckoo tables in machine memory, three sequential steps
@@ -241,20 +269,29 @@ func (w *VirtWalker) Walk(gva mem.VAddr) core.WalkOutcome {
 	// §3.1). Only the chain of the eventually-matching guest way is on
 	// the critical path.
 	cands := w.cands[:0]
+	var (
+		dataGPA mem.PAddr
+		gsz     mem.PageSize
+		gok     bool
+	)
 	for _, sz := range w.Guest.sizes {
 		t := w.Guest.tables[sz]
 		vpn := mem.PageNumber(gva, sz)
-		mw := t.matchingWay(vpn)
 		for way := 0; way < Ways; way++ {
-			cands = append(cands, cand{slot: t.SlotAddr(vpn, way), isMatch: way == mw})
+			slot, pte, match := t.probeWay(vpn, way)
+			if match && !gok {
+				gok = true
+				dataGPA = pte.Frame() + mem.PAddr(mem.PageOffset(gva, sz))
+				gsz = sz
+			}
+			cands = append(cands, cand{slot: slot, isMatch: match})
 		}
 	}
 	w.cands = cands
 	g1 := groupRecorder{sink: w.Sink}
 	for i := range cands {
 		sub := groupRecorder{sink: w.Sink}
-		m, _, ok := w.Host.Lookup(mem.VAddr(cands[i].slot))
-		w.Host.probe(mem.VAddr(cands[i].slot), &sub, w.Hier, "h", identity)
+		m, _, ok := w.Host.probe(mem.VAddr(cands[i].slot), &sub, w.Hier, "h", identity)
 		cands[i].machine, cands[i].ok = m, ok
 		if g1.sink == nil {
 			g1.refs = append(g1.refs, sub.refs...)
@@ -282,15 +319,13 @@ func (w *VirtWalker) Walk(gva mem.VAddr) core.WalkOutcome {
 		g2.addMatch(core.MemRef{Addr: c.machine, Cycles: r.Cycles, Served: r.Served, Dim: "g"}, c.isMatch)
 	}
 	g2.commit(&out)
-	dataGPA, gsz, ok := w.Guest.Lookup(gva)
-	if !ok {
+	if !gok {
 		return w.seal(out)
 	}
 
 	// Step 3: host-resolve the data gPA.
 	g3 := groupRecorder{sink: w.Sink}
-	m, _, ok := w.Host.Lookup(mem.VAddr(dataGPA))
-	w.Host.probe(mem.VAddr(dataGPA), &g3, w.Hier, "h", identity)
+	m, _, ok := w.Host.probe(mem.VAddr(dataGPA), &g3, w.Hier, "h", identity)
 	g3.commit(&out)
 	if !ok {
 		return w.seal(out)
@@ -300,3 +335,11 @@ func (w *VirtWalker) Walk(gva mem.VAddr) core.WalkOutcome {
 }
 
 var _ core.Walker = (*VirtWalker)(nil)
+var _ core.BatchWalker = (*VirtWalker)(nil)
+
+// WalkBatch runs a batch of 2D translations through the canonical loop
+// against the concrete walker, keeping the guest and host cuckoo slot lines
+// and the candidate fan-out's cache sets hot across consecutive ops.
+func (w *VirtWalker) WalkBatch(b *core.Batch, reqs []core.Req, res []core.Res) int {
+	return core.RunBatch(b, w, reqs, res)
+}

@@ -111,7 +111,10 @@ func (c *Cache) locate(pa mem.PAddr) (int, uint64) {
 func (c *Cache) Lookup(pa mem.PAddr, now uint64) bool {
 	base, tag := c.locate(pa)
 	set := c.ents[base : base+c.wspan]
-	for w := 0; w < len(set); w += 2 {
+	// w < len(set)-1 (not w < len) so the compiler can prove the scan's
+	// element loads in bounds; wspan is even, so the iteration space is
+	// identical.
+	for w := 0; w < len(set)-1; w += 2 {
 		if set[w] == tag {
 			set[w+1] = now
 			c.Hits++
@@ -127,7 +130,7 @@ func (c *Cache) Insert(pa mem.PAddr, now uint64) {
 	base, tag := c.locate(pa)
 	set := c.ents[base : base+c.wspan]
 	victim, oldest := 0, ^uint64(0)
-	for w := 0; w < len(set); w += 2 {
+	for w := 0; w < len(set)-1; w += 2 {
 		if set[w] == tag {
 			set[w+1] = now
 			return
@@ -142,6 +145,42 @@ func (c *Cache) Insert(pa mem.PAddr, now uint64) {
 	}
 	set[victim] = tag
 	set[victim+1] = now
+}
+
+// lookupOrFill probes for the line holding pa and, on a miss, fills the
+// victim way within the same set scan. It is exactly Lookup followed by
+// Insert of the same line: valid tags always occupy a prefix of the set
+// (fills take the first empty way, evictions replace in place, and Flush
+// empties whole sets), so the first empty way encountered both proves the
+// tag absent and is the way Insert would pick. Hit/miss counters, LRU
+// stamps, and victim choice are bit-identical to the two-call sequence —
+// but the set span is touched once instead of twice, which matters on the
+// miss path where the span starts cold in the host's own caches.
+func (c *Cache) lookupOrFill(pa mem.PAddr, now uint64) bool {
+	base, tag := c.locate(pa)
+	set := c.ents[base : base+c.wspan]
+	victim, oldest := 0, ^uint64(0)
+	for w := 0; w < len(set)-1; w += 2 {
+		t := set[w]
+		if t == tag {
+			set[w+1] = now
+			c.Hits++
+			return true
+		}
+		if t == 0 {
+			c.Misses++
+			set[w] = tag
+			set[w+1] = now
+			return false
+		}
+		if s := set[w+1]; s < oldest {
+			victim, oldest = w, s
+		}
+	}
+	c.Misses++
+	set[victim] = tag
+	set[victim+1] = now
+	return false
 }
 
 // Flush invalidates the entire array (used across simulated context
@@ -223,27 +262,55 @@ type AccessResult struct {
 
 // Access performs a demand access to the line holding pa, returning the
 // round-trip latency and the serving level, and filling all levels above
-// the hit (inclusive allocation).
+// the hit (inclusive allocation). Each level that misses is filled by its
+// own lookupOrFill as the probe cascades down — every miss level ends up
+// holding the line under the same LRU clock tick, exactly as the
+// lookup-then-backfill phrasing would leave it, without rescanning any set.
 func (h *Hierarchy) Access(pa mem.PAddr) AccessResult {
 	h.now++
 	h.Accesses++
 	switch {
-	case h.L1D.Lookup(pa, h.now):
+	case h.L1D.lookupOrFill(pa, h.now):
 		return AccessResult{h.cfg.L1D.LatencyRT, LevelL1}
-	case h.L2.Lookup(pa, h.now):
-		h.L1D.Insert(pa, h.now)
+	case h.L2.lookupOrFill(pa, h.now):
 		return AccessResult{h.cfg.L2.LatencyRT, LevelL2}
-	case h.LLC.Lookup(pa, h.now):
-		h.L2.Insert(pa, h.now)
-		h.L1D.Insert(pa, h.now)
+	case h.LLC.lookupOrFill(pa, h.now):
 		return AccessResult{h.cfg.LLC.LatencyRT, LevelLLC}
 	default:
 		h.MemFetches++
-		h.LLC.Insert(pa, h.now)
-		h.L2.Insert(pa, h.now)
-		h.L1D.Insert(pa, h.now)
 		return AccessResult{h.cfg.MemLatency, LevelMem}
 	}
+}
+
+// AccessBatch performs demand accesses to every pa in order, returning the
+// summed round-trip cycles. It is bit-identical to calling Access per
+// element — same lookup order, same inclusive fills, same LRU clock and
+// counters — but keeps the level pointers and per-level configs hot in one
+// loop, which matters on the batched engine's TLB-hit runs where the data
+// access is the only memory-system work per op.
+func (h *Hierarchy) AccessBatch(pas []mem.PAddr) uint64 {
+	l1, l2, llc := h.L1D, h.L2, h.LLC
+	latL1 := uint64(h.cfg.L1D.LatencyRT)
+	latL2 := uint64(h.cfg.L2.LatencyRT)
+	latLLC := uint64(h.cfg.LLC.LatencyRT)
+	latMem := uint64(h.cfg.MemLatency)
+	var cycles uint64
+	for _, pa := range pas {
+		h.now++
+		h.Accesses++
+		switch {
+		case l1.lookupOrFill(pa, h.now):
+			cycles += latL1
+		case l2.lookupOrFill(pa, h.now):
+			cycles += latL2
+		case llc.lookupOrFill(pa, h.now):
+			cycles += latLLC
+		default:
+			h.MemFetches++
+			cycles += latMem
+		}
+	}
+	return cycles
 }
 
 // Prefetch inserts the line holding pa into the L2 and LLC without charging
@@ -255,16 +322,13 @@ func (h *Hierarchy) Access(pa mem.PAddr) AccessResult {
 // wait for).
 func (h *Hierarchy) Prefetch(pa mem.PAddr) Level {
 	h.now++
-	if h.L2.Lookup(pa, h.now) {
+	if h.L2.lookupOrFill(pa, h.now) {
 		return LevelL2
 	}
-	if h.LLC.Lookup(pa, h.now) {
-		h.L2.Insert(pa, h.now)
+	if h.LLC.lookupOrFill(pa, h.now) {
 		return LevelLLC
 	}
 	h.MemFetches++
-	h.LLC.Insert(pa, h.now)
-	h.L2.Insert(pa, h.now)
 	return LevelMem
 }
 

@@ -66,6 +66,22 @@ type Batch struct {
 	// address through the Rec interface would move it to the heap on every
 	// miss; one preallocated slot keeps the loop allocation-free.
 	out WalkOutcome
+
+	// vas/pas are the hit-run scratch buffers handed to tlb.LookupBatch and
+	// cache.AccessBatch; sized once (Reserve, or lazily on the first batch)
+	// so steady-state batches stay allocation-free.
+	vas []mem.VAddr
+	pas []mem.PAddr
+}
+
+// Reserve sizes the hit-run scratch for batches of up to n requests; the
+// engine calls it once at instance assembly so the first timed batch is as
+// allocation-free as the rest.
+func (b *Batch) Reserve(n int) {
+	if cap(b.vas) < n {
+		b.vas = make([]mem.VAddr, n)
+		b.pas = make([]mem.PAddr, n)
+	}
 }
 
 // NewBatch returns a Batch over the given machine state; rec and chk may be
@@ -102,19 +118,44 @@ type BatchWalker interface {
 // no TLB refill or data access happened — the caller resolves the fault
 // (demand paging) and resumes from that index, which is precisely the
 // scalar engine's retry behaviour.
+// Inside a run of consecutive TLB hits the per-op work decomposes into two
+// independent state machines: the TLB probe touches only TLB state (LRU,
+// promotion, hit counters) and the data access touches only hierarchy state
+// (fills, LRU clock, level counters) — and the checker reads neither. The
+// loop therefore unzips each hit-run's L,D,L,D,… interleave into one
+// tlb.LookupBatch pass over the run followed by one cache.AccessBatch pass:
+// every structure is driven by a tight per-structure loop with its metadata
+// hot, and every counter, LRU stamp, and hit/miss outcome is bit-identical
+// to the scalar interleave. The first miss ends the run (its walk touches
+// the hierarchy, so it must stay ordered after the run's data accesses).
 func RunBatch[W Walker](b *Batch, w W, reqs []Req, res []Res) int {
 	m := b.MMU
+	n := len(reqs)
+	b.Reserve(n)
+	vas, pas := b.vas[:n], b.pas[:n]
 	for i := range reqs {
-		va := reqs[i].VA
-		m.Lookups++
-		if pa, _, ok := m.TLB.Lookup(va, m.ASID); ok {
-			res[i] = Res{PA: pa, OK: true}
-			if b.Chk != nil {
-				b.Chk.CheckTranslate(va, pa)
-			}
-			b.DataCycles += uint64(b.Hier.Access(pa).Cycles)
-			continue
+		vas[i] = reqs[i].VA
+	}
+	for i := 0; i < n; {
+		hits, missProbed := m.TLB.LookupBatch(vas[i:], m.ASID, pas[i:])
+		m.Lookups += uint64(hits)
+		for k := i; k < i+hits; k++ {
+			res[k] = Res{PA: pas[k], OK: true}
 		}
+		if b.Chk != nil {
+			for k := i; k < i+hits; k++ {
+				b.Chk.CheckTranslate(vas[k], pas[k])
+			}
+		}
+		b.DataCycles += b.Hier.AccessBatch(pas[i : i+hits])
+		i += hits
+		if !missProbed {
+			break
+		}
+		// Op i missed: its TLB probe is already charged (LookupBatch probed
+		// it exactly once); walk, refill, and run its epilogue.
+		va := vas[i]
+		m.Lookups++
 		m.Misses++
 		if b.Sink != nil {
 			b.Sink.Reset()
@@ -135,8 +176,9 @@ func RunBatch[W Walker](b *Batch, w W, reqs []Req, res []Res) int {
 			b.Chk.CheckTranslate(va, out.PA)
 		}
 		b.DataCycles += uint64(b.Hier.Access(out.PA).Cycles)
+		i++
 	}
-	return len(reqs)
+	return n
 }
 
 // ScalarWalkBatch drives a walker without a batch entry point through the

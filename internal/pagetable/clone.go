@@ -1,27 +1,52 @@
 package pagetable
 
+import "dmt/internal/mem"
+
 // Clone deep-copies the table into a fresh Pool, preserving every node's
 // physical placement (clones translate identically, PTE addresses included)
-// while sharing no Node or Pool storage with the original. The placement
-// callbacks are NOT copied: they close over the prototype's allocator and
-// TEA manager, so the caller must supply replacements bound to the cloned
-// substrate (kernel.AddressSpace.Clone passes its own allocNode/freeNode).
+// while sharing no arena or index storage with the original. Because nodes
+// reference their children by nodeID rather than pointer, the copy is a flat
+// memcpy of the arena slabs plus the frame index — no recursive traversal,
+// no pointer rewriting — so clone cost is proportional to arena size with
+// slab-copy constants, not to tree shape. The placement callbacks are NOT
+// copied: they close over the prototype's allocator and TEA manager, so the
+// caller must supply replacements bound to the cloned substrate
+// (kernel.AddressSpace.Clone passes its own allocNode/freeNode).
 func (t *Table) Clone(alloc NodeAllocFunc, free NodeFreeFunc) *Table {
-	c := &Table{pool: NewPool(), levels: t.levels, alloc: alloc, free: free, Mapped: t.Mapped}
-	c.root = c.cloneNode(t.root)
-	return c
+	return &Table{
+		pool:   t.pool.clone(),
+		levels: t.levels,
+		root:   t.root,
+		alloc:  alloc,
+		free:   free,
+		Mapped: t.Mapped,
+	}
 }
 
-// cloneNode copies one subtree into the clone's pool at the same base
-// addresses. The entry and child arrays are value-copied; only the child
-// pointers need rewriting.
-func (t *Table) cloneNode(n *Node) *Node {
-	cn := &Node{Level: n.Level, Base: n.Base, entries: n.entries, live: n.live}
-	t.pool.put(n.Base, cn)
-	for i, ch := range n.children {
-		if ch != nil {
-			cn.children[i] = t.cloneNode(ch)
+// clone copies the pool: slab contents, freelist, and both frame indexes.
+// nodeIDs are arena-relative, so they remain valid verbatim in the copy;
+// released slots are zeroed at release time, so copying them leaks nothing.
+func (p *Pool) clone() *Pool {
+	c := &Pool{used: p.used, count: p.count}
+	c.slabs = make([][]Node, len(p.slabs))
+	for i, s := range p.slabs {
+		ns := make([]Node, slabNodes)
+		copy(ns, s)
+		c.slabs[i] = ns
+	}
+	if len(p.free) > 0 {
+		c.free = make([]nodeID, len(p.free))
+		copy(c.free, p.free)
+	}
+	if len(p.dense) > 0 {
+		c.dense = make([]nodeID, len(p.dense))
+		copy(c.dense, p.dense)
+	}
+	if len(p.sparse) > 0 {
+		c.sparse = make(map[mem.PAddr]nodeID, len(p.sparse))
+		for k, v := range p.sparse {
+			c.sparse[k] = v
 		}
 	}
-	return cn
+	return c
 }

@@ -34,12 +34,27 @@ type NodeAllocFunc func(level int, va mem.VAddr) (mem.PAddr, error)
 // NodeFreeFunc releases a node frame when its last entry is cleared.
 type NodeFreeFunc func(level int, pa mem.PAddr)
 
-// Node is one 4 KiB page-table page (512 entries).
+// nodeID addresses a Node inside its Pool's slab arena: 0 is the null
+// reference, id−1 is the global slot index (slab = slot>>slabShift, offset =
+// slot&slabMask). IDs — not pointers — are what nodes store for their
+// children, which is what lets Clone copy a table as flat slab memcpys with
+// no pointer rewriting, and makes the simulated walk index-chasing over
+// contiguous slabs instead of pointer-chasing the heap.
+type nodeID int32
+
+const (
+	slabShift = 8
+	slabNodes = 1 << slabShift // nodes per slab (~1.6 MiB of arena each)
+	slabMask  = slabNodes - 1
+)
+
+// Node is one 4 KiB page-table page (512 entries). Nodes live in their
+// Pool's slab arena; child references are nodeIDs into the same arena.
 type Node struct {
 	Level    int
 	Base     mem.PAddr
 	entries  [mem.EntriesPerNode]mem.PTE
-	children [mem.EntriesPerNode]*Node
+	children [mem.EntriesPerNode]nodeID
 	live     int
 }
 
@@ -51,19 +66,31 @@ func (n *Node) EntryAddr(idx int) mem.PAddr {
 	return n.Base + mem.PAddr(idx*mem.PTEBytes)
 }
 
-// Pool indexes page-table nodes of one physical address space by their base
-// frame, giving physical-address PTE reads to components (the DMT fetcher)
-// that compute PTE locations arithmetically rather than walking.
+// Pool owns the slab arena holding one address space's page-table nodes and
+// indexes them by their base frame, giving physical-address PTE reads to
+// components (the DMT fetcher) that compute PTE locations arithmetically
+// rather than walking.
 //
-// Nodes live in a frame-indexed slice rather than a map: NodeAt sits on the
-// walk hot path (every DMT fetch reads a PTE through it) and node creation
-// dominates address-space build time, so both avoid map hashing. Frames
-// beyond denseFrames (simulated physical memory is far smaller) fall back to
-// a map so arbitrary addresses — property tests, sentinel placements — stay
-// cheap instead of forcing a multi-terabyte slice.
+// Storage is arena-backed: nodes live in fixed-size contiguous slabs and are
+// addressed by nodeID, so node creation is a slot bump (no per-node heap
+// allocation), a walk descends by index into memory the previous level's
+// fetch just pulled near, and Clone is a flat copy of the slabs. Slab
+// backing arrays are append-only and never reallocate, so *Node pointers
+// handed out (NodeAt, NodeForLevel) stay valid for the Pool's lifetime.
+// Released slots are zeroed and recycled through a freelist, bounding arena
+// growth under map/unmap churn.
+//
+// The frame index is a slice rather than a map: NodeAt sits on the walk hot
+// path (every DMT fetch reads a PTE through it). Frames beyond denseFrames
+// (simulated physical memory is far smaller) fall back to a map so arbitrary
+// addresses — property tests, sentinel placements — stay cheap instead of
+// forcing a multi-terabyte slice.
 type Pool struct {
-	dense  []*Node // indexed by frame number (base PA >> 12)
-	sparse map[mem.PAddr]*Node
+	slabs  [][]Node // fixed-size slabs; backing arrays never reallocate
+	used   int      // slots ever handed out (arena high-water mark)
+	free   []nodeID // recycled slots, zeroed on release
+	dense  []nodeID // indexed by frame number (base PA >> 12); 0 = none
+	sparse map[mem.PAddr]nodeID
 	count  int
 }
 
@@ -74,23 +101,63 @@ const denseFrames = 1 << 22
 // NewPool creates an empty node pool.
 func NewPool() *Pool { return &Pool{} }
 
-// NodeAt returns the node based at the frame containing pa.
-func (p *Pool) NodeAt(pa mem.PAddr) (*Node, bool) {
-	f := uint64(pa) >> mem.PageShift4K
-	if f < uint64(len(p.dense)) {
-		if n := p.dense[f]; n != nil {
-			return n, true
-		}
-		return nil, false
-	}
-	if f < denseFrames || p.sparse == nil {
-		return nil, false
-	}
-	n, ok := p.sparse[pa&^mem.PAddr(mem.PageBytes4K-1)]
-	return n, ok
+// node resolves a non-null nodeID to its slab slot.
+func (p *Pool) node(id nodeID) *Node {
+	slot := int(id) - 1
+	return &p.slabs[slot>>slabShift][slot&slabMask]
 }
 
-func (p *Pool) put(base mem.PAddr, n *Node) {
+// allocSlot hands out an arena slot: a recycled one when available (already
+// zeroed by release), else the next slot of the last slab, growing the
+// arena by one slab when full. Appending to slabs never moves existing slab
+// backing arrays, so outstanding *Node pointers stay valid.
+func (p *Pool) allocSlot() nodeID {
+	if n := len(p.free); n > 0 {
+		id := p.free[n-1]
+		p.free = p.free[:n-1]
+		return id
+	}
+	if p.used>>slabShift == len(p.slabs) {
+		p.slabs = append(p.slabs, make([]Node, slabNodes))
+	}
+	p.used++
+	return nodeID(p.used)
+}
+
+// release returns a node's slot to the freelist, zeroed so the next
+// allocation (and every slab copy a Clone takes) starts from a blank node.
+func (p *Pool) release(id nodeID) {
+	n := p.node(id)
+	p.unindex(n.Base)
+	*n = Node{}
+	p.free = append(p.free, id)
+}
+
+// NodeAt returns the node based at the frame containing pa.
+func (p *Pool) NodeAt(pa mem.PAddr) (*Node, bool) {
+	if id, ok := p.idAt(pa); ok {
+		return p.node(id), true
+	}
+	return nil, false
+}
+
+// idAt is NodeAt at the nodeID level.
+func (p *Pool) idAt(pa mem.PAddr) (nodeID, bool) {
+	f := uint64(pa) >> mem.PageShift4K
+	if f < uint64(len(p.dense)) {
+		if id := p.dense[f]; id != 0 {
+			return id, true
+		}
+		return 0, false
+	}
+	if f < denseFrames || p.sparse == nil {
+		return 0, false
+	}
+	id, ok := p.sparse[pa&^mem.PAddr(mem.PageBytes4K-1)]
+	return id, ok
+}
+
+func (p *Pool) put(base mem.PAddr, id nodeID) {
 	f := uint64(base) >> mem.PageShift4K
 	if f < denseFrames {
 		if f >= uint64(len(p.dense)) {
@@ -101,28 +168,30 @@ func (p *Pool) put(base mem.PAddr, n *Node) {
 				if newCap > denseFrames {
 					newCap = denseFrames
 				}
-				grown := make([]*Node, f+1, newCap)
+				grown := make([]nodeID, f+1, newCap)
 				copy(grown, p.dense)
 				p.dense = grown
 			} else {
 				p.dense = p.dense[:f+1]
 			}
 		}
-		p.dense[f] = n
+		p.dense[f] = id
 	} else {
 		if p.sparse == nil {
-			p.sparse = make(map[mem.PAddr]*Node)
+			p.sparse = make(map[mem.PAddr]nodeID)
 		}
-		p.sparse[base] = n
+		p.sparse[base] = id
 	}
 	p.count++
 }
 
-func (p *Pool) remove(base mem.PAddr) {
+// unindex drops the frame-index entry for base without touching the node's
+// arena slot — the index half of a release, and all a relocation needs.
+func (p *Pool) unindex(base mem.PAddr) {
 	f := uint64(base) >> mem.PageShift4K
 	if f < uint64(len(p.dense)) {
-		if p.dense[f] != nil {
-			p.dense[f] = nil
+		if p.dense[f] != 0 {
+			p.dense[f] = 0
 			p.count--
 		}
 		return
@@ -154,24 +223,26 @@ func (p *Pool) NodeCount() int { return p.count }
 // placed inside TEAs, for the §6.3 memory-overhead accounting).
 func (p *Pool) CountNodes(pred func(*Node) bool) int {
 	n := 0
-	for _, node := range p.dense {
-		if node != nil && pred(node) {
+	for _, id := range p.dense {
+		if id != 0 && pred(p.node(id)) {
 			n++
 		}
 	}
-	for _, node := range p.sparse {
-		if pred(node) {
+	for _, id := range p.sparse {
+		if pred(p.node(id)) {
 			n++
 		}
 	}
 	return n
 }
 
-// Table is one radix page table (4- or 5-level).
+// Table is one radix page table (4- or 5-level). Each Table owns its Pool
+// exclusively (the arena Clone copies the whole pool, so sharing one pool
+// between tables would clone strangers' nodes too).
 type Table struct {
 	pool   *Pool
 	levels int
-	root   *Node
+	root   nodeID
 	alloc  NodeAllocFunc
 	free   NodeFreeFunc
 
@@ -198,25 +269,27 @@ func New(pool *Pool, levels int, alloc NodeAllocFunc, free NodeFreeFunc) (*Table
 func (t *Table) Levels() int { return t.levels }
 
 // RootPA returns the physical address of the root node (the CR3 analogue).
-func (t *Table) RootPA() mem.PAddr { return t.root.Base }
+func (t *Table) RootPA() mem.PAddr { return t.pool.node(t.root).Base }
 
 // Pool returns the node pool backing this table.
 func (t *Table) Pool() *Pool { return t.pool }
 
-func (t *Table) newNode(level int, va mem.VAddr) (*Node, error) {
+func (t *Table) newNode(level int, va mem.VAddr) (nodeID, error) {
 	pa, err := t.alloc(level, va)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
 	if !mem.IsAligned(uint64(pa), mem.PageBytes4K) {
-		return nil, fmt.Errorf("pagetable: node placement %#x unaligned", uint64(pa))
+		return 0, fmt.Errorf("pagetable: node placement %#x unaligned", uint64(pa))
 	}
-	if _, exists := t.pool.NodeAt(pa); exists {
-		return nil, fmt.Errorf("pagetable: node placement %#x already in use", uint64(pa))
+	if _, exists := t.pool.idAt(pa); exists {
+		return 0, fmt.Errorf("pagetable: node placement %#x already in use", uint64(pa))
 	}
-	n := &Node{Level: level, Base: pa}
-	t.pool.put(pa, n)
-	return n, nil
+	id := t.pool.allocSlot()
+	n := t.pool.node(id)
+	n.Level, n.Base = level, pa
+	t.pool.put(pa, id)
+	return id, nil
 }
 
 // Map installs a translation va→pa of the given page size. Intermediate
@@ -226,11 +299,11 @@ func (t *Table) Map(va mem.VAddr, pa mem.PAddr, size mem.PageSize, flags mem.PTE
 		return fmt.Errorf("pagetable: unaligned %v mapping va=%#x pa=%#x", size, uint64(va), uint64(pa))
 	}
 	leaf := size.LeafLevel()
-	node := t.root
+	node := t.pool.node(t.root)
 	for level := t.levels; level > leaf; level-- {
 		idx := mem.Index(va, level)
 		child := node.children[idx]
-		if child == nil {
+		if child == 0 {
 			if node.entries[idx].Present() {
 				return ErrAlreadyMapped // huge leaf blocks this subtree
 			}
@@ -240,10 +313,10 @@ func (t *Table) Map(va mem.VAddr, pa mem.PAddr, size mem.PageSize, flags mem.PTE
 				return err
 			}
 			node.children[idx] = child
-			node.entries[idx] = mem.MakePTE(child.Base, 0)
+			node.entries[idx] = mem.MakePTE(t.pool.node(child).Base, 0)
 			node.live++
 		}
-		node = child
+		node = t.pool.node(child)
 	}
 	idx := mem.Index(va, leaf)
 	if node.entries[idx].Present() {
@@ -263,13 +336,14 @@ func (t *Table) Map(va mem.VAddr, pa mem.PAddr, size mem.PageSize, flags mem.PTE
 func (t *Table) Unmap(va mem.VAddr, size mem.PageSize) error {
 	leaf := size.LeafLevel()
 	var path [mem.Levels5]*Node
-	node := t.root
+	node := t.pool.node(t.root)
 	for level := t.levels; level > leaf; level-- {
 		path[level-1] = node
-		node = node.children[mem.Index(va, level)]
-		if node == nil {
+		id := node.children[mem.Index(va, level)]
+		if id == 0 {
 			return ErrNotMapped
 		}
+		node = t.pool.node(id)
 	}
 	idx := mem.Index(va, leaf)
 	if !node.entries[idx].Present() {
@@ -278,16 +352,18 @@ func (t *Table) Unmap(va mem.VAddr, size mem.PageSize) error {
 	node.entries[idx] = 0
 	node.live--
 	t.Mapped[size]--
-	// Prune empty nodes bottom-up.
+	// Prune empty nodes bottom-up, recycling each freed node's arena slot.
 	for level := leaf; level < t.levels && node.live == 0; level++ {
 		parent := path[level]
 		pidx := mem.Index(va, level+1)
-		parent.children[pidx] = nil
+		id := parent.children[pidx]
+		parent.children[pidx] = 0
 		parent.entries[pidx] = 0
 		parent.live--
-		t.pool.remove(node.Base)
+		freedLevel, freedBase := node.Level, node.Base
+		t.pool.release(id)
 		if t.free != nil {
-			t.free(node.Level, node.Base)
+			t.free(freedLevel, freedBase)
 		}
 		node = parent
 	}
@@ -312,18 +388,19 @@ type WalkResult struct {
 // Walk performs a full sequential walk from the root (Figure 1), recording
 // the physical address of every PTE fetched.
 func (t *Table) Walk(va mem.VAddr) WalkResult {
-	return t.WalkFrom(t.root, t.levels, va, make([]Step, 0, t.levels))
+	return t.WalkFrom(t.pool.node(t.root), t.levels, va, make([]Step, 0, t.levels))
 }
 
 // WalkInto is Walk with a caller-provided step buffer (pass steps[:0] of a
 // per-walker scratch slice), keeping the walk hot path allocation-free.
 func (t *Table) WalkInto(va mem.VAddr, steps []Step) WalkResult {
-	return t.WalkFrom(t.root, t.levels, va, steps)
+	return t.WalkFrom(t.pool.node(t.root), t.levels, va, steps)
 }
 
 // WalkFrom resumes a walk at the given node and level — this is how a
 // page-walk-cache hit skips upper levels.
 func (t *Table) WalkFrom(node *Node, level int, va mem.VAddr, steps []Step) WalkResult {
+	pool := t.pool
 	for {
 		idx := mem.Index(va, level)
 		steps = append(steps, Step{Level: level, Addr: node.EntryAddr(idx)})
@@ -341,7 +418,7 @@ func (t *Table) WalkFrom(node *Node, level int, va mem.VAddr, steps []Step) Walk
 				OK:    true,
 			}
 		}
-		node = node.children[idx]
+		node = pool.node(node.children[idx])
 		level--
 	}
 }
@@ -349,12 +426,13 @@ func (t *Table) WalkFrom(node *Node, level int, va mem.VAddr, steps []Step) Walk
 // NodeForLevel returns the node that a walk for va reaches at the given
 // level, or nil when absent; used to service PWC refills.
 func (t *Table) NodeForLevel(va mem.VAddr, level int) *Node {
-	node := t.root
+	node := t.pool.node(t.root)
 	for l := t.levels; l > level; l-- {
-		node = node.children[mem.Index(va, l)]
-		if node == nil {
+		id := node.children[mem.Index(va, l)]
+		if id == 0 {
 			return nil
 		}
+		node = t.pool.node(id)
 	}
 	return node
 }
@@ -362,7 +440,8 @@ func (t *Table) NodeForLevel(va mem.VAddr, level int) *Node {
 // Lookup resolves va without recording steps (OS-side helper; also the
 // checker's reference translation, so it must not allocate).
 func (t *Table) Lookup(va mem.VAddr) (mem.PAddr, mem.PageSize, bool) {
-	node := t.root
+	pool := t.pool
+	node := pool.node(t.root)
 	for level := t.levels; ; level-- {
 		idx := mem.Index(va, level)
 		pte := node.entries[idx]
@@ -373,7 +452,7 @@ func (t *Table) Lookup(va mem.VAddr) (mem.PAddr, mem.PageSize, bool) {
 			size := mem.PageSize(level - 1)
 			return pte.Frame() + mem.PAddr(mem.PageOffset(va, size)), size, true
 		}
-		node = node.children[idx]
+		node = pool.node(node.children[idx])
 	}
 }
 
@@ -390,7 +469,7 @@ func (t *Table) SetAccessed(va mem.VAddr, write bool) bool {
 }
 
 func (t *Table) leafSlot(va mem.VAddr) (*Node, int, bool) {
-	node := t.root
+	node := t.pool.node(t.root)
 	for level := t.levels; ; level-- {
 		idx := mem.Index(va, level)
 		pte := node.entries[idx]
@@ -400,7 +479,7 @@ func (t *Table) leafSlot(va mem.VAddr) (*Node, int, bool) {
 		if level == 1 || pte.Huge() {
 			return node, idx, true
 		}
-		node = node.children[idx]
+		node = t.pool.node(node.children[idx])
 	}
 }
 
@@ -430,7 +509,7 @@ func (t *Table) RelocateNode(va mem.VAddr, level int, newBase mem.PAddr) error {
 	if level < 1 || level >= t.levels {
 		return fmt.Errorf("pagetable: cannot relocate level-%d node", level)
 	}
-	if _, exists := t.pool.NodeAt(newBase); exists {
+	if _, exists := t.pool.idAt(newBase); exists {
 		return fmt.Errorf("pagetable: relocation target %#x occupied", uint64(newBase))
 	}
 	parent := t.NodeForLevel(va, level+1)
@@ -438,14 +517,15 @@ func (t *Table) RelocateNode(va mem.VAddr, level int, newBase mem.PAddr) error {
 		return ErrNotMapped
 	}
 	idx := mem.Index(va, level+1)
-	node := parent.children[idx]
-	if node == nil {
+	id := parent.children[idx]
+	if id == 0 {
 		return ErrNotMapped
 	}
+	node := t.pool.node(id)
 	old := node.Base
-	t.pool.remove(old)
+	t.pool.unindex(old)
 	node.Base = newBase
-	t.pool.put(newBase, node)
+	t.pool.put(newBase, id)
 	parent.entries[idx] = mem.MakePTE(newBase, 0)
 	if t.free != nil {
 		t.free(level, old)

@@ -175,6 +175,54 @@ func TestBatchInstanceResume(t *testing.T) {
 	requireEqualResults(t, want, got)
 }
 
+// fuzzBatchWalkCell drives one (environment × design) cell through both
+// engine legs at a fuzzed op count, batch cap, and trace seed, asserting
+// bit-identical Results — the walker-level extension of the span fuzzing
+// below: instead of checking the seam arithmetic in isolation, it checks
+// that a real walker fed through those seams (including the batch probe
+// paths tlb.LookupBatch / cache.AccessBatch) never diverges from the
+// scalar oracle.
+func fuzzBatchWalkCell(t *testing.T, env Environment, d Design, rawOps uint16, rawCap uint8, seed int64, withPlan bool) {
+	ops := int(rawOps)%997 + 32 // small but non-degenerate; 997 prime, so caps rarely divide it
+	var plan *fault.Plan
+	if withPlan {
+		suite := fault.Suite(ops)
+		if len(suite) == 0 {
+			t.Fatal("empty fault suite")
+		}
+		plan = &suite[0]
+	}
+	cfg := batchEquivConfig(t, env, d, plan, true)
+	cfg.Ops = ops
+	cfg.Seed = seed
+	cfg.batchCap = int(rawCap)%BatchOps + 1
+	cfg.TraceCap = 32
+	runBatchVsScalar(t, cfg)
+}
+
+// FuzzBatchWalkECPT covers a baseline walker whose walks fan out into many
+// parallel probes per step (the richest per-walk hierarchy traffic).
+func FuzzBatchWalkECPT(f *testing.F) {
+	f.Add(uint16(200), uint8(0), int64(7), false)
+	f.Add(uint16(1023), uint8(6), int64(11), true)
+	f.Add(uint16(64), uint8(255), int64(3), true)
+	f.Fuzz(func(t *testing.T, rawOps uint16, rawCap uint8, seed int64, withPlan bool) {
+		fuzzBatchWalkCell(t, EnvNative, DesignECPT, rawOps, rawCap, seed, withPlan)
+	})
+}
+
+// FuzzBatchWalkShadow covers a virt walker: shadow paging runs a radix walk
+// over the shadow table, so this exercises the arena-backed page-table walk
+// behind the batch seams as well.
+func FuzzBatchWalkShadow(f *testing.F) {
+	f.Add(uint16(200), uint8(0), int64(7), false)
+	f.Add(uint16(1023), uint8(6), int64(11), true)
+	f.Add(uint16(64), uint8(255), int64(3), true)
+	f.Fuzz(func(t *testing.T, rawOps uint16, rawCap uint8, seed int64, withPlan bool) {
+		fuzzBatchWalkCell(t, EnvVirt, DesignShadow, rawOps, rawCap, seed, withPlan)
+	})
+}
+
 // FuzzBatchSpan fuzzes the span arithmetic directly: spans always make
 // progress, never exceed the remaining limit, and never cross the next
 // fault-event boundary from below.

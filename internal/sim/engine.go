@@ -179,6 +179,7 @@ func assembleInstance(cfg, scfg Config, m *machine, shard, shards int) (*Instanc
 		bchk = chk
 	}
 	in.batch = core.NewBatch(mmu, m.hier, m.sink, rec, bchk)
+	in.batch.Reserve(BatchOps)
 	return in, nil
 }
 

@@ -74,12 +74,21 @@ const (
 	DesignASAP    Design = "asap"
 )
 
+// allDesigns is the design registry: ParseDesign validates against it, and
+// the batch-walk registry test walks it to assert every design's walker in
+// every supported environment implements core.BatchWalker (no silent
+// ScalarWalkBatch fallback). Register new designs here.
+var allDesigns = []Design{
+	DesignVanilla, DesignShadow, DesignDMT, DesignPvDMT,
+	DesignECPT, DesignFPT, DesignAgile, DesignASAP,
+}
+
 // ParseDesign validates a design name against the known set.
 func ParseDesign(name string) (Design, error) {
-	switch d := Design(name); d {
-	case DesignVanilla, DesignShadow, DesignDMT, DesignPvDMT,
-		DesignECPT, DesignFPT, DesignAgile, DesignASAP:
-		return d, nil
+	for _, d := range allDesigns {
+		if Design(name) == d {
+			return d, nil
+		}
 	}
 	return "", fmt.Errorf("sim: unknown design %q (want vanilla, shadow, dmt, pvdmt, ecpt, fpt, agile, asap)", name)
 }

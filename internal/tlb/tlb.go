@@ -28,6 +28,19 @@ type assoc struct {
 	now   uint64
 	hits  uint64
 	miss  uint64
+
+	// Miss stash: a failed lookup has already scanned the very set a
+	// follow-up insert of the same key will scan, so it records the victim
+	// way it would pick. insert consumes the stash for an O(1) fill when —
+	// and only when — the stashed probe was the immediately preceding
+	// operation on this assoc: every hit, insert, invalidate, and flush
+	// clears the stash, so a matching stash proves the set (tags and
+	// stamps, hence the victim choice) is exactly as the probe saw it.
+	// This is the TLB/PWC walk pattern — probe, miss, walk, install —
+	// with the install's set scan folded into the probe it always follows.
+	missKey    uint64 // key+1 of the stashed miss; 0 = no stash
+	missBase   int
+	missVictim int
 }
 
 func newAssoc(entries, ways int) (*assoc, error) {
@@ -84,23 +97,58 @@ func (a *assoc) lookup(key uint64) (uint64, bool) {
 	a.now++
 	base := a.set(key)
 	set := a.ents[base : base+a.wspan]
-	for w := 0; w < len(set); w += 3 {
-		if set[w] == key+1 {
+	victim, oldest, empty := 0, ^uint64(0), -1
+	// w < len(set)-2 (not w < len) so the compiler can prove the scan's
+	// element loads in bounds; wspan is a multiple of 3, so the iteration
+	// space is identical.
+	for w := 0; w < len(set)-2; w += 3 {
+		k := set[w]
+		if k == key+1 {
 			set[w+2] = a.now
 			a.hits++
+			a.missKey = 0
 			return set[w+1], true
+		}
+		if k == 0 {
+			if empty < 0 {
+				empty = w
+			}
+			continue
+		}
+		if s := set[w+2]; s < oldest {
+			victim, oldest = w, s
 		}
 	}
 	a.miss++
+	// Stash the way insert would choose: the first empty way if any
+	// (invalidate can leave holes anywhere in a set), else the LRU way.
+	if empty >= 0 {
+		victim = empty
+	}
+	a.missKey = key + 1
+	a.missBase = base
+	a.missVictim = victim
 	return 0, false
 }
 
 func (a *assoc) insert(key, val uint64) {
 	a.now++
+	if a.missKey == key+1 {
+		// The set is untouched since the stashed miss probe of this key:
+		// the key is known absent and the stashed way is exactly the
+		// victim the scan below would pick.
+		a.missKey = 0
+		w := a.missBase + a.missVictim
+		a.ents[w] = key + 1
+		a.ents[w+1] = val
+		a.ents[w+2] = a.now
+		return
+	}
+	a.missKey = 0
 	base := a.set(key)
 	set := a.ents[base : base+a.wspan]
 	victim, oldest := 0, ^uint64(0)
-	for w := 0; w < len(set); w += 3 {
+	for w := 0; w < len(set)-2; w += 3 {
 		if set[w] == key+1 {
 			set[w+1] = val
 			set[w+2] = a.now
@@ -120,6 +168,7 @@ func (a *assoc) insert(key, val uint64) {
 }
 
 func (a *assoc) invalidate(key uint64) {
+	a.missKey = 0
 	base := a.set(key)
 	set := a.ents[base : base+a.wspan]
 	for w := 0; w < len(set); w += 3 {
@@ -130,6 +179,7 @@ func (a *assoc) invalidate(key uint64) {
 }
 
 func (a *assoc) flush() {
+	a.missKey = 0
 	for i := 0; i < len(a.ents); i += 3 {
 		a.ents[i] = 0
 	}
@@ -151,6 +201,16 @@ func DefaultConfig() Config {
 // (ASID, page size, VPN).
 type TLB struct {
 	l1, l2 *assoc
+
+	// seen[size] records whether any entry of that page-size class has been
+	// inserted since the last full flush. Probing a size class with no
+	// resident entries can never hit, and a missing probe leaves nothing
+	// observable behind (only the assoc's internal clock, whose absolute
+	// value no replacement decision reads — victim choice depends on stamp
+	// order, which skipping cannot change), so the lookup loops try only
+	// the classes that can possibly hold a translation. With THP off that
+	// halves-to-thirds the probe work of every single lookup.
+	seen [3]bool
 
 	L1Hits, L2Hits, Misses uint64
 }
@@ -180,6 +240,9 @@ var pageSizes = [...]mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G}
 // three page sizes. On an L2 hit the entry is promoted into the L1.
 func (t *TLB) Lookup(va mem.VAddr, asid uint16) (mem.PAddr, mem.PageSize, bool) {
 	for _, size := range pageSizes {
+		if !t.seen[size] {
+			continue
+		}
 		k := key(va, size, asid)
 		if v, ok := t.l1.lookup(k); ok {
 			t.L1Hits++
@@ -187,6 +250,9 @@ func (t *TLB) Lookup(va mem.VAddr, asid uint16) (mem.PAddr, mem.PageSize, bool) 
 		}
 	}
 	for _, size := range pageSizes {
+		if !t.seen[size] {
+			continue
+		}
 		k := key(va, size, asid)
 		if v, ok := t.l2.lookup(k); ok {
 			t.L2Hits++
@@ -202,9 +268,55 @@ func frameToPA(frame uint64, va mem.VAddr, size mem.PageSize) mem.PAddr {
 	return mem.PAddr(frame<<size.Shift() | mem.PageOffset(va, size))
 }
 
+// LookupBatch probes translations for vas in op order, writing each hit's
+// physical address to the corresponding pas slot and stopping at the first
+// miss. It is bit-identical to calling Lookup per element — same probe
+// order, same LRU and promotion updates, same counters — but runs as one
+// tight loop inside the package, so the level pointers and set metadata
+// stay hot across consecutive ops instead of being re-established per call.
+//
+// It returns the number of leading hits. missProbed reports whether a miss
+// terminated the run within len(vas): that miss has been fully probed and
+// charged (both levels, Misses counter) exactly once, so the caller must
+// walk vas[hits] without probing again. missProbed is false iff every
+// element hit.
+func (t *TLB) LookupBatch(vas []mem.VAddr, asid uint16, pas []mem.PAddr) (hits int, missProbed bool) {
+	l1, l2 := t.l1, t.l2
+probe:
+	for i, va := range vas {
+		for _, size := range pageSizes {
+			if !t.seen[size] {
+				continue
+			}
+			k := key(va, size, asid)
+			if v, ok := l1.lookup(k); ok {
+				t.L1Hits++
+				pas[i] = frameToPA(v, va, size)
+				continue probe
+			}
+		}
+		for _, size := range pageSizes {
+			if !t.seen[size] {
+				continue
+			}
+			k := key(va, size, asid)
+			if v, ok := l2.lookup(k); ok {
+				t.L2Hits++
+				l1.insert(k, v)
+				pas[i] = frameToPA(v, va, size)
+				continue probe
+			}
+		}
+		t.Misses++
+		return i, true
+	}
+	return len(vas), false
+}
+
 // Insert installs the translation va→pa (page-aligned internally) for the
 // given page size into both levels.
 func (t *TLB) Insert(va mem.VAddr, pa mem.PAddr, size mem.PageSize, asid uint16) {
+	t.seen[size] = true
 	k := key(va, size, asid)
 	frame := uint64(pa) >> size.Shift()
 	t.l1.insert(k, frame)
@@ -215,6 +327,9 @@ func (t *TLB) Insert(va mem.VAddr, pa mem.PAddr, size mem.PageSize, asid uint16)
 // INVLPG.
 func (t *TLB) Invalidate(va mem.VAddr, asid uint16) {
 	for _, size := range pageSizes {
+		if !t.seen[size] {
+			continue
+		}
 		t.l1.invalidate(key(va, size, asid))
 		t.l2.invalidate(key(va, size, asid))
 	}
@@ -222,6 +337,7 @@ func (t *TLB) Invalidate(va mem.VAddr, asid uint16) {
 
 // Flush empties both levels (CR3 write without PCID).
 func (t *TLB) Flush() {
+	t.seen = [3]bool{}
 	t.l1.flush()
 	t.l2.flush()
 }
