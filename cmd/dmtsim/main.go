@@ -12,6 +12,14 @@
 // bit-identical for any worker count (they depend on -shards only, which
 // defaults to the worker count — pin -shards to compare worker counts).
 //
+// With -scenario, dmtsim instead runs the long-horizon cloud-node aging
+// scenario (internal/scenario): one node per design churned through -ops
+// lifecycle events (VM boots/deaths, guest mmap/munmap, THP splits and
+// collapses, compaction, TEA-migration windows) with the lifecycle
+// conservation oracle armed, printing the node-age × metric table. -design
+// restricts the campaign to dmt or pvdmt; -vms, -epochs, and -mem size the
+// node; -no-check disables the oracle.
+//
 // With -faults, dmtsim instead runs the fault-injection campaign: every
 // (environment × design × fault schedule) cell for the selected workload,
 // with the differential oracle re-checking each translation against the
@@ -71,6 +79,40 @@ type cliFlags struct {
 	counters  bool
 	walkTrace int
 	traceCap  int
+
+	scenario bool
+	vms      int
+	epochs   int
+	memMiB   int
+	noCheck  bool
+}
+
+// validateScenario checks the aging-mode flag subset. -design restricts
+// the campaign to one node stack when set explicitly; the empty string
+// (the caller passes "" when the flag was left at its default) runs both.
+func (f cliFlags) validateScenario(design string) ([]string, error) {
+	switch {
+	case f.ops <= 0:
+		return nil, fmt.Errorf("-ops must be positive (got %d)", f.ops)
+	case f.workers < 0:
+		return nil, fmt.Errorf("-workers must be >= 0 (got %d; 0 means 1)", f.workers)
+	case f.shards < 0:
+		return nil, fmt.Errorf("-shards must be >= 0 (got %d; 0 means the default)", f.shards)
+	case f.vms < 0:
+		return nil, fmt.Errorf("-vms must be >= 0 (got %d; 0 means the default)", f.vms)
+	case f.epochs < 0:
+		return nil, fmt.Errorf("-epochs must be >= 0 (got %d; 0 means the default)", f.epochs)
+	case f.memMiB < 0:
+		return nil, fmt.Errorf("-mem must be >= 0 (got %d; 0 means the default)", f.memMiB)
+	}
+	switch design {
+	case "":
+		return []string{"dmt", "pvdmt"}, nil
+	case "dmt", "pvdmt":
+		return []string{design}, nil
+	default:
+		return nil, fmt.Errorf("-scenario supports -design dmt or pvdmt (got %q)", design)
+	}
 }
 
 // validate rejects nonsensical sizing and unknown names up front. It
@@ -159,7 +201,44 @@ func main() {
 	flag.BoolVar(&f.counters, "counters", false, "dump the process-wide counter registry after the run")
 	flag.IntVar(&f.walkTrace, "walk-trace", 0, "capture per-walk trace events and print the last N")
 	flag.IntVar(&f.traceCap, "trace-cap", 0, "bound each shard's walk-trace ring (0 = default 4096)")
+	flag.BoolVar(&f.scenario, "scenario", false, "run the long-horizon node-aging scenario and print the node-age table")
+	flag.IntVar(&f.vms, "vms", 0, "aging: per-shard live-VM target (0 = default)")
+	flag.IntVar(&f.epochs, "epochs", 0, "aging: node-age sampling points (0 = default)")
+	flag.IntVar(&f.memMiB, "mem", 0, "aging: node physical memory in MiB (0 = default)")
+	flag.BoolVar(&f.noCheck, "no-check", false, "aging: skip the conservation oracle")
 	flag.Parse()
+
+	if f.scenario {
+		// -design defaults to "vanilla" for the single-run mode; only an
+		// explicit value restricts the aging campaign.
+		designArg := ""
+		flag.Visit(func(fl *flag.Flag) {
+			if fl.Name == "design" {
+				designArg = f.design
+			}
+		})
+		designs, err := f.validateScenario(designArg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmtsim: %v\n", err)
+			os.Exit(2)
+		}
+		opt := experiments.AgingOptions{
+			Designs: designs, Events: f.ops, VMs: f.vms, Epochs: f.epochs,
+			Shards: f.shards, Workers: f.workers, MemMiB: f.memMiB,
+			Seed: f.seed, THP: f.thp, Verify: !f.noCheck,
+		}
+		if !f.quiet {
+			opt.Logf = func(format string, args ...interface{}) {
+				fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+			}
+		}
+		out, err := experiments.AgingCampaign(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
 
 	env, design, wl, err := f.validate()
 	if err != nil {

@@ -44,6 +44,41 @@ func TestValidateRejectsNonsense(t *testing.T) {
 	}
 }
 
+func TestValidateScenario(t *testing.T) {
+	f := goodFlags()
+	designs, err := f.validateScenario("")
+	if err != nil {
+		t.Fatalf("validateScenario rejected the defaults: %v", err)
+	}
+	if len(designs) != 2 || designs[0] != "dmt" || designs[1] != "pvdmt" {
+		t.Fatalf("default designs = %v, want [dmt pvdmt]", designs)
+	}
+	if designs, err = f.validateScenario("pvdmt"); err != nil || len(designs) != 1 || designs[0] != "pvdmt" {
+		t.Fatalf("explicit design = %v, %v", designs, err)
+	}
+	for name, tc := range map[string]struct {
+		mutate  func(*cliFlags)
+		design  string
+		wantErr string
+	}{
+		"zero ops":        {func(f *cliFlags) { f.ops = 0 }, "", "-ops must be positive"},
+		"negative vms":    {func(f *cliFlags) { f.vms = -1 }, "", "-vms must be >= 0"},
+		"negative epochs": {func(f *cliFlags) { f.epochs = -1 }, "", "-epochs must be >= 0"},
+		"negative mem":    {func(f *cliFlags) { f.memMiB = -1 }, "", "-mem must be >= 0"},
+		"sim-only design": {func(*cliFlags) {}, "vanilla", "-scenario supports -design dmt or pvdmt"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			f := goodFlags()
+			tc.mutate(&f)
+			if _, err := f.validateScenario(tc.design); err == nil {
+				t.Fatalf("validateScenario accepted %+v", f)
+			} else if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
 func TestValidateAcceptsDefaults(t *testing.T) {
 	f := goodFlags()
 	env, design, wl, err := f.validate()

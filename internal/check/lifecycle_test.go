@@ -1,0 +1,96 @@
+package check
+
+import (
+	"testing"
+
+	"dmt/internal/kernel"
+	"dmt/internal/phys"
+	"dmt/internal/tea"
+)
+
+func TestConservationDetectsLeak(t *testing.T) {
+	pa := phys.New(0, 256)
+	if _, err := pa.AllocFrame(phys.KindUnmovable); err != nil {
+		t.Fatal(err)
+	}
+	if bad := Conservation(pa, 1); len(bad) != 0 {
+		t.Fatalf("balanced ledger reported broken: %v", bad)
+	}
+	if bad := Conservation(pa, 0); len(bad) == 0 {
+		t.Fatal("unclaimed live frame not reported")
+	}
+}
+
+// TestLifecycleOracleOnLiveSpace runs the full claim equation on a
+// hook-managed address space: data frames + buddy-placed node frames +
+// TEA FramesLive must tile the allocator exactly, before and after churn.
+func TestLifecycleOracleOnLiveSpace(t *testing.T) {
+	pa := phys.New(0, 1<<14)
+	as, err := kernel.NewAddressSpace(pa, kernel.Config{ASID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := tea.NewManager(as, tea.NewPhysBackend(pa), tea.DefaultConfig(false))
+	as.SetHooks(mgr)
+
+	assertBalanced := func(stage string) {
+		t.Helper()
+		claimed := DataFrames(as) + NodeFrames(as, mgr.OwnsNode) + int(mgr.Stats.FramesLive)
+		for _, msg := range Conservation(pa, claimed) {
+			t.Errorf("%s: %s", stage, msg)
+		}
+		for _, msg := range ASInvariants(as) {
+			t.Errorf("%s: %s", stage, msg)
+		}
+		for _, msg := range TEAAccounting(mgr) {
+			t.Errorf("%s: %s", stage, msg)
+		}
+	}
+
+	heap, err := as.MMap(1<<30, 8<<20, kernel.VMAHeap, "heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Populate(heap); err != nil {
+		t.Fatal(err)
+	}
+	assertBalanced("after populate")
+
+	tmp, err := as.MMap(2<<30, 4<<20, kernel.VMAAnon, "tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Populate(tmp); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MUnmap(tmp); err != nil {
+		t.Fatal(err)
+	}
+	assertBalanced("after churn")
+
+	if err := as.MUnmap(heap); err != nil {
+		t.Fatal(err)
+	}
+	assertBalanced("after teardown")
+}
+
+func TestTEAAccountingDetectsLeak(t *testing.T) {
+	pa := phys.New(0, 1<<14)
+	as, err := kernel.NewAddressSpace(pa, kernel.Config{ASID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := tea.NewManager(as, tea.NewPhysBackend(pa), tea.DefaultConfig(false))
+	as.SetHooks(mgr)
+	if _, err := as.MMap(1<<30, 8<<20, kernel.VMAHeap, "heap"); err != nil {
+		t.Fatal(err)
+	}
+	if bad := TEAAccounting(mgr); len(bad) != 0 {
+		t.Fatalf("healthy manager reported broken: %v", bad)
+	}
+	mgr.Stats.FramesLive += 3 // simulate a leaked region's stranded claim
+	if bad := TEAAccounting(mgr); len(bad) == 0 {
+		t.Fatal("stranded FramesLive not reported")
+	}
+	mgr.Stats.FramesLive -= 3
+}

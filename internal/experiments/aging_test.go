@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// goldenAgingOptions is the short-horizon cell the golden locks: small
+// enough for CI, long enough that fragmentation and churn metrics are
+// non-trivial for both designs.
+func goldenAgingOptions() AgingOptions {
+	return AgingOptions{
+		Events: 20_000, VMs: 24, Epochs: 4, Shards: 2, Workers: 2,
+		MemMiB: 96, Seed: 3, THP: true, Verify: true,
+	}
+}
+
+// TestGoldenAging locks the rendered node-age table under a fixed seed.
+// Any change to the scenario driver, the TEA manager's lifecycle paths,
+// the buddy allocator, or the virt stack that shifts an aging metric shows
+// up as a readable diff. Regenerate intentionally with
+//
+//	go test ./internal/experiments -run GoldenAging -update
+func TestGoldenAging(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	out, err := AgingCampaign(goldenAgingOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	checkGolden(t, "aging", out)
+}
+
+// TestAgingWorkerInvariance re-renders the campaign with a different
+// worker count and asserts identical bytes — the rendered table must be a
+// pure function of the scenario configuration, never of scheduling.
+func TestAgingWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	narrow := goldenAgingOptions()
+	narrow.Designs = []string{"dmt"}
+	narrow.Workers = 1
+	wide := narrow
+	wide.Workers = 4
+	a, err := AgingCampaign(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AgingCampaign(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("aging table depends on worker count:\nA:\n%s\nB:\n%s", a, b)
+	}
+}
+
+// TestAgingUnknownDesign pins the error path.
+func TestAgingUnknownDesign(t *testing.T) {
+	opt := goldenAgingOptions()
+	opt.Designs = []string{"shadow"}
+	opt.Events = 10
+	if _, err := AgingCampaign(opt); err == nil || !strings.Contains(err.Error(), "shadow") {
+		t.Fatalf("want unknown-design error, got %v", err)
+	}
+}

@@ -178,6 +178,19 @@ func (as *AddressSpace) freeNode(level int, pa mem.PAddr) {
 	as.Phys.FreeFrame(pa)
 }
 
+// AllocNodeFrame allocates a page-table node frame from the space's
+// allocator, bypassing placement hooks. The TEA manager uses it to
+// evacuate shared nodes out of storage it is about to release; the frame
+// is freed by normal teardown once the node empties, like any
+// buddy-placed node.
+func (as *AddressSpace) AllocNodeFrame() (mem.PAddr, error) {
+	return as.Phys.AllocFrame(phys.KindPageTable)
+}
+
+// FreeNodeFrame releases a frame obtained from AllocNodeFrame that was
+// never installed in the page table.
+func (as *AddressSpace) FreeNodeFrame(pa mem.PAddr) { as.Phys.FreeFrame(pa) }
+
 // VMAs returns the VMA list, sorted by start address.
 func (as *AddressSpace) VMAs() []*VMA { return as.vmas }
 
@@ -222,7 +235,7 @@ func (as *AddressSpace) MUnmap(v *VMA) error {
 	// TEA-resident node frames are recognized (OwnsNode) and freed with
 	// their TEA rather than individually.
 	v.forEachPresent(func(page mem.VAddr, size mem.PageSize) {
-		as.unmapPage(v, page, size)
+		as.unmapPage(v, page)
 	})
 	if as.hooks != nil {
 		as.hooks.VMADeleted(v)
@@ -262,9 +275,20 @@ func (as *AddressSpace) Shrink(v *VMA, newEnd mem.VAddr) error {
 	if !mem.IsAligned(uint64(newEnd), mem.PageBytes4K) || newEnd >= v.End || newEnd <= v.Start {
 		return ErrUnaligned
 	}
+	// A huge page straddling the new end would survive the teardown loop
+	// (its recorded base is below newEnd) while still translating VAs
+	// beyond it; a later MMap over that range would then alias its tail
+	// frames. Shatter it first so the tail unmaps page by page.
+	if hbase := mem.AlignDown(newEnd, mem.PageBytes2M); hbase < newEnd {
+		if size, ok := v.pageAt(hbase); ok && size == mem.Size2M {
+			if err := as.SplitHugePage(v, hbase); err != nil {
+				return err
+			}
+		}
+	}
 	v.forEachPresent(func(page mem.VAddr, size mem.PageSize) {
 		if page >= newEnd {
-			as.unmapPage(v, page, size)
+			as.unmapPage(v, page)
 		}
 	})
 	oldStart, oldEnd := v.Start, v.End
@@ -352,12 +376,18 @@ func (as *AddressSpace) rangeUnmapped(base mem.VAddr, bytes uint64) bool {
 	return true
 }
 
-func (as *AddressSpace) unmapPage(v *VMA, page mem.VAddr, size mem.PageSize) {
-	pte, ok := as.PT.LeafPTE(page)
-	if ok {
+func (as *AddressSpace) unmapPage(v *VMA, page mem.VAddr) {
+	// Free by what the page table actually holds, not by the VMA's
+	// recorded page size: a teardown that races a failed split or
+	// promotion can find a leaf of the other size, and freeing a 4 KiB
+	// frame at order 9 (or a 2 MiB block at order 0) double-frees
+	// neighbours or leaks the tail. The rmap entry is only dropped once
+	// the unmap succeeds, so a frame that stays mapped stays migratable.
+	if _, size, ok := as.PT.Lookup(page); ok {
+		pte, _ := as.PT.LeafPTE(page)
 		frame := pte.Frame()
-		as.rmap.del(frame)
 		if err := as.PT.Unmap(page, size); err == nil {
+			as.rmap.del(frame)
 			if !v.isResident(page) {
 				if size == mem.Size4K {
 					as.Phys.FreeFrame(frame)
@@ -381,8 +411,8 @@ func (as *AddressSpace) MapResident(v *VMA, va mem.VAddr, pa mem.PAddr, size mem
 		return ErrBadAddress
 	}
 	base := mem.AlignDown(va, size.Bytes())
-	if old, ok := v.pageAt(base); ok {
-		as.unmapPage(v, base, old)
+	if _, ok := v.pageAt(base); ok {
+		as.unmapPage(v, base)
 	}
 	if err := as.PT.Map(base, pa, size, mem.PTEWritable); err != nil {
 		return err
@@ -395,19 +425,16 @@ func (as *AddressSpace) MapResident(v *VMA, va mem.VAddr, pa mem.PAddr, size mem
 // analogue), freeing its frame and shooting down the translation.
 func (as *AddressSpace) UnmapPage(v *VMA, va mem.VAddr) error {
 	base := mem.AlignDown(va, mem.PageBytes4K)
-	size, ok := v.pageAt(base)
-	if !ok {
+	if _, ok := v.pageAt(base); !ok {
 		// The page may be covered by a 2 MiB leaf whose base entry is
 		// recorded at the huge-page boundary.
 		hbase := mem.AlignDown(va, mem.PageBytes2M)
-		if hsize, hok := v.pageAt(hbase); hok && hsize == mem.Size2M {
-			base, size, ok = hbase, hsize, true
+		if hsize, hok := v.pageAt(hbase); !hok || hsize != mem.Size2M {
+			return ErrNotPopulated
 		}
+		base = hbase
 	}
-	if !ok {
-		return ErrNotPopulated
-	}
-	as.unmapPage(v, base, size)
+	as.unmapPage(v, base)
 	return nil
 }
 
@@ -440,6 +467,14 @@ func (as *AddressSpace) Populate(v *VMA) error {
 func (as *AddressSpace) Relocate(old, new mem.PAddr) bool {
 	va, size, ok := as.rmap.get(old)
 	if !ok {
+		return false
+	}
+	// Only base pages migrate frame-by-frame. The allocator offers an
+	// order-0 destination; remapping a 2 MiB leaf onto it would alias the
+	// 511 frames behind it whenever the destination happened to be 2 MiB
+	// aligned, and the eventual Free(dst, 9) would release frames owned
+	// by strangers. Huge pages must be split before their frames move.
+	if size != mem.Size4K {
 		return false
 	}
 	if err := as.PT.Unmap(va, size); err != nil {
@@ -483,6 +518,23 @@ func (as *AddressSpace) SplitHugePage(v *VMA, va mem.VAddr) error {
 	for off := mem.VAddr(0); off < mem.PageBytes2M; off += mem.PageBytes4K {
 		pa := frame + mem.PAddr(uint64(off))
 		if err := as.PT.Map(base+off, pa, mem.Size4K, mem.PTEWritable); err != nil {
+			// Unwind: a partial split would leave the tail of the 2 MiB
+			// block mapped nowhere but never freed. Tear down the base
+			// pages already installed and try to restore the huge leaf;
+			// if even that fails, release the block — the data re-faults.
+			for undo := mem.VAddr(0); undo < off; undo += mem.PageBytes4K {
+				if as.PT.Unmap(base+undo, mem.Size4K) == nil {
+					as.rmap.del(frame + mem.PAddr(uint64(undo)))
+					v.clearPresent(base + undo)
+					as.notifyInvalidate(base + undo)
+				}
+			}
+			if as.PT.Map(base, frame, mem.Size2M, mem.PTEWritable) == nil {
+				v.setPresent(base, mem.Size2M, false)
+				as.rmap.set(frame, base, mem.Size2M)
+			} else {
+				as.Phys.Free(frame, 9)
+			}
 			return err
 		}
 		v.setPresent(base+off, mem.Size4K, false)
@@ -503,10 +555,12 @@ func (as *AddressSpace) PromoteTHP(v *VMA) int {
 		if size, ok := v.pageAt(base); ok && size == mem.Size2M {
 			continue
 		}
-		// All 512 base pages must be present.
+		// All 512 base pages must be present and owned by this address
+		// space: collapsing over a caller-owned resident page (a mapped
+		// gTEA window slot) would silently drop the foreign mapping.
 		full := true
 		for off := mem.VAddr(0); off < mem.PageBytes2M; off += mem.PageBytes4K {
-			if size, ok := v.pageAt(base + off); !ok || size != mem.Size4K {
+			if size, ok := v.pageAt(base + off); !ok || size != mem.Size4K || v.isResident(base+off) {
 				full = false
 				break
 			}
@@ -519,7 +573,7 @@ func (as *AddressSpace) PromoteTHP(v *VMA) int {
 			return promoted
 		}
 		for off := mem.VAddr(0); off < mem.PageBytes2M; off += mem.PageBytes4K {
-			as.unmapPage(v, base+off, mem.Size4K)
+			as.unmapPage(v, base+off)
 		}
 		if err := as.PT.Map(base, pa, mem.Size2M, mem.PTEWritable); err != nil {
 			as.Phys.Free(pa, 9)

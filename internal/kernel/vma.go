@@ -138,6 +138,12 @@ func (v *VMA) forEachPresent(fn func(base mem.VAddr, size mem.PageSize)) {
 // if any — the exported read-side view of the population state.
 func (v *VMA) PresentSize(base mem.VAddr) (mem.PageSize, bool) { return v.pageAt(base) }
 
+// ResidentAt reports whether the page at the (page-aligned) address is
+// backed by an externally-owned frame — one that teardown will unmap but
+// not free. Frame-accounting oracles need this to know which present pages
+// count against this space's allocator.
+func (v *VMA) ResidentAt(base mem.VAddr) bool { return v.isResident(base) }
+
 // Size returns the VMA length in bytes.
 func (v *VMA) Size() uint64 { return uint64(v.End - v.Start) }
 

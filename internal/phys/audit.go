@@ -1,0 +1,72 @@
+package phys
+
+import "fmt"
+
+// Audit verifies the allocator's internal invariants and returns the first
+// violation found, or nil. It is the allocator half of the lifecycle
+// conservation oracle (DESIGN.md §14): the aging scenario calls it after
+// churn events so a frame leaked or double-freed anywhere in the
+// kernel/TEA/virt plumbing above surfaces at the event that caused it
+// rather than as an unexplained drift millions of events later.
+//
+// Invariants checked:
+//   - freeFrames equals the population count of the free bitmap;
+//   - every free-block head (blockOrder[f] >= 0) is naturally aligned,
+//     in bounds, and covers only free KindFree frames;
+//   - every free frame is covered by exactly one free-block head;
+//   - allocated frames carry a non-free Kind and are not block heads.
+//
+// Audit is O(frames) and performs no allocation beyond the coverage bitmap.
+func (a *Allocator) Audit() error {
+	var freeCount uint32
+	for f := uint32(0); f < a.frames; f++ {
+		if a.free[f] {
+			freeCount++
+			if a.kind[f] != KindFree {
+				return fmt.Errorf("phys: free frame %d has kind %v", f, a.kind[f])
+			}
+		} else {
+			if a.kind[f] == KindFree {
+				return fmt.Errorf("phys: allocated frame %d has kind free", f)
+			}
+			if a.blockOrder[f] >= 0 {
+				return fmt.Errorf("phys: allocated frame %d is a free-block head (order %d)", f, a.blockOrder[f])
+			}
+		}
+	}
+	if freeCount != a.freeFrames {
+		return fmt.Errorf("phys: freeFrames=%d but %d frames are marked free", a.freeFrames, freeCount)
+	}
+	covered := make([]bool, a.frames)
+	for f := uint32(0); f < a.frames; f++ {
+		o := a.blockOrder[f]
+		if o < 0 {
+			continue
+		}
+		if int(o) > MaxOrder {
+			return fmt.Errorf("phys: free block at frame %d has invalid order %d", f, o)
+		}
+		n := uint32(1) << uint(o)
+		if f&(n-1) != 0 {
+			return fmt.Errorf("phys: order-%d free block at frame %d is unaligned", o, f)
+		}
+		if f+n > a.frames {
+			return fmt.Errorf("phys: order-%d free block at frame %d overruns the zone", o, f)
+		}
+		for i := f; i < f+n; i++ {
+			if !a.free[i] {
+				return fmt.Errorf("phys: order-%d free block at frame %d covers allocated frame %d", o, f, i)
+			}
+			if covered[i] {
+				return fmt.Errorf("phys: frame %d covered by overlapping free blocks", i)
+			}
+			covered[i] = true
+		}
+	}
+	for f := uint32(0); f < a.frames; f++ {
+		if a.free[f] && !covered[f] {
+			return fmt.Errorf("phys: free frame %d not covered by any free block", f)
+		}
+	}
+	return nil
+}

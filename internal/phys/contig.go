@@ -1,6 +1,8 @@
 package phys
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 
 	"dmt/internal/mem"
@@ -17,6 +19,9 @@ func (a *Allocator) AllocContig(nframes int, kind Kind) (mem.PAddr, error) {
 	if nframes <= 0 {
 		return 0, ErrNoContig
 	}
+	if kind == KindFree {
+		return 0, errors.New("phys: cannot allocate KindFree")
+	}
 	// Fast path: an exact buddy block.
 	if order := coveringOrder(nframes); order <= MaxOrder {
 		if pa, err := a.Alloc(order, kind); err == nil {
@@ -26,6 +31,7 @@ func (a *Allocator) AllocContig(nframes int, kind Kind) (mem.PAddr, error) {
 			if extra > 0 {
 				a.release(f+uint32(nframes), extra)
 			}
+			a.Stats.ContigAllocs++
 			return pa, nil
 		}
 	}
@@ -34,12 +40,14 @@ func (a *Allocator) AllocContig(nframes int, kind Kind) (mem.PAddr, error) {
 	n := uint32(nframes)
 	if start, ok := a.findWindow(n, false); ok {
 		a.claimWindow(start, n, kind)
+		a.Stats.ContigAllocs++
 		return a.addrOf(start), nil
 	}
 	if a.relocator != nil {
 		if start, ok := a.findWindow(n, true); ok {
 			if a.migrateOut(start, n) {
 				a.claimWindow(start, n, kind)
+				a.Stats.ContigAllocs++
 				return a.addrOf(start), nil
 			}
 		}
@@ -47,12 +55,28 @@ func (a *Allocator) AllocContig(nframes int, kind Kind) (mem.PAddr, error) {
 	return 0, ErrNoContig
 }
 
-// FreeContig releases a range allocated by AllocContig.
+// FreeContig releases a range allocated by AllocContig. Like Free, it
+// panics on a double free: releaseAllocated feeds frames straight back to
+// the free lists without checking, so an unvalidated duplicate release
+// would silently inflate freeFrames and corrupt the buddy metadata —
+// exactly the slow long-run rot the lifecycle oracle exists to catch.
 func (a *Allocator) FreeContig(pa mem.PAddr, nframes int) {
+	if nframes <= 0 {
+		panic("phys: FreeContig of non-positive length")
+	}
 	f := a.frameOf(pa)
-	a.freeFrames += uint32(nframes)
+	n := uint32(nframes)
+	if uint64(f)+uint64(n) > uint64(a.frames) {
+		panic("phys: FreeContig beyond managed region")
+	}
+	for i := f; i < f+n; i++ {
+		if a.free[i] {
+			panic(fmt.Sprintf("phys: double free of frame %d", i))
+		}
+	}
+	a.freeFrames += n
 	a.Stats.Frees++
-	a.releaseAllocated(f, uint32(nframes))
+	a.releaseAllocated(f, n)
 }
 
 // ExpandContigInPlace tries to extend an existing contiguous allocation by
@@ -281,21 +305,27 @@ func (a *Allocator) FragmentationIndex(order int) float64 {
 	if a.freeFrames == 0 {
 		return 0
 	}
+	counts := a.FreeBlockCounts()
 	var suitable uint64
 	for o := order; o <= MaxOrder; o++ {
-		suitable += uint64(a.countFreeBlocks(o)) << uint(o)
+		suitable += uint64(counts[o]) << uint(o)
 	}
 	return 1 - float64(suitable)/float64(a.freeFrames)
 }
 
-func (a *Allocator) countFreeBlocks(order int) int {
-	n := 0
-	for _, f := range a.freeStacks[order] {
-		if a.blockOrder[f] == int8(order) {
-			n++
+// FreeBlockCounts returns the number of free blocks at each order, computed
+// from the authoritative blockOrder map rather than the lazy-deletion
+// stacks: a head detached by carveFrame and later re-inserted by coalescing
+// appears twice on its stack, and counting stack entries (as an earlier
+// revision did) double-counted such blocks, skewing FragmentationIndex low.
+func (a *Allocator) FreeBlockCounts() [MaxOrder + 1]int {
+	var counts [MaxOrder + 1]int
+	for f := uint32(0); f < a.frames; f++ {
+		if o := a.blockOrder[f]; o >= 0 {
+			counts[o]++
 		}
 	}
-	return n
+	return counts
 }
 
 // Fragment deliberately fragments free memory until the order-`order`
@@ -306,6 +336,10 @@ func (a *Allocator) countFreeBlocks(order int) int {
 // available, none of it contiguous). The surviving pins model background
 // load.
 func (a *Allocator) Fragment(rng *rand.Rand, order int, target float64) {
+	// Consume the rng unconditionally: an early return that skipped the
+	// draw made rand-state divergence depend on allocator state, so a
+	// Clone() sharing the caller's rng could diverge from the original.
+	offset := rng.Intn(2)
 	if a.FragmentationIndex(order) >= target {
 		return
 	}
@@ -317,7 +351,6 @@ func (a *Allocator) Fragment(rng *rand.Rand, order int, target float64) {
 		}
 		held = append(held, pa)
 	}
-	offset := rng.Intn(2)
 	for i, pa := range held {
 		if i%2 == offset {
 			a.FreeFrame(pa)

@@ -98,6 +98,9 @@ type Stats struct {
 	Coalesces   uint64
 	Migrations  uint64
 	ContigScans uint64
+	// ContigAllocs counts successful AllocContig calls, the denominator of
+	// the aging scenario's defrag-cost metric (migrations per contig alloc).
+	ContigAllocs uint64
 }
 
 // New creates an allocator managing frames 4-KiB frames starting at base.
@@ -176,7 +179,42 @@ func (a *Allocator) insertFree(f uint32, order int) {
 		a.free[i] = true
 		a.kind[i] = KindFree
 	}
-	a.freeStacks[order] = append(a.freeStacks[order], f)
+	stack := append(a.freeStacks[order], f)
+	// Lazy deletion leaves stale entries behind; over a multi-million-event
+	// aging run (carveFrame detaches heads without popping them) the stacks
+	// would otherwise grow without bound. Compact once a stack exceeds the
+	// maximum possible number of live heads at this order plus slack.
+	if len(stack) > int(a.frames>>uint(order))+64 {
+		stack = a.compactStack(stack, order)
+	}
+	a.freeStacks[order] = stack
+}
+
+// compactStack drops entries invalidated by lazy deletion and collapses
+// duplicates of still-valid heads, keeping only the newest occurrence of
+// each. Pops take the newest entry first and claiming a head invalidates
+// its older duplicates, so the sequence of successful pops — and therefore
+// allocation determinism — is unchanged.
+func (a *Allocator) compactStack(stack []uint32, order int) []uint32 {
+	seen := make(map[uint32]struct{}, len(stack))
+	kept := make([]uint32, 0, len(stack))
+	for i := len(stack) - 1; i >= 0; i-- {
+		f := stack[i]
+		if a.blockOrder[f] != int8(order) {
+			continue
+		}
+		if _, dup := seen[f]; dup {
+			continue
+		}
+		seen[f] = struct{}{}
+		kept = append(kept, f)
+	}
+	// kept is newest-first; restore stack order (oldest at the bottom).
+	out := stack[:0]
+	for i := len(kept) - 1; i >= 0; i-- {
+		out = append(out, kept[i])
+	}
+	return out
 }
 
 // popFree removes and returns a valid free block head of the given order,

@@ -77,6 +77,7 @@ func (m *Manager) StartMigration(va mem.VAddr) bool {
 			continue
 		}
 		m.Stats.FramesLive += int64(to.Frames)
+		m.detachSharedKey(sr)
 		sr.migrate = &migration{to: to}
 		m.Stats.Migrations++
 		started = true

@@ -1,0 +1,325 @@
+package tea
+
+import (
+	"testing"
+
+	"dmt/internal/kernel"
+	"dmt/internal/mem"
+	"dmt/internal/phys"
+)
+
+// teardownBalanced unmaps every VMA and asserts the full boot→churn→destroy
+// cycle conserved frames: no TEA region leaked, none double-freed.
+func teardownBalanced(t *testing.T, e *env, baselineFree int, vmas ...*kernel.VMA) {
+	t.Helper()
+	for _, v := range vmas {
+		if err := e.as.MUnmap(v); err != nil {
+			t.Fatalf("MUnmap(%s): %v", v.Name, err)
+		}
+	}
+	if e.mg.Stats.FramesLive != 0 {
+		t.Fatalf("FramesLive = %d after full teardown, want 0", e.mg.Stats.FramesLive)
+	}
+	if got := e.pa.FreeFrames(); got != baselineFree {
+		t.Fatalf("FreeFrames = %d after teardown, want %d (TEA leak or double free)", got, baselineFree)
+	}
+	if err := e.pa.Audit(); err != nil {
+		t.Fatalf("allocator audit: %v", err)
+	}
+	if n := e.mg.SharedCount(); n != 0 {
+		t.Fatalf("shared registry holds %d entries after teardown", n)
+	}
+}
+
+// TestMidMigrationSharedJoin pins the migration-start registry detach: the
+// shared-region registry used to keep advertising a region whose migration
+// was in flight, so a mapping created mid-window joined storage that
+// PumpMigration then freed — a dangling fetch base for the joiner and a
+// double free at its eventual release. A mid-migration twin must get fresh
+// storage instead.
+func TestMidMigrationSharedJoin(t *testing.T) {
+	cfg := Config{
+		Registers:        DefaultRegisters,
+		MergeThreshold:   -1, // isolate sharing from clustering
+		Sizes:            []mem.PageSize{mem.Size4K},
+		MinVMABytes:      mem.PageBytes4K,
+		GradualMigration: true,
+	}
+	e := newEnv(t, 1<<14, cfg, kernel.Config{})
+	baseline := e.pa.FreeFrames()
+	// Two VMAs inside the same 2 MiB node span share one TEA key.
+	const base = mem.VAddr(1 << 30)
+	va, err := e.as.MMap(base, 1<<20, kernel.VMAHeap, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldRegion := e.mg.Mappings()[0].SizeRegions()[0].Region
+	if !e.mg.StartMigration(base) {
+		t.Fatal("StartMigration did not start")
+	}
+	vb, err := e.as.MMap(base+1<<20, 1<<20, kernel.VMAHeap, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bInfo RegionInfo
+	for _, mp := range e.mg.Mappings() {
+		if mp.Start == vb.Start {
+			bInfo = mp.SizeRegions()[0]
+		}
+	}
+	if bInfo.Region.NodeBase == oldRegion.NodeBase {
+		t.Fatal("new mapping joined a TEA that is mid-migration")
+	}
+	if bInfo.SharedRefs != 1 {
+		t.Fatalf("new mapping's region has %d refs, want 1", bInfo.SharedRefs)
+	}
+	if e.mg.PumpMigration(1<<30) == 0 && e.mg.MigrationsPending() {
+		t.Fatal("migration did not drain")
+	}
+	teardownBalanced(t, e, baseline, va, vb)
+}
+
+// TestReleaseRegionIdentityCheck pins the releaseRegion fix: when a
+// migration completes after its key was re-taken by a fresh region, the
+// migrated mapping's release must not delete the registry entry now owned
+// by someone else — doing so breaks sharing for every later twin and sets
+// up a double free when the usurped entry's owner releases.
+func TestReleaseRegionIdentityCheck(t *testing.T) {
+	cfg := Config{
+		Registers:        DefaultRegisters,
+		MergeThreshold:   -1,
+		Sizes:            []mem.PageSize{mem.Size4K},
+		MinVMABytes:      mem.PageBytes4K,
+		GradualMigration: true,
+	}
+	e := newEnv(t, 1<<14, cfg, kernel.Config{})
+	baseline := e.pa.FreeFrames()
+	const base = mem.VAddr(1 << 30)
+	va, err := e.as.MMap(base, 1<<20, kernel.VMAHeap, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.mg.StartMigration(base)
+	// B takes A's vacated key with a fresh region while A migrates.
+	vb, err := e.as.MMap(base+1<<20, 1<<20, kernel.VMAHeap, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A's migration completes into the same geometry: the key is taken, so
+	// A's shared ref stays unregistered.
+	e.mg.PumpMigration(1 << 30)
+	// Releasing A must leave B's registry entry alone: a third twin must
+	// share B's storage, not allocate again.
+	if err := e.as.MUnmap(va); err != nil {
+		t.Fatal(err)
+	}
+	vc, err := e.as.MMap(base, 1<<20, kernel.VMAHeap, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bInfo, cInfo RegionInfo
+	for _, mp := range e.mg.Mappings() {
+		switch mp.Start {
+		case vb.Start:
+			bInfo = mp.SizeRegions()[0]
+		case vc.Start:
+			cInfo = mp.SizeRegions()[0]
+		}
+	}
+	if cInfo.Region.NodeBase != bInfo.Region.NodeBase {
+		t.Fatalf("twin did not share the registered region (B at %#x, C at %#x)",
+			uint64(bInfo.Region.NodeBase), uint64(cInfo.Region.NodeBase))
+	}
+	if cInfo.SharedRefs != 2 {
+		t.Fatalf("shared refs = %d, want 2", cInfo.SharedRefs)
+	}
+	teardownBalanced(t, e, baseline, vb, vc)
+}
+
+// TestMergeFreesAbandonedMigrationTarget pins the migrateMappingInto fix: a
+// cluster merge that absorbed a mapping with an in-flight migration used to
+// leak the migration's target region (and its FramesLive accounting)
+// forever — the classic slow leak under VM churn with background migration.
+func TestMergeFreesAbandonedMigrationTarget(t *testing.T) {
+	cfg := DefaultConfig(false)
+	cfg.GradualMigration = true
+	cfg.MinVMABytes = mem.PageBytes4K
+	e := newEnv(t, 1<<14, cfg, kernel.Config{})
+	baseline := e.pa.FreeFrames()
+	const base = mem.VAddr(1 << 30)
+	va, err := e.as.MMap(base, 4<<20, kernel.VMAHeap, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.mg.StartMigration(base) {
+		t.Fatal("StartMigration did not start")
+	}
+	// The adjacent VMA triggers a cluster merge that absorbs the
+	// mid-migration mapping.
+	vb, err := e.as.MMap(base+4<<20, 4<<20, kernel.VMAHeap, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.mg.Mappings()) != 1 {
+		t.Fatalf("mappings = %d after merge, want 1", len(e.mg.Mappings()))
+	}
+	if e.mg.MigrationsPending() {
+		t.Fatal("absorbed migration still pending")
+	}
+	// FramesLive must now be exactly the merged mapping's regions.
+	var want int64
+	for _, ri := range e.mg.Mappings()[0].SizeRegions() {
+		want += int64(ri.Region.Frames)
+	}
+	if e.mg.Stats.FramesLive != want {
+		t.Fatalf("FramesLive = %d after merge, want %d (abandoned migration target leaked)",
+			e.mg.Stats.FramesLive, want)
+	}
+	teardownBalanced(t, e, baseline, va, vb)
+}
+
+// TestOnDemandMergePreservesNodeSlots pins allocRegionsCovering: merging
+// grown on-demand mappings into a freshly-truncated initial window used to
+// compute relocation targets beyond the merged region's frames. The merged
+// window must start at least as large as the coverage the old TEAs reached.
+func TestOnDemandMergePreservesNodeSlots(t *testing.T) {
+	cfg := DefaultConfig(false)
+	cfg.OnDemand = true
+	cfg.MinVMABytes = mem.PageBytes4K
+	e := newEnv(t, 1<<15, cfg, kernel.Config{})
+	baseline := e.pa.FreeFrames()
+	const base = mem.VAddr(1 << 30)
+	va, err := e.as.MMap(base, 64<<20, kernel.VMAHeap, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate grows the on-demand window far past OnDemandInitialFrames.
+	if err := e.as.Populate(va); err != nil {
+		t.Fatal(err)
+	}
+	grownEnd := e.mg.Mappings()[0].SizeRegions()[0].CoveredEnd
+	if grownEnd <= base+mem.VAddr(uint64(OnDemandInitialFrames)*nodeSpanOf(mem.Size4K)) {
+		t.Fatalf("precondition: window did not grow (end %#x)", uint64(grownEnd))
+	}
+	vb, err := e.as.MMap(base+64<<20, 16<<20, kernel.VMAHeap, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.mg.Mappings()) != 1 {
+		t.Fatalf("mappings = %d after merge, want 1", len(e.mg.Mappings()))
+	}
+	ri := e.mg.Mappings()[0].SizeRegions()[0]
+	if ri.CoveredEnd < grownEnd {
+		t.Fatalf("merged window covers to %#x, old coverage reached %#x", uint64(ri.CoveredEnd), uint64(grownEnd))
+	}
+	// Every populated page must still walk, and every placed leaf node
+	// must live inside storage the manager owns.
+	for off := mem.VAddr(0); off < 64<<20; off += 2 << 20 {
+		r := e.as.PT.Walk(base + off)
+		if !r.OK {
+			t.Fatalf("walk failed at %#x after merge", uint64(base+off))
+		}
+		leafNode := r.Steps[len(r.Steps)-1].Addr &^ (mem.PageBytes4K - 1)
+		if !e.mg.OwnsNode(mem.PAddr(leafNode)) && e.pa.FrameKind(mem.PAddr(leafNode)) != phys.KindPageTable {
+			t.Fatalf("leaf node at %#x is in unowned storage", uint64(leafNode))
+		}
+	}
+	teardownBalanced(t, e, baseline, va, vb)
+}
+
+// TestSameSpanDifferentWindows pins the shared-registry keying bug the
+// aging scenario's conservation oracle caught: two mappings whose node
+// coverage starts at the same aligned VA walk through the same leaf nodes,
+// but the registry used to key sharing on the window's frame count as
+// well, so mappings with different spans silently got private regions over
+// one node span. The first mapper's region physically hosted the shared
+// node; its death freed storage the survivor's page table still
+// referenced, and the survivor's eventual teardown double-freed the frame.
+func TestSameSpanDifferentWindows(t *testing.T) {
+	cfg := Config{
+		Registers:      DefaultRegisters,
+		MergeThreshold: -1, // isolate sharing from clustering
+		Sizes:          []mem.PageSize{mem.Size4K},
+		MinVMABytes:    mem.PageBytes4K,
+	}
+	e := newEnv(t, 1<<14, cfg, kernel.Config{})
+	baseline := e.pa.FreeFrames()
+	const gib = mem.VAddr(1 << 30)
+	// a starts mid-node-span and covers four node spans; b covers only the
+	// first. Both cover VAs align down to the same node span, but their
+	// window sizes differ — the case the old frames-keyed registry split.
+	va, err := e.as.MMap(gib+1<<20, 7<<20, kernel.VMAHeap, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.as.Touch(gib+1<<20, true); err != nil {
+		t.Fatal(err) // a hosts the shared node span's leaf node
+	}
+	vb, err := e.as.MMap(gib, 1<<20, kernel.VMAHeap, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.as.Touch(gib, true); err != nil {
+		t.Fatal(err)
+	}
+	ra := e.mg.Mappings()[0].SizeRegions()[0]
+	rb := e.mg.Mappings()[1].SizeRegions()[0]
+	if ra.Region.NodeBase != rb.Region.NodeBase {
+		t.Fatalf("same node span got two regions (%#x vs %#x); sharing broken",
+			uint64(rb.Region.NodeBase), uint64(ra.Region.NodeBase))
+	}
+	if ra.SharedRefs != 2 {
+		t.Fatalf("SharedRefs = %d, want 2", ra.SharedRefs)
+	}
+	// The first mapper dies; the shared node must survive for b.
+	if err := e.as.MUnmap(va); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := e.as.PT.Lookup(gib); !ok {
+		t.Fatal("b's page lost its translation when a died")
+	}
+	teardownBalanced(t, e, baseline, vb)
+}
+
+// TestEvacuationRescuesStraddlingNode pins the release-time evacuation
+// backstop: a mapping that straddles an upper-level node span gets a
+// different cover VA than its neighbour, so the sharing registry cannot
+// pair them — yet a level-2 node spans 1 GiB of VA and serves both. When
+// the hosting mapping dies, the node must be walked out to a vanilla
+// kernel frame instead of being freed (and later recycled) with the TEA.
+func TestEvacuationRescuesStraddlingNode(t *testing.T) {
+	cfg := DefaultConfig(true)
+	cfg.MergeThreshold = -1 // adjacent VMAs must stay separate mappings
+	e := newEnv(t, 1<<14, cfg, kernel.Config{THP: true})
+	baseline := e.pa.FreeFrames()
+	const boundary = mem.VAddr(2 << 30) // a 1 GiB level-2 node span edge
+	va, err := e.as.MMap(boundary-4<<20, 8<<20, kernel.VMAHeap, "straddle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a's huge page beyond the boundary places the second GiB's L2 node
+	// in a's 2M-size region (cover aligns to the PREVIOUS GiB).
+	if _, err := e.as.Touch(boundary, true); err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := e.as.VMAs()[0].PresentSize(boundary); !ok || s != mem.Size2M {
+		t.Skip("THP fault did not map a huge page; straddle setup ineffective")
+	}
+	vb, err := e.as.MMap(boundary+4<<20, 8<<20, kernel.VMAHeap, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.as.Touch(boundary+4<<20, true); err != nil {
+		t.Fatal(err) // b's huge PTE lives in the L2 node a placed
+	}
+	if err := e.as.MUnmap(va); err != nil {
+		t.Fatal(err)
+	}
+	if e.mg.Stats.EvacuatedNodes == 0 {
+		t.Fatal("straddling L2 node was not evacuated at release")
+	}
+	if _, _, ok := e.as.PT.Lookup(boundary + 4<<20); !ok {
+		t.Fatal("b's huge page lost its translation when the straddler died")
+	}
+	teardownBalanced(t, e, baseline, vb)
+}

@@ -60,6 +60,7 @@ func (m *Manager) ensureCovered(mp *Mapping, sr *sizeRegion, va mem.VAddr) bool 
 		return false
 	}
 	m.Stats.FramesLive += int64(want)
+	m.detachSharedKey(sr)
 	sr.migrate = &migration{to: newRegion}
 	m.Stats.Migrations++
 	m.PumpMigration(1 << 30)
@@ -70,9 +71,13 @@ func (m *Manager) ensureCovered(mp *Mapping, sr *sizeRegion, va mem.VAddr) bool 
 // in-place expansion changes a region's frame count.
 func (m *Manager) updateSharedRegion(sr *sizeRegion, grown Region) {
 	if sr.shared != nil {
-		delete(m.shared, sr.shared.key)
-		sr.shared.key.frames = grown.Frames
-		m.shared[sr.shared.key] = &sharedEntry{region: grown, ref: sr.shared}
+		// Identity-checked: sr's key may have been re-taken by an
+		// unrelated region after an earlier migration, and overwriting
+		// that entry would strand its owner. The key describes the node
+		// span, which in-place growth does not change.
+		if se, ok := m.shared[sr.shared.key]; ok && se.ref == sr.shared {
+			se.region = grown
+		}
 	}
 	sr.region = grown
 }

@@ -121,10 +121,16 @@ type sharedRegion struct {
 	refs int
 }
 
+// sharedKey identifies an aligned node span: every mapping whose coverage
+// starts at the same cover VA for a given page size walks through the same
+// leaf-level radix nodes, regardless of how many frames its on-demand
+// window currently spans. Keying by window size as well used to split
+// same-span mappings onto private regions: the first mapper's region then
+// physically hosted the shared node, and its death freed storage the
+// survivors' page tables still referenced.
 type sharedKey struct {
-	size   mem.PageSize
-	cover  mem.VAddr
-	frames int
+	size  mem.PageSize
+	cover mem.VAddr
 }
 
 type migration struct {
@@ -204,6 +210,12 @@ type Stats struct {
 	MigratedNodes  uint64
 	AllocFailures  uint64
 	FramesLive     int64
+	// EvacuatedNodes counts nodes walked out of TEA storage at release
+	// because a neighbouring mapping still shared them.
+	EvacuatedNodes uint64
+	// OrphanedRegions counts releases quarantined because evacuation
+	// could not complete.
+	OrphanedRegions uint64
 }
 
 // Manager owns every mapping and TEA of one address space and implements
@@ -215,6 +227,10 @@ type Manager struct {
 	mappings []*Mapping // sorted by Start
 	regs     []Register
 	shared   map[sharedKey]*sharedEntry
+	// orphans holds quarantined regions: storage whose node evacuation
+	// failed at release time and which must never be recycled while a
+	// page table can still reference it. Frames stay in FramesLive.
+	orphans []Region
 
 	Stats Stats
 }
@@ -410,6 +426,11 @@ func (m *Manager) OwnsNode(pa mem.PAddr) bool {
 			}
 		}
 	}
+	for _, r := range m.orphans {
+		if within(pa, r.NodeBase, r.Frames) {
+			return true
+		}
+	}
 	return false
 }
 
@@ -444,17 +465,38 @@ func (m *Manager) removeMapping(mp *Mapping) {
 }
 
 func (m *Manager) allocRegions(mp *Mapping) error {
+	return m.allocRegionsCovering(mp, nil)
+}
+
+// allocRegionsCovering is allocRegions with a per-size floor on the initial
+// on-demand window: when merging existing mappings, every node already
+// placed in the old TEAs must have a slot in the new one, so the window
+// may not start smaller than the coverage the old regions had reached.
+func (m *Manager) allocRegionsCovering(mp *Mapping, coverEnd map[mem.PageSize]mem.VAddr) error {
 	done := make([]*sizeRegion, 0, len(m.cfg.Sizes))
 	for _, s := range m.cfg.Sizes {
 		cover, frames := framesFor(mp.Start, mp.End, s)
 		if m.cfg.OnDemand && frames > OnDemandInitialFrames {
 			frames = OnDemandInitialFrames
+			if ce, ok := coverEnd[s]; ok && ce > cover {
+				if _, need := framesFor(mp.Start, ce, s); need > frames {
+					frames = need
+				}
+			}
+			if _, full := framesFor(mp.Start, mp.End, s); frames > full {
+				frames = full
+			}
 		}
-		key := sharedKey{size: s, cover: cover, frames: frames}
-		if se, ok := m.shared[key]; ok {
-			// Another mapping covers exactly the same aligned node
-			// span: the underlying leaf nodes are shared, so share the
-			// TEA instead of fighting over node placement.
+		key := sharedKey{size: s, cover: cover}
+		if se, ok := m.shared[key]; ok && se.region.Frames >= frames {
+			// Another mapping covers the same aligned node span: the
+			// underlying leaf nodes are shared radix structures, so share
+			// the TEA instead of fighting over node placement. Join only
+			// when the existing window already covers this mapping's need
+			// — growing a region out from under its sharers would leave
+			// them with stale geometry. A mapping that needs more gets a
+			// private region; nodes the span still shares are rescued by
+			// evacuation when either region is released.
 			se.ref.refs++
 			mp.regions[s] = &sizeRegion{size: s, coverVA: cover, region: se.region, nodeSpan: nodeSpanOf(s), shared: se.ref}
 			continue
@@ -466,9 +508,12 @@ func (m *Manager) allocRegions(mp *Mapping) error {
 			}
 			return err
 		}
-		ref := &sharedRegion{key: key, refs: 1}
-		m.shared[key] = &sharedEntry{region: r, ref: ref}
-		sr := &sizeRegion{size: s, coverVA: cover, region: r, nodeSpan: nodeSpanOf(s), shared: ref}
+		sr := &sizeRegion{size: s, coverVA: cover, region: r, nodeSpan: nodeSpanOf(s)}
+		if _, taken := m.shared[key]; !taken {
+			ref := &sharedRegion{key: key, refs: 1}
+			m.shared[key] = &sharedEntry{region: r, ref: ref}
+			sr.shared = ref
+		}
 		mp.regions[s] = sr
 		done = append(done, sr)
 		m.Stats.FramesLive += int64(frames)
@@ -484,10 +529,75 @@ func (m *Manager) releaseRegion(sr *sizeRegion) {
 		if sr.shared.refs > 0 {
 			return
 		}
+		// Only remove the registry entry if it still belongs to this
+		// sharedRegion: after a migration completes, the key may have been
+		// re-taken by a freshly-allocated region with the same geometry,
+		// and deleting that entry would strand its owner's refcount.
+		if se, ok := m.shared[sr.shared.key]; ok && se.ref == sr.shared {
+			delete(m.shared, sr.shared.key)
+		}
+	}
+	m.freeStorage(sr, sr.region)
+}
+
+// freeStorage returns a region's frames to the backend after evacuating
+// any page-table node still living inside them. A TEA slot's node can
+// outlive the mapping that placed it: a level-2 node spans 1 GiB of VA, so
+// every VMA under the same upper-level entry walks through it, and it must
+// survive until the last of them is unmapped. Each straggler is relocated
+// to a kernel-allocated frame with the same parent-rewrite primitive as
+// §4.3 migration; once the region is gone OwnsNode stops claiming the new
+// frame and normal teardown frees it like any buddy-placed node. When
+// evacuation cannot complete (allocator exhaustion), the storage is
+// quarantined instead of freed — a bounded, accounted leak is strictly
+// better than recycling frames a live page table still references.
+func (m *Manager) freeStorage(sr *sizeRegion, r Region) {
+	for i := 0; i < r.Frames; i++ {
+		pa := r.NodeBase + mem.PAddr(uint64(i)<<mem.PageShift4K)
+		if _, live := m.as.Pool.NodeAt(pa); !live {
+			continue
+		}
+		va := sr.coverVA + mem.VAddr(uint64(i)*sr.nodeSpan)
+		target, err := m.as.AllocNodeFrame()
+		if err != nil {
+			m.orphans = append(m.orphans, r)
+			m.Stats.OrphanedRegions++
+			return
+		}
+		if m.as.PT.RelocateNode(va, sr.size.LeafLevel(), target) != nil {
+			m.as.FreeNodeFrame(target)
+			m.orphans = append(m.orphans, r)
+			m.Stats.OrphanedRegions++
+			return
+		}
+		m.Stats.EvacuatedNodes++
+	}
+	m.backend.FreeTEA(r)
+	m.Stats.FramesLive -= int64(r.Frames)
+}
+
+// OrphanedFrames returns the frame count of quarantined regions — storage
+// that could not be evacuated and is kept claimed rather than recycled.
+func (m *Manager) OrphanedFrames() int {
+	frames := 0
+	for _, r := range m.orphans {
+		frames += r.Frames
+	}
+	return frames
+}
+
+// detachSharedKey removes sr's entry from the shared-region registry at
+// migration start: the registry advertises the *old* region, and a mapping
+// joining it mid-migration would take a reference on storage that
+// PumpMigration is about to free. The entry is restored (pointing at the
+// new region) when the migration completes.
+func (m *Manager) detachSharedKey(sr *sizeRegion) {
+	if sr.shared == nil {
+		return
+	}
+	if se, ok := m.shared[sr.shared.key]; ok && se.ref == sr.shared {
 		delete(m.shared, sr.shared.key)
 	}
-	m.backend.FreeTEA(sr.region)
-	m.Stats.FramesLive -= int64(sr.region.Frames)
 }
 
 func (m *Manager) dropMapping(mp *Mapping) {
@@ -495,8 +605,7 @@ func (m *Manager) dropMapping(mp *Mapping) {
 		sr := mp.regions[s]
 		m.releaseRegion(sr)
 		if sr.migrate != nil {
-			m.backend.FreeTEA(sr.migrate.to)
-			m.Stats.FramesLive -= int64(sr.migrate.to.Frames)
+			m.freeStorage(sr, sr.migrate.to)
 		}
 	}
 	m.removeMapping(mp)
@@ -571,7 +680,7 @@ func (m *Manager) tryMerge(v *kernel.VMA) bool {
 	// TEA contents into it (§4.2.1: expansion + migration).
 	merged := &Mapping{Start: newStart, End: newEnd, regions: map[mem.PageSize]*sizeRegion{},
 		vmas: append(append([]*kernel.VMA{}, best.vmas...), v)}
-	if err := m.allocRegions(merged); err != nil {
+	if err := m.allocRegionsCovering(merged, coverageNeeds(best)); err != nil {
 		m.Stats.AllocFailures++
 		return false
 	}
@@ -598,7 +707,7 @@ func (m *Manager) tryMergeNeighbours() bool {
 		}
 		merged := &Mapping{Start: a.Start, End: b.End, regions: map[mem.PageSize]*sizeRegion{},
 			vmas: append(append([]*kernel.VMA{}, a.vmas...), b.vmas...)}
-		if err := m.allocRegions(merged); err != nil {
+		if err := m.allocRegionsCovering(merged, coverageNeeds(a, b)); err != nil {
 			m.Stats.AllocFailures++
 			return false
 		}
@@ -620,8 +729,13 @@ func (m *Manager) migrateMappingInto(old, merged *Mapping) {
 		osr := old.regions[s]
 		nsr, ok := merged.regions[s]
 		if !ok {
-			m.backend.FreeTEA(osr.region)
-			m.Stats.FramesLive -= int64(osr.region.Frames)
+			// No counterpart in the merged mapping: release through the
+			// refcount — freeing the backend region directly would strand
+			// any mapping still sharing it.
+			m.releaseRegion(osr)
+			if osr.migrate != nil {
+				m.freeStorage(osr, osr.migrate.to)
+			}
 			continue
 		}
 		if osr.shared != nil && osr.shared.refs > 1 {
@@ -630,17 +744,62 @@ func (m *Manager) migrateMappingInto(old, merged *Mapping) {
 			m.releaseRegion(osr)
 			continue
 		}
-		for slot := 0; slot < osr.region.Frames; slot++ {
+		// An in-flight migration means nodes can live in either region —
+		// PlaceNode routes new nodes to migrate.to, which may be larger
+		// than the old window. relocateNode finds each node wherever it
+		// is, so sweep the union of both windows.
+		slots := osr.region.Frames
+		if osr.migrate != nil && osr.migrate.to.Frames > slots {
+			slots = osr.migrate.to.Frames
+		}
+		for slot := 0; slot < slots; slot++ {
 			va := osr.coverVA + mem.VAddr(uint64(slot)*osr.nodeSpan)
 			newSlot := (uint64(va) - uint64(nsr.coverVA)) / nsr.nodeSpan
+			if int(newSlot) >= nsr.region.Frames {
+				// The merged window does not reach this slot (it should,
+				// by allocRegionsCovering); never relocate into frames the
+				// region does not own.
+				continue
+			}
 			target := nsr.region.NodeBase + mem.PAddr(newSlot*mem.PageBytes4K)
 			if m.relocateNode(s, va, target) {
 				m.Stats.MigratedNodes++
 			}
 		}
 		m.releaseRegion(osr)
+		if osr.migrate != nil {
+			// The abandoned migration target should hold no nodes any
+			// more (the sweep above moved them); freeStorage evacuates
+			// any relocation-failure stragglers.
+			m.freeStorage(osr, osr.migrate.to)
+			osr.migrate = nil
+		}
 		m.Stats.Migrations++
 	}
+}
+
+// coverageNeeds returns, per page size, the furthest VA any of the given
+// mappings' regions (or in-flight migration targets) already cover — the
+// floor a merged on-demand window must honour so existing nodes keep a slot.
+func coverageNeeds(ms ...*Mapping) map[mem.PageSize]mem.VAddr {
+	need := map[mem.PageSize]mem.VAddr{}
+	for _, mp := range ms {
+		for s, sr := range mp.regions {
+			if sr.shared != nil && sr.shared.refs > 1 {
+				continue // left in place, not migrated into the merge
+			}
+			ce := sr.coveredEnd()
+			if sr.migrate != nil {
+				if e := sr.coverVA + mem.VAddr(uint64(sr.migrate.to.Frames)*sr.nodeSpan); e > ce {
+					ce = e
+				}
+			}
+			if ce > need[s] {
+				need[s] = ce
+			}
+		}
+	}
+	return need
 }
 
 // relocateNode moves the level-(s+1) node covering va to target if one
@@ -689,6 +848,7 @@ func (m *Manager) expandMapping(mp *Mapping, newEnd mem.VAddr) {
 			continue // stale TEA keeps covering the old span; rest falls back
 		}
 		m.Stats.FramesLive += int64(needFrames)
+		m.detachSharedKey(sr)
 		sr.migrate = &migration{to: newRegion}
 		m.Stats.Migrations++
 		if !m.cfg.GradualMigration {
@@ -733,12 +893,18 @@ func (m *Manager) PumpMigration(batch int) int {
 			if mg.nextSlot >= sr.region.Frames {
 				old := sr.region
 				if sr.shared != nil {
-					delete(m.shared, sr.shared.key)
-					sr.shared.key.frames = mg.to.Frames
-					m.shared[sr.shared.key] = &sharedEntry{region: mg.to, ref: sr.shared}
+					// The registry entry was detached when the migration
+					// started (so no mapping could join the doomed old
+					// region); re-register pointing at the new storage
+					// unless a fresh allocation took the key meanwhile.
+					if _, taken := m.shared[sr.shared.key]; !taken {
+						m.shared[sr.shared.key] = &sharedEntry{region: mg.to, ref: sr.shared}
+					}
 				}
-				m.backend.FreeTEA(old)
-				m.Stats.FramesLive -= int64(old.Frames)
+				// A node relocation can fail (an occupied target slot);
+				// whatever still lives in the old storage must be walked
+				// out to vanilla kernel frames before the frames recycle.
+				m.freeStorage(sr, old)
 				sr.region = mg.to
 				sr.migrate = nil
 			}

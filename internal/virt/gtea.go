@@ -17,6 +17,11 @@ type GTEAEntry struct {
 	MachineBase mem.PAddr
 	GPABase     mem.PAddr
 	Frames      int
+
+	// parent is the hosting level's region under nested virtualization
+	// (zero for a directly-hosted VM); FreePvTEA forwards the release
+	// through it so the cascade unwinds the same levels AllocPvTEA built.
+	parent tea.Region
 }
 
 // GTEATable is the per-VM gTEA table. It is conceptually read-only to the
@@ -80,6 +85,7 @@ func (vm *VM) AllocPvTEA(frames int) (tea.Region, error) {
 
 	// Obtain a machine-contiguous region at the hosting level.
 	var machineBase mem.PAddr
+	var parentRegion tea.Region
 	var hostAddrs []mem.PAddr // host-level PAs backing each frame
 	if vm.Parent == nil {
 		pa, err := vm.HostPhys.AllocContig(frames, phys.KindPageTable)
@@ -99,6 +105,7 @@ func (vm *VM) AllocPvTEA(frames int) (tea.Region, error) {
 		if err != nil {
 			return tea.Region{}, err
 		}
+		parentRegion = region
 		machineBase = region.FetchBase
 		hostAddrs = make([]mem.PAddr, frames)
 		for i := range hostAddrs {
@@ -111,13 +118,47 @@ func (vm *VM) AllocPvTEA(frames int) (tea.Region, error) {
 	for i := 0; i < frames; i++ {
 		gva := vm.teaWindowNext + mem.VAddr(i<<mem.PageShift4K)
 		if err := vm.HostAS.MapResident(vm.TEAVMA, gva, hostAddrs[i], mem.Size4K); err != nil {
+			for j := 0; j < i; j++ {
+				vm.HostAS.UnmapPage(vm.TEAVMA, vm.teaWindowNext+mem.VAddr(j<<mem.PageShift4K))
+			}
+			if vm.Parent == nil {
+				vm.HostPhys.FreeContig(machineBase, frames)
+			} else {
+				vm.Parent.FreePvTEA(parentRegion)
+			}
 			return tea.Region{}, err
 		}
 	}
 	vm.teaWindowNext += mem.VAddr(bytes)
 
-	id := vm.GTEA.add(GTEAEntry{MachineBase: machineBase, GPABase: gpaBase, Frames: frames})
+	id := vm.GTEA.add(GTEAEntry{MachineBase: machineBase, GPABase: gpaBase, Frames: frames, parent: parentRegion})
 	return tea.Region{NodeBase: gpaBase, FetchBase: machineBase, Frames: frames, ID: id}, nil
+}
+
+// FreePvTEA is the KVM_HC_FREE_TEA counterpart: it unmaps the pv-window
+// pages that alias the gTEA's frames *before* releasing the storage, so a
+// later reuse of those machine frames (another VM's gTEA, a data page) can
+// never be reached through a stale window translation. Under nested
+// virtualization the release cascades to the allocating level, mirroring
+// AllocPvTEA. The gTEA table slot is invalidated but stays allocated (IDs
+// are never reused), so in-flight fetches against the dead ID fault.
+func (vm *VM) FreePvTEA(r tea.Region) {
+	if vm.TEAVMA != nil {
+		for i := 0; i < r.Frames; i++ {
+			gva := mem.VAddr(r.NodeBase) + mem.VAddr(i<<mem.PageShift4K)
+			vm.HostAS.UnmapPage(vm.TEAVMA, gva)
+		}
+	}
+	if vm.Parent == nil {
+		vm.HostPhys.FreeContig(r.FetchBase, r.Frames)
+	} else if r.ID >= 1 && r.ID <= len(vm.GTEA.entries) {
+		if p := vm.GTEA.entries[r.ID-1].parent; p.Frames > 0 {
+			vm.Parent.FreePvTEA(p)
+		}
+	}
+	if r.ID >= 1 && r.ID <= len(vm.GTEA.entries) {
+		vm.GTEA.entries[r.ID-1].Frames = 0 // invalidate bounds
+	}
 }
 
 // HypercallBackend is the guest-side TEA backend of pvDMT: TEA storage is
@@ -135,17 +176,13 @@ func (b *HypercallBackend) AllocTEA(frames int) (tea.Region, error) {
 	return b.vm.AllocPvTEA(frames)
 }
 
-// FreeTEA releases the gTEA. The window gPA space and table slot are
-// retired lazily (IDs stay allocated; reuse is a host policy decision).
+// FreeTEA releases the gTEA. The window gPA space is retired lazily, but
+// the window *translations* and backing frames are torn down eagerly —
+// leaving them mapped used to alias the next owner of the recycled frames.
 func (b *HypercallBackend) FreeTEA(r tea.Region) {
 	b.vm.Hyp.Hypercalls++
 	b.vm.Hyp.VMExits++
-	if b.vm.Parent == nil {
-		b.vm.HostPhys.FreeContig(r.FetchBase, r.Frames)
-	}
-	if r.ID >= 1 && r.ID <= len(b.vm.GTEA.entries) {
-		b.vm.GTEA.entries[r.ID-1].Frames = 0 // invalidate bounds
-	}
+	b.vm.FreePvTEA(r)
 }
 
 // ExpandTEAInPlace cannot be done from the guest side without renegotiating

@@ -1,0 +1,153 @@
+package virt
+
+import (
+	"testing"
+
+	"dmt/internal/kernel"
+	"dmt/internal/mem"
+)
+
+// TestFreeTEAUnmapsWindow pins the FreeTEA fix: freeing a gTEA used to
+// release the machine frames while leaving the pv-window translations in
+// place, so when the host recycled those frames for another VM (or another
+// gTEA) the dead window still aliased them. The window pages must stop
+// resolving the moment the gTEA is freed.
+func TestFreeTEAUnmapsWindow(t *testing.T) {
+	hyp := mustHyp(t, 1<<16)
+	vm, err := hyp.NewVM(VMConfig{
+		Name: "vm0", RAMBytes: 64 << 20, HostDMT: true,
+		ASID: 1, PvTEAWindowBytes: 8 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := vm.AllocPvTEA(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < r.Frames; i++ {
+		gpa := r.NodeBase + mem.PAddr(i<<mem.PageShift4K)
+		m, ok := vm.MachineAddr(gpa)
+		if !ok || m != r.FetchBase+mem.PAddr(i<<mem.PageShift4K) {
+			t.Fatalf("window page %d does not resolve to its frame (ok=%v m=%#x)", i, ok, uint64(m))
+		}
+	}
+	NewHypercallBackend(vm).FreeTEA(r)
+	for i := 0; i < r.Frames; i++ {
+		gpa := r.NodeBase + mem.PAddr(i<<mem.PageShift4K)
+		if _, ok := vm.MachineAddr(gpa); ok {
+			t.Fatalf("window page %d still translates after FreeTEA (stale alias)", i)
+		}
+	}
+	// The dead ID must fault any in-flight fetch.
+	if _, err := vm.GTEA.Resolve(r.ID, r.FetchBase); err != ErrIsolation {
+		t.Fatalf("fetch against freed gTEA: err = %v, want ErrIsolation", err)
+	}
+	// A fresh gTEA may recycle the same machine frames; the old window gPAs
+	// must stay unmapped regardless.
+	r2, err := vm.AllocPvTEA(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < r.Frames; i++ {
+		gpa := r.NodeBase + mem.PAddr(i<<mem.PageShift4K)
+		if m, ok := vm.MachineAddr(gpa); ok {
+			t.Fatalf("freed window page %d aliases recycled frame %#x", i, uint64(m))
+		}
+	}
+	NewHypercallBackend(vm).FreeTEA(r2)
+}
+
+// TestVMLifecycleConservesMachineFrames runs the full boot→churn→destroy
+// cycle and asserts the machine allocator returns to its pristine state:
+// no gTEA, host-TEA, RAM, or page-table frame leaked or double-freed.
+func TestVMLifecycleConservesMachineFrames(t *testing.T) {
+	e := newVEnv(t, false, true)
+	const baseline = testMachineFrames // phys.New starts fully free
+	// Churn: a second VMA comes and goes, exercising gTEA alloc+free.
+	tmp, err := e.guest.MMap(0x60000000, 8<<20, kernel.VMAHeap, "tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.guest.Populate(tmp); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.guest.MUnmap(tmp); err != nil {
+		t.Fatal(err)
+	}
+	if e.hyp.Hypercalls == 0 {
+		t.Fatal("precondition: no hypercalls issued")
+	}
+	// Guest teardown drains the remaining gTEAs through FreeTEA hypercalls.
+	if err := e.guest.MUnmap(e.heap); err != nil {
+		t.Fatal(err)
+	}
+	if e.gmgr.Stats.FramesLive != 0 {
+		t.Fatalf("guest TEA FramesLive = %d after teardown, want 0", e.gmgr.Stats.FramesLive)
+	}
+	if err := e.vm.Destroy(); err != nil {
+		t.Fatalf("Destroy: %v", err)
+	}
+	if got := e.hyp.MachinePhys.FreeFrames(); got != baseline {
+		t.Fatalf("machine FreeFrames = %d after VM death, want %d (leak or double free)", got, baseline)
+	}
+	if err := e.hyp.MachinePhys.Audit(); err != nil {
+		t.Fatalf("machine allocator audit: %v", err)
+	}
+}
+
+// TestDestroyReclaimsLeakedGTEAs models a crashed guest kernel: gTEAs were
+// allocated but the guest never issued its FreeTEA hypercalls. Destroy must
+// sweep them, exactly as KVM reclaims a dead VM's resources.
+func TestDestroyReclaimsLeakedGTEAs(t *testing.T) {
+	hyp := mustHyp(t, 1<<16)
+	const baseline = 1 << 16
+	vm, err := hyp.NewVM(VMConfig{
+		Name: "vm0", RAMBytes: 64 << 20, HostDMT: true,
+		ASID: 1, PvTEAWindowBytes: 8 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.AllocPvTEA(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.AllocPvTEA(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Destroy(); err != nil {
+		t.Fatalf("Destroy: %v", err)
+	}
+	if got := hyp.MachinePhys.FreeFrames(); got != baseline {
+		t.Fatalf("machine FreeFrames = %d after Destroy, want %d (leaked gTEA survived)", got, baseline)
+	}
+	if err := hyp.MachinePhys.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNestedVMLifecycle runs the cascade: an L2 guest's gTEAs are released
+// through L1 down to L0, then both VM levels are destroyed. Machine frames
+// must balance across the whole Figure 3 chain.
+func TestNestedVMLifecycle(t *testing.T) {
+	e := newNestedEnv(t, false)
+	const baseline = 1 << 17 // newNestedEnv's machine size, fully free at start
+	if err := e.guest.MUnmap(e.heap); err != nil {
+		t.Fatal(err)
+	}
+	if e.gmgr.Stats.FramesLive != 0 {
+		t.Fatalf("L2 guest TEA FramesLive = %d after teardown", e.gmgr.Stats.FramesLive)
+	}
+	if err := e.l2.Destroy(); err != nil {
+		t.Fatalf("L2 Destroy: %v", err)
+	}
+	if err := e.l1.Destroy(); err != nil {
+		t.Fatalf("L1 Destroy: %v", err)
+	}
+	if got := e.hyp.MachinePhys.FreeFrames(); got != baseline {
+		t.Fatalf("machine FreeFrames = %d after nested teardown, want %d", got, baseline)
+	}
+	if err := e.hyp.MachinePhys.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -166,6 +166,36 @@ func newVM(h *Hypervisor, parent *VM, hostPhys *phys.Allocator, cfg VMConfig) (*
 	return vm, nil
 }
 
+// Destroy tears down the VM's host-side structures: any gTEAs the guest
+// did not release (a crashed guest kernel never issues its FreeTEA
+// hypercalls), the pv-TEA window and guest-RAM VMAs, and finally the host
+// page-table root frame. Guest-internal state (processes, the guest's own
+// allocator) needs no teardown — it lives entirely inside guest RAM, which
+// is returned wholesale. After Destroy the VM must not be used.
+func (vm *VM) Destroy() error {
+	for id := 1; id <= len(vm.GTEA.entries); id++ {
+		e := vm.GTEA.entries[id-1]
+		if e.Frames == 0 {
+			continue
+		}
+		vm.FreePvTEA(tea.Region{NodeBase: e.GPABase, FetchBase: e.MachineBase, Frames: e.Frames, ID: id})
+	}
+	if vm.TEAVMA != nil {
+		if err := vm.HostAS.MUnmap(vm.TEAVMA); err != nil {
+			return err
+		}
+		vm.TEAVMA = nil
+	}
+	if vm.RAMVMA != nil {
+		if err := vm.HostAS.MUnmap(vm.RAMVMA); err != nil {
+			return err
+		}
+		vm.RAMVMA = nil
+	}
+	vm.HostPhys.FreeFrame(vm.HostAS.PT.RootPA())
+	return nil
+}
+
 // MachineAddr resolves a guest-physical address of this VM to the final
 // machine (L0) physical address by composing the host tables downward.
 func (vm *VM) MachineAddr(gpa mem.PAddr) (mem.PAddr, bool) {
