@@ -105,8 +105,8 @@ var buildBenchCells = []struct {
 const seedSerialSeconds = 9.49
 
 // walkBenchCells is the pinned set the regression gate tracks: one cell per
-// walker design (all ten — the five native designs and the five virt designs
-// whose walkers a native cell doesn't already cover).
+// walker design (all twelve — the seven native designs and the five virt
+// designs whose walkers a native cell doesn't already cover).
 var walkBenchCells = []struct {
 	name string
 	env  sim.Environment
@@ -117,6 +117,8 @@ var walkBenchCells = []struct {
 	{"NativeECPT", sim.EnvNative, sim.DesignECPT},
 	{"NativeFPT", sim.EnvNative, sim.DesignFPT},
 	{"NativeASAP", sim.EnvNative, sim.DesignASAP},
+	{"NativeVictima", sim.EnvNative, sim.DesignVictima},
+	{"NativeUtopia", sim.EnvNative, sim.DesignUtopia},
 	{"VirtVanilla", sim.EnvVirt, sim.DesignVanilla},
 	{"VirtShadow", sim.EnvVirt, sim.DesignShadow},
 	{"VirtDMT", sim.EnvVirt, sim.DesignDMT},

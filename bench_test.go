@@ -447,15 +447,17 @@ func walkBench(b *testing.B, env sim.Environment, d sim.Design) {
 	}
 }
 
-// One cell per walker design (DESIGN.md §13): the five native designs, the
-// five virt designs not already covered by a native cell, and the nested
-// pvDMT configuration. Together they pin the walk hot path of all ten
-// designs in BENCH_sim.json and under CI's alloc gate.
+// One cell per walker design (DESIGN.md §13): the seven native designs,
+// the five virt designs not already covered by a native cell, and the
+// nested pvDMT configuration. Together they pin the walk hot path of all
+// twelve designs in BENCH_sim.json and under CI's alloc gate.
 func BenchmarkWalk_NativeVanilla(b *testing.B) { walkBench(b, sim.EnvNative, sim.DesignVanilla) }
 func BenchmarkWalk_NativeDMT(b *testing.B)     { walkBench(b, sim.EnvNative, sim.DesignDMT) }
 func BenchmarkWalk_NativeECPT(b *testing.B)    { walkBench(b, sim.EnvNative, sim.DesignECPT) }
 func BenchmarkWalk_NativeFPT(b *testing.B)     { walkBench(b, sim.EnvNative, sim.DesignFPT) }
 func BenchmarkWalk_NativeASAP(b *testing.B)    { walkBench(b, sim.EnvNative, sim.DesignASAP) }
+func BenchmarkWalk_NativeVictima(b *testing.B) { walkBench(b, sim.EnvNative, sim.DesignVictima) }
+func BenchmarkWalk_NativeUtopia(b *testing.B)  { walkBench(b, sim.EnvNative, sim.DesignUtopia) }
 func BenchmarkWalk_VirtVanilla(b *testing.B)   { walkBench(b, sim.EnvVirt, sim.DesignVanilla) }
 func BenchmarkWalk_VirtShadow(b *testing.B)    { walkBench(b, sim.EnvVirt, sim.DesignShadow) }
 func BenchmarkWalk_VirtDMT(b *testing.B)       { walkBench(b, sim.EnvVirt, sim.DesignDMT) }

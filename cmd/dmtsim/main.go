@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dmtsim -env native|virt|nested -design vanilla|shadow|dmt|pvdmt|ecpt|fpt|agile|asap
+//	dmtsim -env native|virt|nested -design vanilla|shadow|dmt|pvdmt|ecpt|fpt|agile|asap|victima|utopia
 //	       -workload GUPS [-thp] [-ops N] [-ws MiB] [-scale N] [-seed N] [-breakdown]
 //	       [-workers N] [-shards N]
 //

@@ -6,6 +6,12 @@
 //
 //	tracegen -workload Redis -n 1000000 -o redis.trace [-ws MiB] [-seed N]
 //	tracegen -inspect redis.trace
+//
+// Flag values are validated up front: -n 0 or a negative -ws exits with
+// status 2 and a one-line message instead of overflowing the frame-count
+// arithmetic or reporting NaN bytes per reference. Write and close errors
+// are surfaced — a full disk fails the run instead of printing a success
+// line with a bogus byte count.
 package main
 
 import (
@@ -20,48 +26,92 @@ import (
 	"dmt/internal/workload"
 )
 
+// cliFlags collects every user-supplied value so validation is a pure,
+// testable function (the same pattern as cmd/dmtsim).
+type cliFlags struct {
+	wlName  string
+	n       int
+	out     string
+	wsMiB   int
+	seed    int64
+	inspect string
+}
+
+// validate rejects nonsensical sizing and unknown names up front and
+// returns the parsed workload for record mode; main maps any error to
+// exit status 2. Inspect mode uses none of the record flags.
+func (f cliFlags) validate() (workload.Spec, error) {
+	if f.inspect != "" {
+		return workload.Spec{}, nil
+	}
+	switch {
+	case f.n <= 0:
+		return workload.Spec{}, fmt.Errorf("-n must be positive (got %d)", f.n)
+	case f.wsMiB < 1:
+		return workload.Spec{}, fmt.Errorf("-ws must be >= 1 (got %d)", f.wsMiB)
+	case f.out == "":
+		return workload.Spec{}, fmt.Errorf("need -o FILE (or -inspect FILE)")
+	}
+	return workload.ByName(f.wlName)
+}
+
 func main() {
-	var (
-		wlName  = flag.String("workload", "GUPS", "benchmark name (Table 4)")
-		n       = flag.Int("n", 1_000_000, "references to record")
-		out     = flag.String("o", "", "output trace file")
-		wsMiB   = flag.Int("ws", 256, "working set in MiB")
-		seed    = flag.Int64("seed", 42, "generator seed")
-		inspect = flag.String("inspect", "", "trace file to summarize instead of recording")
-	)
+	var f cliFlags
+	flag.StringVar(&f.wlName, "workload", "GUPS", "benchmark name (Table 4)")
+	flag.IntVar(&f.n, "n", 1_000_000, "references to record")
+	flag.StringVar(&f.out, "o", "", "output trace file")
+	flag.IntVar(&f.wsMiB, "ws", 256, "working set in MiB")
+	flag.Int64Var(&f.seed, "seed", 42, "generator seed")
+	flag.StringVar(&f.inspect, "inspect", "", "trace file to summarize instead of recording")
 	flag.Parse()
 
-	if *inspect != "" {
-		summarize(*inspect)
+	wl, err := f.validate()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(2)
+	}
+	if f.inspect != "" {
+		summarize(f.inspect)
 		return
 	}
-	if *out == "" {
-		log.Fatal("need -o FILE (or -inspect FILE)")
-	}
-	wl, err := workload.ByName(*wlName)
-	if err != nil {
+	if err := record(f, wl); err != nil {
 		log.Fatal(err)
 	}
-	ws := uint64(*wsMiB) << 20
+}
+
+// record builds the workload layout, streams f.n references to f.out, and
+// prints the recorded size. Every write-side error — creation, recording,
+// Stat, Close — fails the run: the success line is printed only once the
+// file is durably closed with a believable size.
+func record(f cliFlags, wl workload.Spec) error {
+	ws := uint64(f.wsMiB) << 20
 	as, err := kernel.NewAddressSpace(phys.New(0, int(ws>>mem.PageShift4K)*3/2+(128<<20>>mem.PageShift4K)), kernel.Config{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	built, err := wl.Build(as, ws)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	f, err := os.Create(*out)
+	out, err := os.Create(f.out)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	defer f.Close()
-	if err := workload.Record(f, built.NewGen(*seed), *n); err != nil {
-		log.Fatal(err)
+	if err := workload.Record(out, built.NewGen(f.seed), f.n); err != nil {
+		out.Close()
+		return fmt.Errorf("recording %s: %w", f.out, err)
 	}
-	st, _ := f.Stat()
+	st, err := out.Stat()
+	if err != nil {
+		out.Close()
+		return fmt.Errorf("stat %s: %w", f.out, err)
+	}
+	if err := out.Close(); err != nil {
+		return fmt.Errorf("closing %s: %w", f.out, err)
+	}
 	fmt.Printf("recorded %d refs of %s (ws %d MiB, seed %d) to %s (%d bytes, %.2f B/ref)\n",
-		*n, wl.Name, *wsMiB, *seed, *out, st.Size(), float64(st.Size())/float64(*n))
+		f.n, wl.Name, f.wsMiB, f.seed, f.out, st.Size(), float64(st.Size())/float64(f.n))
+	return nil
 }
 
 func summarize(path string) {

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dmt/internal/workload"
+)
+
+func goodFlags() cliFlags {
+	return cliFlags{wlName: "GUPS", n: 1000, out: "out.trace", wsMiB: 16, seed: 42}
+}
+
+func TestValidateAcceptsRecordAndInspectModes(t *testing.T) {
+	wl, err := goodFlags().validate()
+	if err != nil {
+		t.Fatalf("good record flags rejected: %v", err)
+	}
+	if wl.Name != "GUPS" {
+		t.Fatalf("parsed workload = %q, want GUPS", wl.Name)
+	}
+	// Inspect mode ignores the record-side flags entirely, even bad ones.
+	f := cliFlags{inspect: "some.trace", n: 0, wsMiB: -1}
+	if _, err := f.validate(); err != nil {
+		t.Fatalf("inspect mode rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadFlags(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		mutate  func(*cliFlags)
+		wantErr string
+	}{
+		{"zero refs", func(f *cliFlags) { f.n = 0 }, "-n must be positive"},
+		{"negative refs", func(f *cliFlags) { f.n = -5 }, "-n must be positive"},
+		{"zero ws", func(f *cliFlags) { f.wsMiB = 0 }, "-ws must be >= 1"},
+		{"negative ws", func(f *cliFlags) { f.wsMiB = -256 }, "-ws must be >= 1"},
+		{"missing output", func(f *cliFlags) { f.out = "" }, "need -o FILE"},
+		{"unknown workload", func(f *cliFlags) { f.wlName = "NoSuchBench" }, "NoSuchBench"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f := goodFlags()
+			tc.mutate(&f)
+			if _, err := f.validate(); err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.wantErr)
+			} else if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRecordRoundTrip exercises the happy path end to end: the recorded
+// file must exist, be readable by the trace reader, and hold exactly -n
+// references.
+func TestRecordRoundTrip(t *testing.T) {
+	f := goodFlags()
+	f.out = filepath.Join(t.TempDir(), "gups.trace")
+	f.n = 500
+	wl, err := f.validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := record(f, wl); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	n, err := countRefs(f.out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != f.n {
+		t.Fatalf("recorded %d refs, want %d", n, f.n)
+	}
+}
+
+// TestRecordSurfacesCreateError pins the failure mode the old code hid: a
+// write-side error must fail the run instead of reporting success.
+func TestRecordSurfacesCreateError(t *testing.T) {
+	f := goodFlags()
+	f.out = filepath.Join(t.TempDir(), "no", "such", "dir", "x.trace")
+	wl, err := f.validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := record(f, wl); err == nil {
+		t.Fatal("record into a missing directory should fail")
+	}
+}
+
+func countRefs(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	tr, err := workload.NewTraceReader(f)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		_, _, ok, err := tr.Next()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return n, nil
+		}
+		n++
+	}
+}

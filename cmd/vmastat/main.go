@@ -6,13 +6,18 @@
 //
 // Usage:
 //
-//	vmastat [-spec] [-per-workload]
+//	vmastat [-spec]
+//
+// vmastat takes no positional arguments; stray operands (a typo'd flag,
+// a pasted file name) exit with status 2 instead of being silently
+// ignored.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"dmt/internal/kernel"
 	"dmt/internal/phys"
@@ -20,9 +25,22 @@ import (
 	"dmt/internal/workload"
 )
 
+// validateArgs rejects positional operands: every vmastat selection is a
+// flag, so leftovers are always a mistake.
+func validateArgs(args []string) error {
+	if len(args) > 0 {
+		return fmt.Errorf("unexpected arguments: %v", args)
+	}
+	return nil
+}
+
 func main() {
 	spec := flag.Bool("spec", false, "also list every synthetic SPEC workload")
 	flag.Parse()
+	if err := validateArgs(flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "vmastat: %v\n", err)
+		os.Exit(2)
+	}
 
 	t := &stats.Table{
 		Title:  "VMA characteristics (Table 1)",

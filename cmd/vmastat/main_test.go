@@ -1,0 +1,22 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateArgs(t *testing.T) {
+	if err := validateArgs(nil); err != nil {
+		t.Fatalf("no operands rejected: %v", err)
+	}
+	if err := validateArgs([]string{}); err != nil {
+		t.Fatalf("empty operands rejected: %v", err)
+	}
+	err := validateArgs([]string{"maps.txt"})
+	if err == nil {
+		t.Fatal("positional operand accepted")
+	}
+	if !strings.Contains(err.Error(), "maps.txt") {
+		t.Fatalf("error %q does not name the stray operand", err)
+	}
+}

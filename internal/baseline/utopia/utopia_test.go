@@ -1,0 +1,163 @@
+package utopia
+
+import (
+	"testing"
+
+	"dmt/internal/cache"
+	"dmt/internal/core"
+	"dmt/internal/kernel"
+	"dmt/internal/mem"
+	"dmt/internal/phys"
+)
+
+func setup(t *testing.T) (*kernel.AddressSpace, *kernel.VMA, *cache.Hierarchy, *Seg) {
+	t.Helper()
+	a := phys.New(0, 1<<15)
+	as, err := kernel.NewAddressSpace(a, kernel.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := as.MMap(0x40000000, 16<<20, kernel.VMAHeap, "heap")
+	if err := as.Populate(v); err != nil {
+		t.Fatal(err)
+	}
+	hier, err := cache.NewHierarchy(cache.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := NewSeg(a, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.Sync(as, nil); err != nil {
+		t.Fatal(err)
+	}
+	return as, v, hier, seg
+}
+
+func TestSyncLookupMatchesPageTables(t *testing.T) {
+	as, v, _, seg := setup(t)
+	if seg.Restrictive == 0 {
+		t.Fatal("Sync admitted no pages")
+	}
+	hits := 0
+	for off := uint64(0); off < v.Size(); off += mem.PageBytes4K {
+		va := v.Start + mem.VAddr(off) + 0x77
+		pa, size, ok := seg.Lookup(va)
+		if !ok {
+			continue
+		}
+		hits++
+		wpa, wsize, wok := as.PT.Lookup(va)
+		if !wok || pa != wpa || size != wsize {
+			t.Fatalf("%#x: RestSeg says (%#x, %v), page tables say (%#x, %v, %v)",
+				va, pa, size, wpa, wsize, wok)
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no RestSeg hits across the whole VMA")
+	}
+}
+
+func TestSetOverflowStaysFlexible(t *testing.T) {
+	r := &restSeg{
+		sets:   1,
+		shift:  mem.PageShift4K,
+		tags:   make([]uint64, segWays),
+		frames: make([]mem.PAddr, segWays),
+	}
+	for i := 0; i < segWays; i++ {
+		if !r.insert(mem.VAddr(i)<<mem.PageShift4K, mem.PAddr(i)<<mem.PageShift4K) {
+			t.Fatalf("insert %d rejected with free ways", i)
+		}
+	}
+	if r.insert(mem.VAddr(segWays)<<mem.PageShift4K, 0x1000) {
+		t.Fatal("insert into a full set succeeded; the page must stay flexible")
+	}
+	// Re-inserting a resident tag updates in place rather than overflowing.
+	if !r.insert(0, 0x9000) {
+		t.Fatal("re-insert of a resident tag rejected")
+	}
+	if pa, ok := r.lookup(0); !ok || pa != 0x9000 {
+		t.Fatalf("lookup after re-insert = (%#x, %v), want (0x9000, true)", pa, ok)
+	}
+}
+
+func TestResolveContigRequiresMachineContiguity(t *testing.T) {
+	identity := func(pa mem.PAddr) (mem.PAddr, bool) { return pa + 0x100000, true }
+	base, ok := resolveContig(identity, 0x200000, mem.Size2M)
+	if !ok || base != 0x300000 {
+		t.Fatalf("contiguous resolve = (%#x, %v), want (0x300000, true)", base, ok)
+	}
+	scattered := func(pa mem.PAddr) (mem.PAddr, bool) {
+		if pa >= 0x200000+mem.PageBytes4K {
+			return pa + 0x40000000, true // second half backed elsewhere
+		}
+		return pa + 0x100000, true
+	}
+	if _, ok := resolveContig(scattered, 0x200000, mem.Size2M); ok {
+		t.Fatal("non-contiguous machine backing admitted as restrictive")
+	}
+	if _, ok := resolveContig(identity, 0x5000, mem.Size4K); !ok {
+		t.Fatal("4K page needs no contiguity beyond its own frame")
+	}
+}
+
+func TestWalkerHitIsOneProbeGroupAndMissFallsBack(t *testing.T) {
+	as, v, hier, seg := setup(t)
+	w := &Walker{Seg: seg, Hier: hier, Fallback: core.NewRadixWalker(as.PT, hier, nil, 0)}
+	var hitVA, missVA mem.VAddr
+	for off := uint64(0); off < v.Size(); off += mem.PageBytes4K {
+		va := v.Start + mem.VAddr(off)
+		if _, _, ok := seg.Lookup(va); ok && hitVA == 0 {
+			hitVA = va
+		} else if !ok && missVA == 0 {
+			missVA = va
+		}
+	}
+	if hitVA == 0 || missVA == 0 {
+		t.Fatalf("need both a restrictive and a flexible page (hit=%#x miss=%#x)", hitVA, missVA)
+	}
+	out := w.Walk(hitVA)
+	if !out.OK || out.Fallback || out.SeqSteps != 1 {
+		t.Fatalf("RestSeg hit: OK=%v fallback=%v steps=%d, want true/false/1", out.OK, out.Fallback, out.SeqSteps)
+	}
+	if pa, _, _ := as.PT.Lookup(hitVA); out.PA != pa {
+		t.Fatalf("hit PA %#x, page tables say %#x", out.PA, pa)
+	}
+	out = w.Walk(missVA)
+	if !out.OK || !out.Fallback {
+		t.Fatalf("flexible page: OK=%v fallback=%v, want true/true", out.OK, out.Fallback)
+	}
+	if pa, _, _ := as.PT.Lookup(missVA); out.PA != pa {
+		t.Fatalf("fallback PA %#x, page tables say %#x", out.PA, pa)
+	}
+	if w.SegHits != 1 || w.Misses != 1 {
+		t.Fatalf("seg_hits=%d misses=%d, want 1 and 1", w.SegHits, w.Misses)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	_, v, _, seg := setup(t)
+	c := seg.Clone()
+	var va mem.VAddr
+	for off := uint64(0); off < v.Size(); off += mem.PageBytes4K {
+		if _, _, ok := seg.Lookup(v.Start + mem.VAddr(off)); ok {
+			va = v.Start + mem.VAddr(off)
+			break
+		}
+	}
+	if va == 0 {
+		t.Fatal("no restrictive page to test with")
+	}
+	// Mutating the original must not leak into the clone.
+	for i := range seg.seg4k.tags {
+		seg.seg4k.tags[i] = 0
+	}
+	if _, _, ok := seg.Lookup(va); ok {
+		t.Fatal("original still resolves after wipe")
+	}
+	if _, _, ok := c.Lookup(va); !ok {
+		t.Fatal("clone lost its entries when the original was wiped")
+	}
+}

@@ -332,6 +332,17 @@ func (h *Hierarchy) Prefetch(pa mem.PAddr) Level {
 	return LevelMem
 }
 
+// Tick advances the hierarchy's LRU clock by one and returns the new stamp.
+// Designs that manage individual cache arrays directly (Victima's TLB-spill
+// blocks live in stolen L2 ways) stamp their Lookup/Insert calls with it, so
+// their lines age on the same clock as demand traffic — mixing a private
+// counter in would make spilled lines look arbitrarily old or young to the
+// LRU victim scan.
+func (h *Hierarchy) Tick() uint64 {
+	h.now++
+	return h.now
+}
+
 // Contains reports whether pa is present at any level (test helper).
 func (h *Hierarchy) Contains(pa mem.PAddr) bool {
 	// Probe without disturbing LRU or stats: inspect tags directly.

@@ -16,12 +16,14 @@ import (
 func faultDesigns(env sim.Environment) []sim.Design {
 	switch env {
 	case sim.EnvNative:
-		return []sim.Design{sim.DesignVanilla, sim.DesignDMT, sim.DesignECPT, sim.DesignFPT, sim.DesignASAP}
+		return []sim.Design{sim.DesignVanilla, sim.DesignDMT, sim.DesignECPT, sim.DesignFPT, sim.DesignASAP,
+			sim.DesignVictima, sim.DesignUtopia}
 	case sim.EnvVirt:
 		return []sim.Design{sim.DesignVanilla, sim.DesignShadow, sim.DesignDMT, sim.DesignPvDMT,
-			sim.DesignECPT, sim.DesignFPT, sim.DesignAgile, sim.DesignASAP}
+			sim.DesignECPT, sim.DesignFPT, sim.DesignAgile, sim.DesignASAP,
+			sim.DesignVictima, sim.DesignUtopia}
 	case sim.EnvNested:
-		return []sim.Design{sim.DesignVanilla, sim.DesignPvDMT}
+		return []sim.Design{sim.DesignVanilla, sim.DesignPvDMT, sim.DesignVictima, sim.DesignUtopia}
 	}
 	return nil
 }

@@ -89,6 +89,7 @@ func TestGoldenSimFigures(t *testing.T) {
 		{"figure17", Figure17},
 		{"table5", Table5},
 		{"table6", Table6},
+		{"headtohead", HeadToHead},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			out, err := tc.fn(r)

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dmt/internal/sim"
+	"dmt/internal/stats"
+	"dmt/internal/workload"
+)
+
+// headToHeadDesigns picks the paper's design against the two strongest
+// related-work contenders per environment: DMT proper where it exists and
+// pvDMT under nested virtualization (the paper's design for that regime),
+// against Victima's L2-spilled TLB and Utopia's restrictive segments.
+func headToHeadDesigns(env sim.Environment) []sim.Design {
+	dmt := sim.DesignDMT
+	if env == sim.EnvNested {
+		dmt = sim.DesignPvDMT
+	}
+	return []sim.Design{dmt, sim.DesignVictima, sim.DesignUtopia}
+}
+
+// HeadToHead renders the comparison the paper never ran: DMT against
+// Victima (arXiv:2310.04158) and Utopia (arXiv:2211.12205) on the same
+// traces, caches, and environments. Per (environment × design × workload):
+// mean and p99 walk latency, the walk-cycle ratio against the vanilla radix
+// baseline of the same environment, structure coverage (register hits for
+// DMT, spill hits for Victima, restrictive-segment hits for Utopia),
+// fallback rate, and translation-structure footprint.
+func HeadToHead(r *Runner) (string, error) {
+	var out string
+	for _, wl := range r.Options().Workloads {
+		t := &stats.Table{
+			Title: fmt.Sprintf("Head-to-head: DMT vs Victima vs Utopia (%s)", wl.Name),
+			Header: []string{"Env", "Design", "Walk mean", "p99",
+				"vs vanilla", "Coverage", "Fallback", "Struct bytes"},
+		}
+		for _, env := range []sim.Environment{sim.EnvNative, sim.EnvVirt, sim.EnvNested} {
+			if err := headToHeadRows(t, r, env, wl); err != nil {
+				return "", err
+			}
+		}
+		out += t.String() + "\n"
+	}
+	return out, nil
+}
+
+func headToHeadRows(t *stats.Table, r *Runner, env sim.Environment, wl workload.Spec) error {
+	for _, d := range headToHeadDesigns(env) {
+		res, err := r.Run(env, d, false, wl)
+		if err != nil {
+			return fmt.Errorf("head-to-head %v/%s %s: %w", env, d, wl.Name, err)
+		}
+		ratio, err := r.WalkRatio(env, d, false, wl)
+		if err != nil {
+			return fmt.Errorf("head-to-head %v/%s %s: %w", env, d, wl.Name, err)
+		}
+		t.Add(env.String(), string(d),
+			res.AvgWalkCycles(), res.WalkPercentile(99),
+			fmt.Sprintf("%.2fx", ratio),
+			fmt.Sprintf("%.1f%%", res.Coverage*100),
+			fmt.Sprintf("%.2f%%", fallbackRate(res)*100),
+			res.PTEBytes)
+	}
+	return nil
+}

@@ -33,7 +33,7 @@ func LatencyTails(r *Runner) (string, error) {
 	var out string
 	for _, wl := range r.Options().Workloads {
 		t := &stats.Table{
-			Title: fmt.Sprintf("Walk-latency tails (%s, simulated cycles per walk)", wl.Name),
+			Title:  fmt.Sprintf("Walk-latency tails (%s, simulated cycles per walk)", wl.Name),
 			Header: []string{"Env", "Design", "Mean", "p50", "p90", "p99", "Max", "p99/p50"},
 		}
 		for _, env := range []sim.Environment{sim.EnvNative, sim.EnvVirt, sim.EnvNested} {

@@ -223,6 +223,19 @@ func FuzzBatchWalkShadow(f *testing.F) {
 	})
 }
 
+// FuzzBatchWalkVictima covers the L2-spill walker: its batch path threads
+// spill-block probes, the shared LRU clock, and inner-radix fills through
+// the RunBatch seam, so fuzzing it guards the fill/evict bookkeeping
+// against batch/scalar divergence.
+func FuzzBatchWalkVictima(f *testing.F) {
+	f.Add(uint16(200), uint8(0), int64(7), false)
+	f.Add(uint16(1023), uint8(6), int64(11), true)
+	f.Add(uint16(64), uint8(255), int64(3), true)
+	f.Fuzz(func(t *testing.T, rawOps uint16, rawCap uint8, seed int64, withPlan bool) {
+		fuzzBatchWalkCell(t, EnvNative, DesignVictima, rawOps, rawCap, seed, withPlan)
+	})
+}
+
 // FuzzBatchSpan fuzzes the span arithmetic directly: spans always make
 // progress, never exceed the remaining limit, and never cross the next
 // fault-event boundary from below.

@@ -33,12 +33,14 @@ func detWorkload(t testing.TB) workload.Spec {
 func detDesigns(env Environment) []Design {
 	switch env {
 	case EnvNative:
-		return []Design{DesignVanilla, DesignDMT, DesignECPT, DesignFPT, DesignASAP}
+		return []Design{DesignVanilla, DesignDMT, DesignECPT, DesignFPT, DesignASAP,
+			DesignVictima, DesignUtopia}
 	case EnvVirt:
 		return []Design{DesignVanilla, DesignShadow, DesignDMT, DesignPvDMT,
-			DesignECPT, DesignFPT, DesignAgile, DesignASAP}
+			DesignECPT, DesignFPT, DesignAgile, DesignASAP,
+			DesignVictima, DesignUtopia}
 	case EnvNested:
-		return []Design{DesignVanilla, DesignPvDMT}
+		return []Design{DesignVanilla, DesignPvDMT, DesignVictima, DesignUtopia}
 	}
 	return nil
 }

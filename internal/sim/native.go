@@ -8,6 +8,8 @@ import (
 	"dmt/internal/baseline/asap"
 	"dmt/internal/baseline/ecpt"
 	"dmt/internal/baseline/fpt"
+	"dmt/internal/baseline/utopia"
+	"dmt/internal/baseline/victima"
 	"dmt/internal/cache"
 	"dmt/internal/check"
 	"dmt/internal/core"
@@ -74,6 +76,21 @@ func buildFPTTable(pa *phys.Allocator, as *kernel.AddressSpace) (*fpt.Table, err
 	return t, nil
 }
 
+// buildUtopiaSeg creates and syncs Utopia's RestSegs from as, allocating
+// storage from alloc (machine memory under virtualization). resolve is the
+// host-dimension composition (nil native). Shared by parts build and
+// Resync, like buildECPTSystem.
+func buildUtopiaSeg(alloc *phys.Allocator, as *kernel.AddressSpace, ws uint64, resolve func(mem.PAddr) (mem.PAddr, bool)) (*utopia.Seg, error) {
+	seg, err := utopia.NewSeg(alloc, ws)
+	if err != nil {
+		return nil, err
+	}
+	if err := seg.Sync(as, resolve); err != nil {
+		return nil, err
+	}
+	return seg, nil
+}
+
 // nativeParts is the cloneable substrate of a native machine: everything
 // whose construction cost the prototype cache amortizes. Walkers, TLBs,
 // sinks, and trace generators are NOT parts — they are created fresh per
@@ -85,8 +102,10 @@ type nativeParts struct {
 	flaky *fault.FlakyBackend // DMT only
 	built *workload.Built     // immutable after build; shared across clones
 	hier  *cache.Hierarchy
-	sys   *ecpt.System // ECPT only
-	ft    *fpt.Table   // FPT only
+	sys   *ecpt.System   // ECPT only
+	ft    *fpt.Table     // FPT only
+	vic   *victima.Store // Victima only
+	seg   *utopia.Seg    // Utopia only
 }
 
 // buildNativeParts lays out the native substrate: physical zone (optionally
@@ -137,6 +156,14 @@ func buildNativeParts(cfg Config) (*nativeParts, error) {
 		if p.ft, err = buildFPTTable(pa, as); err != nil {
 			return nil, err
 		}
+	case DesignVictima:
+		if p.vic, err = victima.NewStore(pa, p.hier.Config().L2); err != nil {
+			return nil, err
+		}
+	case DesignUtopia:
+		if p.seg, err = buildUtopiaSeg(pa, as, cfg.WSBytes, nil); err != nil {
+			return nil, err
+		}
 	}
 	return p, nil
 }
@@ -167,6 +194,12 @@ func (p *nativeParts) clone() (*nativeParts, error) {
 	}
 	if p.ft != nil {
 		c.ft = p.ft.Clone(pa)
+	}
+	if p.vic != nil {
+		c.vic = p.vic.Clone()
+	}
+	if p.seg != nil {
+		c.seg = p.seg.Clone()
 	}
 	return c, nil
 }
@@ -252,6 +285,38 @@ func wireNative(cfg Config, p *nativeParts) (*machine, error) {
 		radix.Sink = m.sink
 		m.walker = &asap.Walker{Inner: radix, Hier: hier, Source: src, MemLatency: hier.Config().MemLatency}
 		m.footer = func(r *Result) { r.PTEBytes = as.Pool.NodeCount() * mem.PageBytes4K }
+	case DesignVictima:
+		m.sink = &core.RefSink{}
+		radix.Sink = m.sink
+		w := victima.NewWalker(p.vic, hier, radix, m.sink)
+		m.walker = w
+		m.coverage = w.CoverageCounts
+		// Spilled translations cache PT contents outside the TLB, so
+		// mapping mutations must drop them like a TLB shootdown would.
+		m.target.Resync = func() error {
+			w.Flush()
+			return nil
+		}
+		m.footer = func(r *Result) { r.PTEBytes = as.Pool.NodeCount() * mem.PageBytes4K }
+	case DesignUtopia:
+		m.sink = &core.RefSink{}
+		radix.Sink = m.sink
+		w := &utopia.Walker{Seg: p.seg, Hier: hier, Fallback: radix, Sink: m.sink}
+		m.walker = w
+		m.coverage = w.CoverageCounts
+		// The RestSegs are a one-shot sync of the page tables; mapping
+		// mutations must rebuild them or stale entries would mistranslate.
+		m.target.Resync = func() error {
+			seg, err := buildUtopiaSeg(pa, as, cfg.WSBytes, nil)
+			if err != nil {
+				return err
+			}
+			w.Seg = seg
+			return nil
+		}
+		m.footer = func(r *Result) {
+			r.PTEBytes = as.Pool.NodeCount()*mem.PageBytes4K + w.Seg.FootprintBytes()
+		}
 	default:
 		return nil, fmt.Errorf("design %q not available natively", cfg.Design)
 	}

@@ -106,7 +106,7 @@ func TestShardPlanClampsEndOfTrace(t *testing.T) {
 			{At: 0, Kind: fault.FlushCaches},
 			{At: totalOps / 2, Kind: fault.FlushCaches},
 			{At: totalOps - 1, Kind: fault.FlushCaches},
-			{At: totalOps, Kind: fault.FlushCaches},     // at-end schedule entry
+			{At: totalOps, Kind: fault.FlushCaches},      // at-end schedule entry
 			{At: totalOps + 99, Kind: fault.FlushCaches}, // pathological overshoot
 		},
 	}

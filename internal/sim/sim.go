@@ -61,8 +61,10 @@ type Design string
 
 // The designs of the evaluation: the vanilla baseline (radix walk native,
 // hardware-assisted nested paging virtualized, shadow-over-nested for
-// nested virtualization), shadow paging, DMT and pvDMT, and the four
-// comparison designs of §6.2.
+// nested virtualization), shadow paging, DMT and pvDMT, the four
+// comparison designs of §6.2, and the two related-work contenders the
+// paper never ran head-to-head (Victima's L2-way TLB spill and Utopia's
+// restrictive/flexible hybrid mapping).
 const (
 	DesignVanilla Design = "vanilla"
 	DesignShadow  Design = "shadow"
@@ -72,6 +74,8 @@ const (
 	DesignFPT     Design = "fpt"
 	DesignAgile   Design = "agile"
 	DesignASAP    Design = "asap"
+	DesignVictima Design = "victima"
+	DesignUtopia  Design = "utopia"
 )
 
 // allDesigns is the design registry: ParseDesign validates against it, and
@@ -81,6 +85,7 @@ const (
 var allDesigns = []Design{
 	DesignVanilla, DesignShadow, DesignDMT, DesignPvDMT,
 	DesignECPT, DesignFPT, DesignAgile, DesignASAP,
+	DesignVictima, DesignUtopia,
 }
 
 // ParseDesign validates a design name against the known set.
@@ -90,7 +95,7 @@ func ParseDesign(name string) (Design, error) {
 			return d, nil
 		}
 	}
-	return "", fmt.Errorf("sim: unknown design %q (want vanilla, shadow, dmt, pvdmt, ecpt, fpt, agile, asap)", name)
+	return "", fmt.Errorf("sim: unknown design %q (want vanilla, shadow, dmt, pvdmt, ecpt, fpt, agile, asap, victima, utopia)", name)
 }
 
 // Config describes one run.

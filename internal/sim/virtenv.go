@@ -7,6 +7,8 @@ import (
 	"dmt/internal/baseline/asap"
 	"dmt/internal/baseline/ecpt"
 	"dmt/internal/baseline/fpt"
+	"dmt/internal/baseline/utopia"
+	"dmt/internal/baseline/victima"
 	"dmt/internal/cache"
 	"dmt/internal/check"
 	"dmt/internal/core"
@@ -45,6 +47,8 @@ type virtParts struct {
 	gsys, hsys *ecpt.System     // ECPT only
 	gt, ht     *fpt.Table       // FPT only
 	mirror     *agile.Mirror    // Agile only
+	vic        *victima.Store   // Victima only
+	seg        *utopia.Seg      // Utopia only
 }
 
 // ref is the ground-truth translation for guest VAs: the live guest page
@@ -136,6 +140,19 @@ func buildVirtParts(cfg Config) (*virtParts, error) {
 		if p.mirror, err = agile.BuildMirror(vm, guest); err != nil {
 			return nil, err
 		}
+	case DesignVictima:
+		// The spill blocks occupy machine L2 ways, so the region lives in
+		// machine memory.
+		if p.vic, err = victima.NewStore(hyp.MachinePhys, hyp.Hier.Config().L2); err != nil {
+			return nil, err
+		}
+	case DesignUtopia:
+		// RestSegs map guest-virtual straight to machine addresses and
+		// live in machine memory: a restrictive hit needs no second
+		// dimension, which is the design's collapsed-2D-walk claim.
+		if p.seg, err = buildUtopiaSeg(hyp.MachinePhys, guest, cfg.WSBytes, vm.MachineAddr); err != nil {
+			return nil, err
+		}
 	}
 	return p, nil
 }
@@ -187,6 +204,12 @@ func (p *virtParts) clone() (*virtParts, error) {
 	}
 	if p.mirror != nil {
 		c.mirror = p.mirror.Clone(hyp.MachinePhys)
+	}
+	if p.vic != nil {
+		c.vic = p.vic.Clone()
+	}
+	if p.seg != nil {
+		c.seg = p.seg.Clone()
 	}
 	return c, nil
 }
@@ -323,6 +346,34 @@ func wireVirt(cfg Config, p *virtParts) (*machine, error) {
 		m.sink = &core.RefSink{}
 		nested.Sink = m.sink
 		m.walker = &asap.Walker{Inner: nested, Hier: hier, Source: src, MemLatency: hier.Config().MemLatency}
+	case DesignVictima:
+		// The spilled entries hold full gVA→machine translations (that is
+		// what the L2 TLB holds), so a spill hit skips the whole 2D walk.
+		m.sink = &core.RefSink{}
+		nested.Sink = m.sink
+		w := victima.NewWalker(p.vic, hier, nested, m.sink)
+		m.walker = w
+		m.coverage = w.CoverageCounts
+		m.target.Resync = func() error {
+			w.Flush()
+			return nil
+		}
+	case DesignUtopia:
+		m.sink = &core.RefSink{}
+		nested.Sink = m.sink
+		w := &utopia.Walker{Seg: p.seg, Hier: hier, Fallback: nested, Sink: m.sink}
+		m.walker = w
+		m.coverage = w.CoverageCounts
+		// Guest mutations only: the host dimension is re-resolved through
+		// the live VM mapping at rebuild time.
+		m.target.Resync = func() error {
+			seg, err := buildUtopiaSeg(p.hyp.MachinePhys, p.guest, cfg.WSBytes, p.vm.MachineAddr)
+			if err != nil {
+				return err
+			}
+			w.Seg = seg
+			return nil
+		}
 	default:
 		return nil, fmt.Errorf("design %q not available in a virtualized environment", cfg.Design)
 	}
@@ -350,6 +401,8 @@ type nestedParts struct {
 	flaky  *fault.FlakyBackend // pvDMT only
 	built  *workload.Built     // immutable after build; shared across clones
 	spt    *pagetable.Table
+	vic    *victima.Store // Victima only
+	seg    *utopia.Seg    // Utopia only
 }
 
 // buildNestedParts stands up the two-level stack of Figure 9.
@@ -395,6 +448,16 @@ func buildNestedParts(cfg Config) (*nestedParts, error) {
 	if err != nil {
 		return nil, err
 	}
+	switch cfg.Design {
+	case DesignVictima:
+		if p.vic, err = victima.NewStore(hyp.MachinePhys, hyp.Hier.Config().L2); err != nil {
+			return nil, err
+		}
+	case DesignUtopia:
+		if p.seg, err = buildUtopiaSeg(hyp.MachinePhys, guest, cfg.WSBytes, l2.MachineAddr); err != nil {
+			return nil, err
+		}
+	}
 	return p, nil
 }
 
@@ -422,6 +485,12 @@ func (p *nestedParts) clone() (*nestedParts, error) {
 		c.gmgr = gmgr
 	}
 	c.spt = hyp.CloneShadow(p.spt)
+	if p.vic != nil {
+		c.vic = p.vic.Clone()
+	}
+	if p.seg != nil {
+		c.seg = p.seg.Clone()
+	}
 	return c, nil
 }
 
@@ -486,6 +555,43 @@ func wireNested(cfg Config, p *nestedParts) (*machine, error) {
 		m.coverage = w.CoverageCounts
 		m.fastPath = w.Probe
 		m.invariants = check.TEAInvariants(p.gmgr, p.guest)
+	case DesignVictima:
+		m.sink = &core.RefSink{}
+		baseline.Sink = m.sink
+		w := victima.NewWalker(p.vic, hier, baseline, m.sink)
+		m.walker = w
+		m.coverage = w.CoverageCounts
+		// Compose with the pre-assigned baseline Resync: mapping mutations
+		// must both rebuild the compressed nested shadow and drop the
+		// now-stale spilled translations.
+		shadowResync := m.target.Resync
+		m.target.Resync = func() error {
+			if err := shadowResync(); err != nil {
+				return err
+			}
+			w.Flush()
+			return nil
+		}
+	case DesignUtopia:
+		m.sink = &core.RefSink{}
+		baseline.Sink = m.sink
+		w := &utopia.Walker{Seg: p.seg, Hier: hier, Fallback: baseline, Sink: m.sink}
+		m.walker = w
+		m.coverage = w.CoverageCounts
+		// Compose with the pre-assigned baseline Resync, then rebuild the
+		// RestSegs through the live two-level composition.
+		shadowResync := m.target.Resync
+		m.target.Resync = func() error {
+			if err := shadowResync(); err != nil {
+				return err
+			}
+			seg, err := buildUtopiaSeg(p.hyp.MachinePhys, p.guest, cfg.WSBytes, p.l2.MachineAddr)
+			if err != nil {
+				return err
+			}
+			w.Seg = seg
+			return nil
+		}
 	default:
 		return nil, fmt.Errorf("design %q not available under nested virtualization", cfg.Design)
 	}
